@@ -1,0 +1,47 @@
+"""Figure 2/4 + §6.4: softmax self-attention kernel orchestration.
+
+Operator fission decomposes Softmax into Exp/ReduceSum/Broadcast/Div and the
+BLP maps those primitives across several kernels (the paper: Softmax ends up
+in all four kernels of the strategy, 1.50x over TensorRT for the block).
+"""
+
+from repro.analysis import format_table
+from repro.baselines import TensorRTFusionBaseline, UnfusedBaseline
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.models import build_segformer_attention_block
+from repro.pipeline import KorchPipeline
+
+from .conftest import case_study_config
+
+
+def test_fig4_softmax_attention_block(benchmark):
+    graph = build_segformer_attention_block()
+    pg, _ = FissionEngine().run(graph)
+
+    korch = benchmark.pedantic(
+        lambda: KorchPipeline(case_study_config("V100", max_kernel_size=12)).optimize(graph),
+        rounds=1, iterations=1,
+    )
+    tensorrt = TensorRTFusionBaseline(V100).run(graph, pg)
+    pytorch = UnfusedBaseline(V100).run(graph, pg)
+
+    speedup = tensorrt.total_latency_s / korch.latency_s
+    print("\n[Figure 4 / §6.4] Segformer self-attention block on V100 (paper: 1.50x over TensorRT)")
+    print(format_table([
+        {"system": "Korch", "latency (ms)": round(korch.latency_ms, 3), "kernels": korch.num_kernels},
+        {"system": "TensorRT", "latency (ms)": round(tensorrt.total_latency_ms, 3),
+         "kernels": tensorrt.num_kernels},
+        {"system": "PyTorch", "latency (ms)": round(pytorch.total_latency_ms, 3),
+         "kernels": pytorch.num_kernels},
+    ]))
+
+    assert speedup > 1.2
+    assert korch.num_kernels < pytorch.num_kernels
+
+    # §6.4: the Softmax operator's primitives are spread across multiple kernels.
+    strategy = korch.partitions[0].orchestration.strategy
+    softmax_op = next(n.name for n in graph.nodes if n.op_type == "Softmax")
+    softmax_kernels = strategy.kernels_executing_operator(softmax_op)
+    print(f"Softmax primitives are executed by {len(softmax_kernels)} of {strategy.num_kernels} kernels")
+    assert len(softmax_kernels) >= 2

@@ -1,0 +1,28 @@
+"""Figure 5: memory bandwidth vs floating-point throughput across GPU generations.
+
+The paper's motivation for allowing redundant primitive execution: compute
+throughput grows much faster than memory bandwidth from P100 to H100.
+"""
+
+from repro.analysis import format_table
+from repro.gpu import gpu_generation_trends
+
+
+def test_fig5_gpu_generation_trends(benchmark):
+    trends = benchmark.pedantic(gpu_generation_trends, rounds=3, iterations=1)
+
+    rows = [
+        {"gpu": gpu, **{metric: round(value, 2) for metric, value in values.items()}}
+        for gpu, values in trends.items()
+    ]
+    print("\n[Figure 5] relative to P100 (paper: FLOPs grow faster than bandwidth)")
+    print(format_table(rows))
+
+    order = ["P100", "V100", "A100", "H100"]
+    for metric in ("mem_bw", "fp32", "fp16"):
+        values = [trends[g][metric] for g in order]
+        assert values == sorted(values), f"{metric} should grow monotonically"
+    # The compute-to-bandwidth ratio widens every generation (the paper's point).
+    ratios = [trends[g]["fp16"] / trends[g]["mem_bw"] for g in order]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] / ratios[0] > 5.0

@@ -1,0 +1,53 @@
+"""Figure 6: end-to-end latency of the five DNNs under PyTorch / TVM /
+TensorRT / Korch on V100 and A100.
+
+The paper reports Korch up to 1.7x (V100) / 1.6x (A100) faster, 1.39x / 1.30x
+on average.  Absolute numbers here come from the analytical cost model, so the
+check is the *shape*: Korch is the fastest system for every model on both
+GPUs, and the unfused PyTorch baseline is the slowest.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+
+from .conftest import GPUS, MODELS
+
+
+@pytest.mark.parametrize("gpu", GPUS)
+@pytest.mark.parametrize("model", MODELS)
+def test_fig6_end_to_end(benchmark, evaluation, model, gpu):
+    result = benchmark.pedantic(evaluation.get, args=(model, gpu), rounds=1, iterations=1)
+
+    row = {
+        "model": model,
+        "gpu": gpu,
+        "Korch (ms)": round(result.korch_ms, 3),
+        **{f"{name} (ms)": round(ms, 3) for name, ms in result.baseline_ms.items()},
+        **{f"{name} rel": round(ms / result.korch_ms, 2) for name, ms in result.baseline_ms.items()},
+    }
+    print(f"\n[Figure 6] {format_table([row])}")
+
+    # Shape checks: Korch never loses; eager PyTorch is the slowest system.
+    for name, ms in result.baseline_ms.items():
+        assert result.korch_ms <= ms * 1.001, f"Korch slower than {name} on {model}/{gpu}"
+    assert result.baseline_ms["PyTorch"] == max(result.baseline_ms.values())
+    assert result.speedup_over("PyTorch") > 1.1
+
+
+def test_fig6_average_speedups(evaluation):
+    """Average Korch speedup per GPU (paper: 1.39x on V100, 1.30x on A100)."""
+    rows = []
+    for gpu in GPUS:
+        speedups = {}
+        for model in MODELS:
+            result = evaluation.get(model, gpu)
+            for name in result.baseline_ms:
+                speedups.setdefault(name, []).append(result.speedup_over(name))
+        rows.append(
+            {"gpu": gpu, **{name: round(sum(v) / len(v), 2) for name, v in speedups.items()}}
+        )
+    print("\n[Figure 6] average Korch speedup over each baseline")
+    print(format_table(rows))
+    for row in rows:
+        assert row["PyTorch"] > 1.1

@@ -1,0 +1,62 @@
+"""Table 2: primitive-graph size, candidate kernels and tuning time per model.
+
+Reuses the Figure 6 evaluation runs (V100).  Absolute tuning hours come from
+the simulated MetaSchedule tuning-time model; the check is that the relative
+ordering and orders of magnitude match the paper (hundreds of primitive
+nodes, thousands of candidate kernels, hours of tuning dominated by
+memory-intensive kernels).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.models import build_model
+
+from .conftest import MODELS
+
+# Paper's Table 2 for reference (primitive nodes, candidate kernels, hours).
+PAPER_TABLE2 = {
+    "candy": (184, 1031, 5.5),
+    "efficientvit": (380, 2174, 11.5),
+    "yolox": (367, 3361, 2.8),
+    "yolov4": (569, 4644, 12.2),
+    "segformer": (672, 11400, 9.2),
+}
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table2_per_model(benchmark, evaluation, model):
+    result = benchmark.pedantic(evaluation.get, args=(model, "V100"), rounds=1, iterations=1)
+    paper_nodes, paper_candidates, paper_hours = PAPER_TABLE2[model]
+    row = {
+        "model": model,
+        "# primitive nodes": result.num_primitives,
+        "(paper)": paper_nodes,
+        "# candidate kernels": result.num_candidates,
+        "(paper) ": paper_candidates,
+        "tuning h": round(result.tuning_hours, 2),
+        "(paper)  ": paper_hours,
+    }
+    print("\n[Table 2] " + format_table([row]))
+
+    assert 50 <= result.num_primitives <= 2500
+    assert result.num_candidates > result.num_primitives
+    assert result.num_candidates < 60000
+    assert 0.05 <= result.tuning_hours <= 48
+
+
+def test_table2_candidate_count_far_below_quadratic(evaluation):
+    """§6.5: the pruning heuristics keep candidates far below O(|P|^2)."""
+    for model in MODELS:
+        result = evaluation.get(model, "V100")
+        assert result.num_candidates < 0.5 * result.num_primitives ** 2
+
+
+def test_table2_operator_counts():
+    """The rebuilt models are at the paper's scale (hundreds of operators)."""
+    rows = []
+    for model in MODELS:
+        graph = build_model(model)
+        rows.append({"model": model, "# operators": graph.num_nodes})
+        assert 50 <= graph.num_nodes <= 800
+    print("\n[Table 2 aux] " + format_table(rows))

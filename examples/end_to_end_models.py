@@ -1,0 +1,61 @@
+"""End-to-end optimization of the paper's evaluation models (Figure 6 style).
+
+Optimizes one of the five workloads with Korch and compares against the
+PyTorch / TVM / TensorRT fusion baselines on a chosen simulated GPU.
+
+Run with:  python examples/end_to_end_models.py --model candy --gpu V100
+"""
+
+import argparse
+import time
+
+from repro.analysis import ModelStats, format_table
+from repro.baselines import baseline_suite
+from repro.fission import FissionEngine
+from repro.gpu import get_gpu
+from repro.models import MODEL_BUILDERS, build_model
+from repro.orchestration import KernelIdentifierConfig
+from repro.pipeline import KorchConfig, KorchPipeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", choices=sorted(MODEL_BUILDERS), default="candy")
+    parser.add_argument("--gpu", choices=["P100", "V100", "A100", "H100"], default="V100")
+    parser.add_argument("--fast", action="store_true",
+                        help="use the coarser benchmark settings (smaller kernels, 10%% MILP gap)")
+    args = parser.parse_args()
+
+    graph = build_model(args.model)
+    spec = get_gpu(args.gpu)
+    print(f"{args.model}: {graph.num_nodes} operators, optimizing for {spec.name}")
+
+    config = KorchConfig(gpu=args.gpu, enable_graph_optimizer=not args.fast)
+    if args.fast:
+        config.identifier = KernelIdentifierConfig(max_kernel_size=8)
+        config.solver_mip_rel_gap = 0.10
+        config.solver_time_limit_s = 2.0
+
+    start = time.time()
+    result = KorchPipeline(config).optimize(graph)
+    print(f"Korch finished in {time.time() - start:.1f}s of tuning-simulation wall time")
+
+    stats = ModelStats.from_result(result)
+    print(format_table([stats.as_row()]))
+
+    pg, _ = FissionEngine().run(graph)
+    rows = [{"system": "Korch", "latency (ms)": round(result.latency_ms, 3),
+             "kernels": result.num_kernels, "vs Korch": 1.0}]
+    for baseline in baseline_suite(spec):
+        strategy = baseline.run(graph, pg)
+        rows.append({
+            "system": baseline.name,
+            "latency (ms)": round(strategy.total_latency_ms, 3),
+            "kernels": strategy.num_kernels,
+            "vs Korch": round(strategy.total_latency_s / result.latency_s, 2),
+        })
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

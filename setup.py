@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+editable installs work on environments that lack the `wheel` package
+(legacy ``setup.py develop`` path used by ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Korch reproduction: optimal kernel orchestration for tensor programs.
+
+Public API quick reference
+--------------------------
+Build a model with :class:`repro.GraphBuilder` (or load one from
+:mod:`repro.models`), then optimize it::
+
+    from repro import optimize_model
+    from repro.models import build_candy
+
+    result = optimize_model(build_candy(), gpu="V100")
+    print(result.latency_ms, result.num_kernels)
+
+Lower-level entry points: :class:`repro.fission.FissionEngine` (operator
+fission), :class:`repro.orchestration.KernelOrchestrationOptimizer` (kernel
+identification + BLP), :mod:`repro.baselines` (PyTorch/TVM/TensorRT fusion
+policies) and :mod:`repro.gpu` (the simulated GPU and its cost model).
+"""
+
+from .ir import DataType, Graph, GraphBuilder, Node, TensorType
+from .fission import FissionEngine, apply_operator_fission
+from .gpu import A100, H100, P100, V100, GpuSpec, get_gpu
+from .orchestration import KernelOrchestrationOptimizer, OrchestrationStrategy
+from .pipeline import KorchConfig, KorchPipeline, KorchResult, optimize_model
+from .primitives import Primitive, PrimitiveCategory, PrimitiveGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DataType",
+    "TensorType",
+    "Node",
+    "Graph",
+    "GraphBuilder",
+    "Primitive",
+    "PrimitiveCategory",
+    "PrimitiveGraph",
+    "FissionEngine",
+    "apply_operator_fission",
+    "GpuSpec",
+    "get_gpu",
+    "P100",
+    "V100",
+    "A100",
+    "H100",
+    "KernelOrchestrationOptimizer",
+    "OrchestrationStrategy",
+    "KorchConfig",
+    "KorchPipeline",
+    "KorchResult",
+    "optimize_model",
+]

@@ -1,0 +1,5 @@
+"""Reporting utilities: Table 2 statistics and Figure 6 comparison tables."""
+
+from .stats import ComparisonRow, ModelStats, comparison_table, format_table, speedup_over
+
+__all__ = ["ModelStats", "ComparisonRow", "comparison_table", "format_table", "speedup_over"]

@@ -1,0 +1,92 @@
+"""Model statistics and comparison tables (Table 2 and Figure 6 style reports)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..orchestration.strategy import OrchestrationStrategy
+from ..pipeline import KorchResult
+
+__all__ = ["ModelStats", "ComparisonRow", "comparison_table", "format_table", "speedup_over"]
+
+
+@dataclass
+class ModelStats:
+    """Table 2 row: primitive-graph size, candidate kernels, tuning time."""
+
+    model: str
+    num_operator_nodes: int
+    num_primitive_nodes: int
+    num_candidate_kernels: int
+    num_selected_kernels: int
+    tuning_hours: float
+
+    @classmethod
+    def from_result(cls, result: KorchResult) -> "ModelStats":
+        return cls(
+            model=result.graph.name,
+            num_operator_nodes=result.graph.num_nodes,
+            num_primitive_nodes=result.num_primitives,
+            num_candidate_kernels=result.num_candidate_kernels,
+            num_selected_kernels=result.num_kernels,
+            tuning_hours=result.tuning.total_hours,
+        )
+
+    def as_row(self) -> dict[str, float | int | str]:
+        return {
+            "model": self.model,
+            "# operator nodes": self.num_operator_nodes,
+            "# primitive nodes": self.num_primitive_nodes,
+            "# candidate kernels": self.num_candidate_kernels,
+            "# selected kernels": self.num_selected_kernels,
+            "tuning time (h)": round(self.tuning_hours, 2),
+        }
+
+
+@dataclass
+class ComparisonRow:
+    """One model's latency under each framework, normalized like Figure 6."""
+
+    model: str
+    gpu: str
+    latency_ms: dict[str, float] = field(default_factory=dict)
+
+    def relative_to(self, reference: str) -> dict[str, float]:
+        """Latency of every framework relative to ``reference`` (lower = faster)."""
+        base = self.latency_ms[reference]
+        return {name: value / base for name, value in self.latency_ms.items()}
+
+    def speedup_of(self, framework: str, over: str) -> float:
+        """How much faster ``framework`` is than ``over`` (>1 means faster)."""
+        return self.latency_ms[over] / self.latency_ms[framework]
+
+
+def speedup_over(strategies: Mapping[str, OrchestrationStrategy], framework: str, over: str) -> float:
+    """Speedup of one strategy over another from a name->strategy mapping."""
+    return strategies[over].total_latency_s / strategies[framework].total_latency_s
+
+
+def comparison_table(rows: Sequence[ComparisonRow], reference: str = "Korch") -> list[dict]:
+    """Figure 6 style table: per model, relative execution time vs ``reference``."""
+    table = []
+    for row in rows:
+        entry: dict[str, float | str] = {"model": row.model, "gpu": row.gpu}
+        for name, ratio in row.relative_to(reference).items():
+            entry[name] = round(ratio, 2)
+        table.append(entry)
+    return table
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of dict rows as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(rows[0].keys())
+    widths = {col: max(len(str(col)), max(len(str(row.get(col, ""))) for row in rows)) for col in columns}
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for row in rows:
+        lines.append("  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)

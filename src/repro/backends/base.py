@@ -1,0 +1,45 @@
+"""Backend interface for kernel latency estimation.
+
+Korch's kernel profiler (§5.2) generates a kernel for each candidate subgraph
+and measures it: memory-intensive candidates go to TVM MetaSchedule,
+compute-intensive ones to vendor libraries (cuBLAS/cuDNN/TensorRT), and
+candidates no backend supports are rejected.  In this reproduction each
+backend is an analytical latency model with the same contract: it either
+returns a latency estimate or ``None`` to reject the candidate.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..gpu.cost_model import CostBreakdown
+from ..gpu.features import KernelFeatures
+from ..gpu.specs import GpuSpec
+
+__all__ = ["KernelBackend"]
+
+
+class KernelBackend(abc.ABC):
+    """Latency (and tuning-time) model of one kernel generation backend."""
+
+    #: Human-readable backend name used in reports ("cuBLAS", "TVM", ...).
+    name: str = "backend"
+
+    @abc.abstractmethod
+    def supports(self, features: KernelFeatures) -> bool:
+        """Whether this backend can generate a kernel for the candidate."""
+
+    @abc.abstractmethod
+    def estimate(self, features: KernelFeatures, spec: GpuSpec) -> CostBreakdown | None:
+        """Latency estimate, or ``None`` when the candidate is unsupported."""
+
+    def tuning_time_s(self, features: KernelFeatures) -> float:
+        """Wall-clock time the backend would spend tuning this kernel.
+
+        Vendor libraries need no tuning; TVM MetaSchedule overrides this with
+        its per-kernel tuning budget (used to reproduce Table 2).
+        """
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

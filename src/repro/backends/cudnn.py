@@ -1,0 +1,79 @@
+"""cuDNN convolution latency model.
+
+Accepts candidate kernels whose linear work is exactly one convolution (or
+transposed convolution) plus the standard fused epilogue cuDNN supports
+(bias add and an activation) and small layout prologues.  The efficiency
+model penalizes convolutions with few channels (they cannot fill the
+implicit-GEMM tiles) and grouped/depthwise convolutions (memory-bound in
+practice).
+"""
+
+from __future__ import annotations
+
+from ..gpu.cost_model import CostBreakdown, parallelism_factor, roofline_latency
+from ..gpu.features import ConvShape, KernelFeatures
+from ..gpu.specs import GpuSpec
+from .base import KernelBackend
+
+__all__ = ["CudnnBackend", "conv_efficiency"]
+
+_BASE_EFFICIENCY = 0.82
+_FULL_CHANNELS = 128
+_CHANNEL_EXPONENT = 0.3
+#: cuDNN fused-op epilogues absorb bias, per-channel affine (folded BatchNorm)
+#: and an activation; anything longer is rejected.
+_MAX_EPILOGUE_PRIMITIVES = 10
+
+
+def conv_efficiency(shape: ConvShape) -> float:
+    """Achieved fraction of peak FLOPs for one convolution shape."""
+
+    def g(channels: int) -> float:
+        return (min(channels, _FULL_CHANNELS) / _FULL_CHANNELS) ** _CHANNEL_EXPONENT
+
+    efficiency = _BASE_EFFICIENCY * g(shape.in_channels // shape.groups) * g(shape.out_channels)
+    # 1x1 convolutions are pure GEMMs and slightly more efficient than the
+    # general implicit-GEMM path; depthwise convolutions are memory bound.
+    if shape.kernel_h == shape.kernel_w == 1:
+        efficiency = min(0.9, efficiency * 1.1)
+    if shape.groups == shape.in_channels and shape.groups > 1:
+        efficiency *= 0.5
+    return max(0.05, efficiency)
+
+
+class CudnnBackend(KernelBackend):
+    """Latency model for cuDNN convolution kernels (with fused epilogue)."""
+
+    name = "cuDNN"
+
+    def supports(self, features: KernelFeatures) -> bool:
+        if features.has_opaque:
+            return False
+        if len(features.convs) != 1 or features.gemms:
+            return False
+        extra = features.num_primitives - 1
+        if extra > _MAX_EPILOGUE_PRIMITIVES:
+            return False
+        if features.num_reduce > 0:
+            return False
+        return features.num_outputs == 1
+
+    def estimate(self, features: KernelFeatures, spec: GpuSpec) -> CostBreakdown | None:
+        if not self.supports(features):
+            return None
+        conv = features.convs[0]
+        compute_eff = conv_efficiency(conv)
+        bandwidth_eff = 0.85 * parallelism_factor(features, spec)
+        # The implicit-GEMM algorithm re-reads each input element once per
+        # overlapping filter position that hits it; charge a modest extra
+        # traffic factor for non-1x1 kernels.
+        reuse_reads = 0
+        if conv.kernel_h * conv.kernel_w > 1:
+            reuse_reads = int(0.25 * features.input_bytes)
+        return roofline_latency(
+            features,
+            spec,
+            bandwidth_efficiency=bandwidth_eff,
+            compute_efficiency=compute_eff,
+            extra_traffic_bytes=reuse_reads,
+        )

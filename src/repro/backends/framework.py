@@ -1,0 +1,51 @@
+"""Latency model for framework-native (PyTorch eager) kernels.
+
+The PyTorch baseline in Figure 6 launches one pre-compiled kernel per
+operator.  Those kernels are reasonably tuned but (a) cannot fuse across
+operators, (b) pay a per-launch framework dispatch overhead on top of the raw
+CUDA launch, and (c) composite operators (softmax, normalizations) run their
+multi-pass algorithm inside one kernel, paying the extra traffic the
+``multipass_bytes`` feature models.
+"""
+
+from __future__ import annotations
+
+from ..gpu.cost_model import CostBreakdown, parallelism_factor, roofline_latency
+from ..gpu.features import KernelFeatures
+from ..gpu.specs import GpuSpec
+from .base import KernelBackend
+from .cublas import gemm_efficiency
+from .cudnn import conv_efficiency
+
+__all__ = ["FrameworkEagerBackend"]
+
+#: Host-side dispatcher overhead added to every eager-mode kernel launch.
+_FRAMEWORK_OVERHEAD_S = 8e-6
+_MEMORY_BANDWIDTH_EFFICIENCY = 0.75
+_FALLBACK_COMPUTE_EFFICIENCY = 0.55
+
+
+class FrameworkEagerBackend(KernelBackend):
+    """Latency model for eager-mode framework kernels (PyTorch)."""
+
+    name = "PyTorch-eager"
+
+    def supports(self, features: KernelFeatures) -> bool:
+        # Eager mode has a kernel for every operator, including opaque ones.
+        return True
+
+    def estimate(self, features: KernelFeatures, spec: GpuSpec) -> CostBreakdown | None:
+        bandwidth_eff = _MEMORY_BANDWIDTH_EFFICIENCY * parallelism_factor(features, spec)
+        if features.gemms:
+            compute_eff = gemm_efficiency(features.gemms[0])
+        elif features.convs:
+            compute_eff = conv_efficiency(features.convs[0])
+        else:
+            compute_eff = _FALLBACK_COMPUTE_EFFICIENCY
+        return roofline_latency(
+            features,
+            spec,
+            bandwidth_efficiency=bandwidth_eff,
+            compute_efficiency=compute_eff,
+            launch_overhead_s=spec.kernel_launch_s + _FRAMEWORK_OVERHEAD_S,
+        )

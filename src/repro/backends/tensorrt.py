@@ -1,0 +1,78 @@
+"""TensorRT kernel-library latency model.
+
+TensorRT ships hand-tuned kernels for whole operators and for its fusion
+patterns (conv+bias+activation, elementwise chains, softmax, normalizations,
+GEMM with epilogue).  This backend plays two roles in the reproduction:
+
+* it provides the kernel latencies of the **TensorRT baseline** (the baseline
+  groups operators according to TensorRT's fusion rules and costs each group
+  here), and
+* it can be registered as an additional Korch backend — the paper's artifact
+  disables it by default because it roughly doubles tuning time for marginal
+  gain (§A.6), and the default profiler here mirrors that.
+
+Hand-written kernels are better than auto-generated ones for the patterns
+TensorRT recognizes (higher base efficiencies than the TVM model), but the
+library has no kernels for arbitrary fused subgraphs, so highly heterogeneous
+candidates are rejected rather than penalized.
+"""
+
+from __future__ import annotations
+
+from ..gpu.cost_model import CostBreakdown, parallelism_factor, roofline_latency
+from ..gpu.features import KernelFeatures
+from ..gpu.specs import GpuSpec
+from .base import KernelBackend
+from .cublas import gemm_efficiency
+from .cudnn import conv_efficiency
+
+__all__ = ["TensorRTBackend"]
+
+_MEMORY_BANDWIDTH_EFFICIENCY = 0.88
+_COMPUTE_GEMM_BONUS = 1.05  # TensorRT's GEMM kernels are marginally better tuned than cuBLAS defaults
+_MAX_FUSED_MEMORY_PRIMITIVES = 12
+
+
+class TensorRTBackend(KernelBackend):
+    """Latency model for TensorRT's hand-tuned kernel library."""
+
+    name = "TensorRT"
+
+    def supports(self, features: KernelFeatures) -> bool:
+        if features.has_opaque:
+            return False
+        if features.num_linear > 1:
+            return False
+        if features.is_memory_bound:
+            # Library kernels exist for operator-shaped fusion groups, not for
+            # arbitrary multi-branch subgraphs.
+            return (
+                features.num_primitives <= _MAX_FUSED_MEMORY_PRIMITIVES
+                and features.branch_heterogeneity == 0
+            )
+        # Compute kernels: one GEMM/conv plus an elementwise epilogue chain
+        # (bias, folded BatchNorm, activation).  Reductions cannot be fused.
+        if features.num_reduce > 0:
+            return False
+        return (
+            len(features.gemms) + len(features.convs) == 1
+            and features.num_outputs == 1
+            and features.num_primitives <= _MAX_FUSED_MEMORY_PRIMITIVES
+        )
+
+    def estimate(self, features: KernelFeatures, spec: GpuSpec) -> CostBreakdown | None:
+        if not self.supports(features):
+            return None
+        bandwidth_eff = _MEMORY_BANDWIDTH_EFFICIENCY * parallelism_factor(features, spec)
+        if features.is_memory_bound:
+            compute_eff = 0.7
+        elif features.gemms:
+            compute_eff = min(0.92, gemm_efficiency(features.gemms[0]) * _COMPUTE_GEMM_BONUS)
+        else:
+            compute_eff = min(0.9, conv_efficiency(features.convs[0]) * _COMPUTE_GEMM_BONUS)
+        return roofline_latency(
+            features,
+            spec,
+            bandwidth_efficiency=bandwidth_eff,
+            compute_efficiency=compute_eff,
+        )

@@ -1,0 +1,29 @@
+"""Rule-based operator-fusion baselines used in the paper's evaluation."""
+
+from .base import FusionBaseline
+from .dnnfusion import DnnFusionBaseline, mapping_class
+from .greedy_fusion import GreedyFusionBaseline
+from .tensorrt_fusion import TensorRTFusionBaseline
+from .unfused import UnfusedBaseline
+
+__all__ = [
+    "FusionBaseline",
+    "UnfusedBaseline",
+    "GreedyFusionBaseline",
+    "TensorRTFusionBaseline",
+    "DnnFusionBaseline",
+    "mapping_class",
+    "baseline_suite",
+]
+
+
+def baseline_suite(spec, include_dnnfusion: bool = False) -> list[FusionBaseline]:
+    """The baselines of Figure 6 (optionally plus DNNFusion)."""
+    baselines: list[FusionBaseline] = [
+        UnfusedBaseline(spec),
+        GreedyFusionBaseline(spec),
+        TensorRTFusionBaseline(spec),
+    ]
+    if include_dnnfusion:
+        baselines.append(DnnFusionBaseline(spec))
+    return baselines

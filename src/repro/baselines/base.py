@@ -1,0 +1,128 @@
+"""Common machinery for rule-based operator-fusion baselines.
+
+Every baseline in Figure 6 (PyTorch eager, TVM, TensorRT) maps *operators* to
+kernels with its own greedy fusion policy.  To compare them head-to-head with
+Korch on the same footing, a baseline here
+
+1. groups the operator-level nodes according to its fusion policy,
+2. maps each operator group to the primitive nodes produced for those
+   operators by the (shared) fission engine, and
+3. profiles each group as one kernel with the baseline's own kernel library
+   (its backend latency models).
+
+The result is expressed as an :class:`~repro.orchestration.strategy.OrchestrationStrategy`,
+so baselines and Korch share the same reporting, verification and benchmark
+machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..backends import FrameworkEagerBackend, KernelBackend
+from ..fission import FissionEngine
+from ..gpu.profiler import KernelProfiler
+from ..gpu.specs import GpuSpec
+from ..ir.graph import Graph
+from ..orchestration.kernel import CandidateKernel
+from ..orchestration.strategy import OrchestrationStrategy, order_kernels
+from ..primitives.graph import PrimitiveGraph
+
+__all__ = ["FusionBaseline"]
+
+
+class FusionBaseline(abc.ABC):
+    """A rule-based operator-fusion baseline."""
+
+    #: Name used in figures ("PyTorch", "TVM", "TensorRT", "DNNFusion").
+    name: str = "baseline"
+
+    def __init__(self, spec: GpuSpec, backends: Sequence[KernelBackend] | None = None) -> None:
+        self.spec = spec
+        self.backends = list(backends) if backends is not None else self.default_backends()
+        self.profiler = KernelProfiler(spec, self.backends)
+        # A real deployment can always fall back to the framework's own kernel
+        # for a group the optimizer's library cannot handle — but the fallback
+        # must not *compete* with the baseline's library on latency, so it
+        # lives in a separate profiler consulted only on rejection.
+        self._fallback_profiler = KernelProfiler(
+            spec, [FrameworkEagerBackend()], self.profiler.tuning_model
+        )
+
+    # ------------------------------------------------------------ interface
+    @abc.abstractmethod
+    def group_operators(self, graph: Graph) -> list[list[str]]:
+        """Partition the operator nodes (by name) into kernel groups.
+
+        Groups must be returned in a valid execution order and jointly cover
+        every node exactly once.
+        """
+
+    def default_backends(self) -> list[KernelBackend]:
+        """Kernel library available to this baseline."""
+        return [FrameworkEagerBackend()]
+
+    # ------------------------------------------------------------------ api
+    def run(self, graph: Graph, pg: PrimitiveGraph | None = None) -> OrchestrationStrategy:
+        """Apply the baseline's kernel orchestration to ``graph``."""
+        if pg is None:
+            pg, _ = FissionEngine().run(graph)
+        groups = self.group_operators(graph)
+        self._check_cover(graph, groups)
+
+        prims_by_op: dict[str, list] = {}
+        for node in pg.nodes:
+            prims_by_op.setdefault(node.source_op, []).append(node)
+
+        order = {node.name: i for i, node in enumerate(pg.topological_order())}
+        kernels: list[CandidateKernel] = []
+        for group in groups:
+            prim_nodes = [prim for op_name in group for prim in prims_by_op.get(op_name, [])]
+            if not prim_nodes:
+                continue
+            prim_nodes.sort(key=lambda n: order[n.name])
+            external_inputs, outputs = pg.subset_io(prim_nodes)
+            profile = self.profiler.profile(pg, prim_nodes, external_inputs, outputs)
+            if profile is None:
+                profile = self._fallback_profiler.profile(pg, prim_nodes, external_inputs, outputs)
+            if profile is None:
+                raise RuntimeError(
+                    f"{self.name}: no backend latency model accepts the fused group "
+                    f"{group} ({len(prim_nodes)} primitives)"
+                )
+            kernels.append(
+                CandidateKernel(
+                    index=len(kernels),
+                    node_names=frozenset(node.name for node in prim_nodes),
+                    nodes=prim_nodes,
+                    external_inputs=list(external_inputs),
+                    outputs=list(outputs),
+                    profile=profile,
+                    source_ops=frozenset(group),
+                )
+            )
+
+        ordered = order_kernels(pg, kernels)
+        total = sum(kernel.latency_s for kernel in ordered)
+        return OrchestrationStrategy(
+            pg=pg,
+            kernels=ordered,
+            objective_s=total,
+            solver_status="heuristic",
+            solver_method=self.name,
+            metadata={"baseline": self.name, "num_groups": len(groups)},
+        )
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _check_cover(graph: Graph, groups: list[list[str]]) -> None:
+        seen: set[str] = set()
+        for group in groups:
+            for name in group:
+                if name in seen:
+                    raise ValueError(f"operator {name!r} appears in more than one fusion group")
+                seen.add(name)
+        missing = {node.name for node in graph.nodes} - seen
+        if missing:
+            raise ValueError(f"fusion groups do not cover operators: {sorted(missing)}")

@@ -1,0 +1,152 @@
+"""DNNFusion-style classification-based fusion baseline.
+
+DNNFusion (Niu et al., PLDI'21) classifies operators by the mapping between
+their input and output elements — One-to-One, One-to-Many, Many-to-One,
+Reorganize, and Shuffle — and derives fusion legality from the *pair* of
+classes instead of from per-operator rules.  Fusion seeds start at One-to-One
+operators with the smallest intermediate result and grow greedily toward
+predecessors and successors while the combined mapping stays fusable.
+
+This reproduction implements the classification over the operator registry
+and the legality table below; kernels are costed with the generic
+auto-generated-kernel model (the TVM backend), since DNNFusion generates its
+own fused code rather than calling vendor libraries for the fused groups.
+"""
+
+from __future__ import annotations
+
+from ..backends import KernelBackend, tvm_backends
+from ..ir.graph import Graph, Node
+from ..ir.ops import OpKind
+from .base import FusionBaseline
+
+__all__ = ["DnnFusionBaseline", "mapping_class"]
+
+#: DNNFusion's operator mapping classes.
+ONE_TO_ONE = "one-to-one"
+ONE_TO_MANY = "one-to-many"
+MANY_TO_ONE = "many-to-one"
+REORGANIZE = "reorganize"
+MANY_TO_MANY = "many-to-many"  # compute operators (GEMM/conv)
+OPAQUE = "opaque"
+
+_CLASS_BY_OP = {
+    "Resize": ONE_TO_MANY,
+    "Expand": ONE_TO_MANY,
+    "Pad": ONE_TO_MANY,
+    "ReduceSum": MANY_TO_ONE,
+    "ReduceMean": MANY_TO_ONE,
+    "ReduceMax": MANY_TO_ONE,
+    "MaxPool": MANY_TO_ONE,
+    "AveragePool": MANY_TO_ONE,
+    "GlobalAveragePool": MANY_TO_ONE,
+    "Softmax": MANY_TO_ONE,
+    "LayerNormalization": MANY_TO_ONE,
+    "InstanceNormalization": MANY_TO_ONE,
+    "GroupNormalization": MANY_TO_ONE,
+    "BatchNormalization": ONE_TO_ONE,  # inference BN is a per-element affine
+}
+
+#: Legality of fusing a producer class with a consumer class (symmetric
+#: entries are listed explicitly for clarity).
+_FUSABLE_PAIRS = {
+    (ONE_TO_ONE, ONE_TO_ONE),
+    (ONE_TO_ONE, MANY_TO_ONE),
+    (ONE_TO_ONE, ONE_TO_MANY),
+    (ONE_TO_ONE, REORGANIZE),
+    (REORGANIZE, ONE_TO_ONE),
+    (REORGANIZE, REORGANIZE),
+    (ONE_TO_MANY, ONE_TO_ONE),
+    (MANY_TO_ONE, ONE_TO_ONE),
+    (MANY_TO_MANY, ONE_TO_ONE),  # epilogue fusion into a compute kernel
+}
+
+
+def mapping_class(node: Node) -> str:
+    """DNNFusion mapping class of one operator."""
+    if node.op_type in _CLASS_BY_OP:
+        return _CLASS_BY_OP[node.op_type]
+    kind = node.spec.kind
+    if kind in (OpKind.ELEMENTWISE, OpKind.COMPOSITE):
+        return ONE_TO_ONE
+    if kind is OpKind.LAYOUT:
+        return REORGANIZE
+    if kind is OpKind.REDUCTION:
+        return MANY_TO_ONE
+    if kind is OpKind.COMPUTE:
+        return MANY_TO_MANY
+    return OPAQUE
+
+
+class DnnFusionBaseline(FusionBaseline):
+    """Greedy seed-and-grow fusion driven by mapping-class legality."""
+
+    name = "DNNFusion"
+
+    def __init__(self, spec, backends=None, max_group_size: int = 24) -> None:
+        self.max_group_size = max_group_size
+        super().__init__(spec, backends)
+
+    def default_backends(self) -> list[KernelBackend]:
+        return tvm_backends()
+
+    def group_operators(self, graph: Graph) -> list[list[str]]:
+        order = graph.topological_order()
+        position = {node.name: i for i, node in enumerate(order)}
+        assigned: dict[str, int] = {}
+        groups: list[list[str]] = []
+
+        def intermediate_size(node: Node) -> int:
+            return sum(graph.tensor_type(t).num_elements for t in node.outputs)
+
+        # Seeds: One-to-One operators, smallest intermediate result first.
+        seeds = sorted(
+            (node for node in order if mapping_class(node) == ONE_TO_ONE),
+            key=intermediate_size,
+        )
+
+        def try_fuse(seed_group: int, frontier: Node, candidate: Node, producer_first: bool) -> bool:
+            if candidate.name in assigned:
+                return False
+            if len(groups[seed_group]) >= self.max_group_size:
+                return False
+            pair = (
+                (mapping_class(candidate), mapping_class(frontier))
+                if producer_first
+                else (mapping_class(frontier), mapping_class(candidate))
+            )
+            if pair not in _FUSABLE_PAIRS:
+                return False
+            groups[seed_group].append(candidate.name)
+            assigned[candidate.name] = seed_group
+            return True
+
+        for seed in seeds:
+            if seed.name in assigned:
+                continue
+            group_index = len(groups)
+            groups.append([seed.name])
+            assigned[seed.name] = group_index
+            # Grow toward successors, then predecessors, breadth-first.
+            frontier = [seed]
+            while frontier:
+                current = frontier.pop(0)
+                for succ in graph.successors(current):
+                    if try_fuse(group_index, current, succ, producer_first=False):
+                        frontier.append(succ)
+                for pred in graph.predecessors(current):
+                    if try_fuse(group_index, current, pred, producer_first=True):
+                        frontier.append(pred)
+
+        # Remaining operators (compute anchors, opaque ops, isolated layout
+        # ops) each get their own kernel.
+        for node in order:
+            if node.name not in assigned:
+                assigned[node.name] = len(groups)
+                groups.append([node.name])
+
+        # Order groups and their members topologically for a valid plan.
+        for group in groups:
+            group.sort(key=lambda name: position[name])
+        groups.sort(key=lambda group: position[group[0]])
+        return [group for group in groups if group]

@@ -1,0 +1,214 @@
+"""TVM-style greedy operator fusion baseline.
+
+TVM's relay FuseOps pass greedily builds maximal fused groups:
+
+* a compute operator (conv/GEMM) anchors a new group, and the injective
+  operators that follow it are absorbed as its epilogue;
+* chains and *trees* of memory-bound operators (elementwise, layout,
+  reductions, composite activations/normalizations) are fused together — when
+  an injective operator such as Concat joins several memory-only groups, the
+  groups are merged into one kernel.  This is the behaviour Figure 11/13
+  studies: the whole Segformer MLP-decoder subgraph (4 branches + Concat)
+  becomes a single kernel, which is optimal at batch 1 but poor at batch 16;
+* reductions (and reduce-bearing composites such as Softmax/InstanceNorm) are
+  never fused into a compute kernel's epilogue;
+* two compute anchors are never merged into one kernel.
+
+Fusion decisions respect group-level dependencies: a node only joins (and
+groups only merge) when doing so cannot create a cyclic dependency between
+kernels — mirroring the dominator-based legality analysis of the real pass.
+"""
+
+from __future__ import annotations
+
+from ..backends import KernelBackend, tvm_backends
+from ..ir.graph import Graph
+from ..ir.ops import OpKind
+from .base import FusionBaseline
+
+__all__ = ["GreedyFusionBaseline"]
+
+#: Operators whose computation contains a data-dependent reduction.  TVM's
+#: fusion rules treat these like kCommReduce patterns: they fuse with
+#: surrounding injective operators inside a memory-bound kernel, but they are
+#: never fused into the epilogue of a convolution/GEMM kernel.
+_REDUCE_BEARING_OPS = {
+    "Softmax",
+    "InstanceNormalization",
+    "LayerNormalization",
+    "GroupNormalization",
+    "ReduceSum",
+    "ReduceMean",
+    "ReduceMax",
+    "MaxPool",
+    "AveragePool",
+    "GlobalAveragePool",
+}
+
+
+class _GroupForest:
+    """Union-find over fusion groups with dependency tracking.
+
+    Each group records which other groups it (directly) reads from, so the
+    fusion pass can check that joining a group or merging two groups does not
+    create a cyclic dependency between the resulting kernels.
+    """
+
+    def __init__(self) -> None:
+        self.parent: list[int] = []
+        self.size: list[int] = []
+        self.has_compute: list[bool] = []
+        self.deps: list[set[int]] = []
+
+    def make(self, has_compute: bool) -> int:
+        self.parent.append(len(self.parent))
+        self.size.append(0)
+        self.has_compute.append(has_compute)
+        self.deps.append(set())
+        return len(self.parent) - 1
+
+    def find(self, index: int) -> int:
+        while self.parent[index] != index:
+            self.parent[index] = self.parent[self.parent[index]]
+            index = self.parent[index]
+        return index
+
+    def add_dependency(self, group: int, producer: int) -> None:
+        group, producer = self.find(group), self.find(producer)
+        if group != producer:
+            self.deps[group].add(producer)
+
+    def depends_on(self, group: int, target: int) -> bool:
+        """Whether ``group`` transitively reads from ``target``."""
+        group, target = self.find(group), self.find(target)
+        seen: set[int] = set()
+        stack = [group]
+        while stack:
+            current = self.find(stack.pop())
+            if current == target:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.find(dep) for dep in self.deps[current])
+        return False
+
+    def path_through_outside(self, a: int, b: int) -> bool:
+        """Whether a dependency path between ``a`` and ``b`` passes through a
+        third group (which would become a cycle if ``a`` and ``b`` merged)."""
+        a, b = self.find(a), self.find(b)
+        for first, second in ((a, b), (b, a)):
+            for dep in self.deps[self.find(first)]:
+                dep = self.find(dep)
+                if dep != second and self.depends_on(dep, second):
+                    return True
+        return False
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.has_compute[ra] = self.has_compute[ra] or self.has_compute[rb]
+        merged = {self.find(d) for d in (self.deps[ra] | self.deps[rb])}
+        merged.discard(ra)
+        self.deps[ra] = merged
+        self.deps[rb] = set()
+        return ra
+
+
+class GreedyFusionBaseline(FusionBaseline):
+    """Greedy anchor-plus-epilogue fusion with memory-group merging (TVM)."""
+
+    name = "TVM"
+
+    def __init__(self, spec, backends=None, max_group_size: int = 64) -> None:
+        self.max_group_size = max_group_size
+        super().__init__(spec, backends)
+
+    def default_backends(self) -> list[KernelBackend]:
+        return tvm_backends()
+
+    def group_operators(self, graph: Graph) -> list[list[str]]:
+        order = graph.topological_order()
+        forest = _GroupForest()
+        group_of_node: dict[str, int] = {}
+        producer_group: dict[str, int] = {}
+
+        for node in order:
+            kind = node.spec.kind
+            input_groups = sorted(
+                {forest.find(producer_group[t]) for t in node.inputs if t in producer_group}
+            )
+
+            if kind is OpKind.OPAQUE or kind is OpKind.COMPUTE:
+                # Opaque operators are never fused; compute operators anchor a
+                # fresh group (memory producers are their prologue kernels, not
+                # part of the same kernel).
+                target = forest.make(kind is OpKind.COMPUTE)
+            else:
+                target = self._choose_target(forest, node.op_type, input_groups)
+
+            target = forest.find(target)
+            group_of_node[node.name] = target
+            forest.size[target] += 1
+            for producer in input_groups:
+                forest.add_dependency(target, producer)
+            for tensor in node.outputs:
+                producer_group[tensor] = target
+
+        # Emit groups in topological order of their first member.
+        groups: dict[int, list[str]] = {}
+        for node in order:
+            root = forest.find(group_of_node[node.name])
+            groups.setdefault(root, []).append(node.name)
+        return list(groups.values())
+
+    # ------------------------------------------------------------- internals
+    def _choose_target(self, forest: _GroupForest, op_type: str, input_groups: list[int]) -> int:
+        """Pick (and possibly merge) the group a memory-bound operator joins."""
+        if not input_groups:
+            return forest.make(False)
+
+        compute_groups = [g for g in input_groups if forest.has_compute[g]]
+        if op_type in _REDUCE_BEARING_OPS:
+            compute_groups = []  # reductions never join a compute epilogue
+        memory_groups = [g for g in input_groups if not forest.has_compute[g]]
+
+        # Candidate join targets, preferred order: the single compute anchor
+        # (epilogue fusion), then the most recent memory group.
+        candidates: list[int] = []
+        if len(compute_groups) == 1:
+            candidates.append(compute_groups[0])
+        candidates.extend(sorted(memory_groups, reverse=True))
+
+        target: int | None = None
+        for candidate in candidates:
+            if forest.size[candidate] >= self.max_group_size:
+                continue
+            # Joining `candidate` makes it depend on every other input group;
+            # that is only legal if none of them already depends on it.
+            others = [g for g in input_groups if g != candidate]
+            if any(forest.depends_on(other, candidate) for other in others):
+                continue
+            target = candidate
+            break
+        if target is None:
+            return forest.make(False)
+
+        # Merge the remaining memory-only producer groups into the target when
+        # the merge cannot create a cycle through an outside group.  Compute
+        # groups never absorb their producers (epilogue fusion only).
+        for group in memory_groups:
+            group = forest.find(group)
+            if group == forest.find(target):
+                continue
+            if forest.has_compute[forest.find(target)] or forest.has_compute[group]:
+                continue
+            if forest.size[forest.find(target)] + forest.size[group] > self.max_group_size:
+                continue
+            if forest.path_through_outside(target, group):
+                continue
+            target = forest.union(forest.find(target), group)
+        return forest.find(target)

@@ -1,0 +1,97 @@
+"""TensorRT-style pattern-based fusion baseline.
+
+TensorRT applies a fixed library of fusion patterns when building an engine:
+
+* ``Conv/Gemm/MatMul  (+ BatchNorm folded)  (+ bias)  (+ activation)`` become
+  one kernel backed by a hand-tuned implementation;
+* short chains of elementwise operators are fused into a single pointwise
+  kernel;
+* everything else — layout operators, composite normalizations (softmax,
+  InstanceNorm, LayerNorm), reductions, resizes — runs as its own kernel from
+  the library (this is the behaviour visible in Figure 8a and Figure 12a).
+
+Because the patterns operate on whole operators, TensorRT cannot split a
+softmax or an InstanceNorm across kernels — the optimization operator fission
+enables and that §6.3/§6.4 measure.
+"""
+
+from __future__ import annotations
+
+from ..backends import KernelBackend, tensorrt_backends
+from ..ir.graph import Graph, Node
+from ..ir.ops import OpKind
+from .base import FusionBaseline
+
+__all__ = ["TensorRTFusionBaseline"]
+
+#: Activations TensorRT fuses into the preceding compute kernel.
+_FUSABLE_ACTIVATIONS = {
+    "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Clip", "Silu", "Mish", "HardSwish", "Gelu",
+}
+#: Operators whose output TensorRT folds into a preceding Conv/Gemm kernel.
+_FUSABLE_EPILOGUE = {"Add", "BatchNormalization"} | _FUSABLE_ACTIVATIONS
+#: Maximum elementwise operators fused into one pointwise kernel.
+_MAX_POINTWISE_CHAIN = 6
+
+
+class TensorRTFusionBaseline(FusionBaseline):
+    """Pattern-based fusion with TensorRT's kernel library."""
+
+    name = "TensorRT"
+
+    def default_backends(self) -> list[KernelBackend]:
+        return tensorrt_backends()
+
+    def group_operators(self, graph: Graph) -> list[list[str]]:
+        order = graph.topological_order()
+        consumer_map = graph.consumer_map()
+        assigned: set[str] = set()
+        groups: list[list[str]] = []
+
+        def sole_consumer(node: Node) -> Node | None:
+            """The single consumer of the node's single output, if any."""
+            if len(node.outputs) != 1:
+                return None
+            consumers = consumer_map.get(node.outputs[0], [])
+            if len(consumers) != 1 or node.outputs[0] in graph.outputs:
+                return None
+            return consumers[0]
+
+        for node in order:
+            if node.name in assigned:
+                continue
+            group = [node.name]
+            assigned.add(node.name)
+            kind = node.spec.kind
+
+            if kind is OpKind.COMPUTE:
+                # Conv/Gemm + (BatchNorm) + (bias Add) + (activation).
+                current = node
+                while True:
+                    succ = sole_consumer(current)
+                    if succ is None or succ.name in assigned or succ.op_type not in _FUSABLE_EPILOGUE:
+                        break
+                    group.append(succ.name)
+                    assigned.add(succ.name)
+                    current = succ
+                    if succ.op_type in _FUSABLE_ACTIVATIONS:
+                        break  # one activation ends the pattern
+            elif kind is OpKind.ELEMENTWISE:
+                # Pointwise chain fusion.
+                current = node
+                while len(group) < _MAX_POINTWISE_CHAIN:
+                    succ = sole_consumer(current)
+                    if (
+                        succ is None
+                        or succ.name in assigned
+                        or succ.spec.kind is not OpKind.ELEMENTWISE
+                    ):
+                        break
+                    group.append(succ.name)
+                    assigned.add(succ.name)
+                    current = succ
+            # layout / reduction / composite / opaque operators: single kernel.
+
+            groups.append(group)
+
+        return groups

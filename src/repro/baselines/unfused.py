@@ -1,0 +1,27 @@
+"""PyTorch-eager baseline: one kernel per operator.
+
+Eager execution dispatches every operator to its own pre-compiled kernel and
+pays a framework dispatch overhead on each launch.  Composite operators
+(softmax, normalizations) still run as a single kernel — their internal
+multi-pass structure is captured by the multipass-traffic feature.
+"""
+
+from __future__ import annotations
+
+from ..backends import KernelBackend, eager_backends
+from ..ir.graph import Graph
+from .base import FusionBaseline
+
+__all__ = ["UnfusedBaseline"]
+
+
+class UnfusedBaseline(FusionBaseline):
+    """One kernel per operator, framework kernel library."""
+
+    name = "PyTorch"
+
+    def default_backends(self) -> list[KernelBackend]:
+        return eager_backends()
+
+    def group_operators(self, graph: Graph) -> list[list[str]]:
+        return [[node.name] for node in graph.topological_order()]

@@ -1,0 +1,16 @@
+"""Operator fission: decomposing operators into tensor algebra primitives (§3)."""
+
+from .context import FissionContext
+from .engine import FissionEngine, FissionReport, apply_operator_fission
+from .registry import FISSION_RULES, fission_rule, get_fission_rule, register_fission_rule
+
+__all__ = [
+    "FissionContext",
+    "FissionEngine",
+    "FissionReport",
+    "apply_operator_fission",
+    "FISSION_RULES",
+    "fission_rule",
+    "get_fission_rule",
+    "register_fission_rule",
+]

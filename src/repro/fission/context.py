@@ -1,0 +1,100 @@
+"""Helper context handed to operator fission rules.
+
+A fission rule translates one operator-level node into primitives.  The
+context exposes the node being expanded, the destination primitive graph, and
+small emission helpers so that rules read close to the figures in the paper
+(e.g. Figure 3's Softmax rule is four ``emit`` calls).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..ir.graph import Graph, Node
+from ..ir.tensor_type import TensorType
+from ..primitives.base import Primitive
+from ..primitives.graph import PrimitiveGraph, PrimitiveNode
+
+__all__ = ["FissionContext"]
+
+
+class FissionContext:
+    """State available while expanding one operator into primitives."""
+
+    def __init__(self, node: Node, graph: Graph, pg: PrimitiveGraph) -> None:
+        self.node = node
+        self.graph = graph
+        self.pg = pg
+
+    # ------------------------------------------------------------ node info
+    def input(self, index: int = 0) -> str:
+        """Tensor name of the operator's ``index``-th input (same name in the
+        primitive graph)."""
+        return self.node.inputs[index]
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.node.inputs)
+
+    def output(self, index: int = 0) -> str:
+        """Declared name of the operator's ``index``-th output tensor."""
+        return self.node.outputs[index]
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Operator attribute with fall-back to the registered default."""
+        return self.node.attr(key, default)
+
+    def ttype(self, tensor: str) -> TensorType:
+        """Type of any tensor already declared in the primitive graph."""
+        return self.pg.tensor_type(tensor)
+
+    def input_type(self, index: int = 0) -> TensorType:
+        return self.ttype(self.input(index))
+
+    def output_type(self, index: int = 0) -> TensorType:
+        """Type the operator-level graph declared for the output."""
+        return self.graph.tensor_type(self.output(index))
+
+    # ------------------------------------------------------------- emission
+    def emit(
+        self,
+        prim: Primitive,
+        inputs: Sequence[str],
+        output: str | None = None,
+    ) -> str:
+        """Add a primitive node; returns the produced tensor name.
+
+        Pass ``output=self.output()`` for the primitive that produces the
+        operator's declared result so downstream operators connect by name.
+        """
+        node = self.pg.add_node(prim, inputs, output=output, source_op=self.node.name)
+        return node.output
+
+    def emit_final(self, prim: Primitive, inputs: Sequence[str], index: int = 0) -> str:
+        """Emit the primitive producing the operator's ``index``-th output."""
+        return self.emit(prim, inputs, output=self.output(index))
+
+    def scalar(self, value: float, like: str | None = None) -> str:
+        """Declare (or reuse) a scalar constant and return its tensor name.
+
+        The constant dtype follows ``like``'s tensor dtype when given, so
+        elementwise arithmetic stays in the model's precision.
+        """
+        dtype = self.ttype(like).dtype if like else self.input_type().dtype
+        name = f"const_{self.node.name}_{value!r}_{dtype.value}"
+        if name not in self.pg.constants:
+            self.pg.add_constant(name, np.array(value, dtype=dtype.to_numpy()))
+        return name
+
+    def constant(self, name_hint: str, value: np.ndarray) -> str:
+        """Declare a (small) constant tensor, e.g. the all-ones vector used by
+        the ReduceSum→MatMul transformation."""
+        name = self.pg.unique_name(f"const_{self.node.name}_{name_hint}")
+        self.pg.add_constant(name, value)
+        return name
+
+    def nodes_emitted(self) -> list[PrimitiveNode]:
+        """Primitive nodes emitted so far for this operator."""
+        return [n for n in self.pg.nodes if n.source_op == self.node.name]

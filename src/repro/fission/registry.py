@@ -1,0 +1,51 @@
+"""Registry of operator fission rules.
+
+A fission rule is a callable ``rule(ctx: FissionContext) -> None`` that emits
+primitives into ``ctx.pg`` and must produce every declared output tensor of
+the operator (``ctx.output(i)``) exactly once.  Rules are registered per
+operator type; the engine errors loudly when an operator has no rule, which is
+the behaviour the paper describes (developers must specify a rule for every
+operator, §3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .context import FissionContext
+
+__all__ = ["FissionRule", "FISSION_RULES", "register_fission_rule", "fission_rule", "get_fission_rule"]
+
+FissionRule = Callable[[FissionContext], None]
+
+FISSION_RULES: dict[str, FissionRule] = {}
+
+
+def register_fission_rule(op_type: str, rule: FissionRule) -> FissionRule:
+    """Register ``rule`` for ``op_type``; duplicate registration is an error."""
+    if op_type in FISSION_RULES:
+        raise ValueError(f"fission rule for {op_type!r} already registered")
+    FISSION_RULES[op_type] = rule
+    return rule
+
+
+def fission_rule(*op_types: str) -> Callable[[FissionRule], FissionRule]:
+    """Decorator form of :func:`register_fission_rule` for one or more ops."""
+
+    def decorator(rule: FissionRule) -> FissionRule:
+        for op_type in op_types:
+            register_fission_rule(op_type, rule)
+        return rule
+
+    return decorator
+
+
+def get_fission_rule(op_type: str) -> FissionRule:
+    """Look up the rule for ``op_type``."""
+    try:
+        return FISSION_RULES[op_type]
+    except KeyError:
+        raise KeyError(
+            f"no operator fission rule registered for {op_type!r}; "
+            f"known rules: {sorted(FISSION_RULES)}"
+        ) from None

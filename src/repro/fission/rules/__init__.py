@@ -1,0 +1,13 @@
+"""Operator fission rule modules; importing them registers the rules."""
+
+from . import elementwise, layout, linear, normalization, opaque, reduction, softmax
+
+__all__ = [
+    "elementwise",
+    "layout",
+    "linear",
+    "normalization",
+    "opaque",
+    "reduction",
+    "softmax",
+]

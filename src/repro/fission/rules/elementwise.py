@@ -1,0 +1,90 @@
+"""Fission rules for simple and composite elementwise operators.
+
+Simple elementwise operators (Add, Relu, ...) map one-to-one onto an
+elementwise primitive.  Composite activations (GELU, SiLU, Mish, HardSwish)
+are decomposed into their elementwise algebra so that each piece can be fused
+independently with neighbouring primitives.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...primitives.elementwise import ElementwisePrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+
+@fission_rule("Add", "Sub", "Mul", "Div", "Pow", "Maximum", "Minimum")
+def _binary_elementwise(ctx: FissionContext) -> None:
+    ctx.emit_final(ElementwisePrimitive(ctx.node.op_type), [ctx.input(0), ctx.input(1)])
+
+
+@fission_rule(
+    "Relu", "Sigmoid", "Tanh", "Exp", "Log", "Sqrt", "Erf", "Neg",
+    "Reciprocal", "Identity", "Softplus",
+)
+def _unary_elementwise(ctx: FissionContext) -> None:
+    ctx.emit_final(ElementwisePrimitive(ctx.node.op_type), [ctx.input(0)])
+
+
+@fission_rule("LeakyRelu")
+def _leaky_relu(ctx: FissionContext) -> None:
+    ctx.emit_final(
+        ElementwisePrimitive("LeakyRelu", alpha=float(ctx.attr("alpha", 0.1))), [ctx.input(0)]
+    )
+
+
+@fission_rule("Clip")
+def _clip(ctx: FissionContext) -> None:
+    ctx.emit_final(
+        ElementwisePrimitive(
+            "Clip", min=float(ctx.attr("min", 0.0)), max=float(ctx.attr("max", 6.0))
+        ),
+        [ctx.input(0)],
+    )
+
+
+@fission_rule("Gelu")
+def _gelu(ctx: FissionContext) -> None:
+    """Exact GELU: 0.5 * x * (1 + erf(x / sqrt(2)))."""
+    x = ctx.input(0)
+    inv_sqrt2 = ctx.scalar(1.0 / math.sqrt(2.0), like=x)
+    one = ctx.scalar(1.0, like=x)
+    half = ctx.scalar(0.5, like=x)
+    scaled = ctx.emit(ElementwisePrimitive("Mul"), [x, inv_sqrt2])
+    erf = ctx.emit(ElementwisePrimitive("Erf"), [scaled])
+    shifted = ctx.emit(ElementwisePrimitive("Add"), [erf, one])
+    gated = ctx.emit(ElementwisePrimitive("Mul"), [x, shifted])
+    ctx.emit_final(ElementwisePrimitive("Mul"), [gated, half])
+
+
+@fission_rule("Silu")
+def _silu(ctx: FissionContext) -> None:
+    """SiLU / Swish: x * sigmoid(x)."""
+    x = ctx.input(0)
+    gate = ctx.emit(ElementwisePrimitive("Sigmoid"), [x])
+    ctx.emit_final(ElementwisePrimitive("Mul"), [x, gate])
+
+
+@fission_rule("Mish")
+def _mish(ctx: FissionContext) -> None:
+    """Mish: x * tanh(softplus(x)) (YOLOv4's activation)."""
+    x = ctx.input(0)
+    soft = ctx.emit(ElementwisePrimitive("Softplus"), [x])
+    gate = ctx.emit(ElementwisePrimitive("Tanh"), [soft])
+    ctx.emit_final(ElementwisePrimitive("Mul"), [x, gate])
+
+
+@fission_rule("HardSwish")
+def _hard_swish(ctx: FissionContext) -> None:
+    """HardSwish: x * clip(x + 3, 0, 6) / 6 (EfficientViT backbone)."""
+    x = ctx.input(0)
+    three = ctx.scalar(3.0, like=x)
+    sixth = ctx.scalar(1.0 / 6.0, like=x)
+    shifted = ctx.emit(ElementwisePrimitive("Add"), [x, three])
+    clipped = ctx.emit(ElementwisePrimitive("Clip", min=0.0, max=6.0), [shifted])
+    gated = ctx.emit(ElementwisePrimitive("Mul"), [x, clipped])
+    ctx.emit_final(ElementwisePrimitive("Mul"), [gated, sixth])

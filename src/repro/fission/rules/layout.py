@@ -1,0 +1,136 @@
+"""Fission rules for layout transformation operators.
+
+Every layout operator maps to a single layout primitive except:
+
+* ``Split`` — decomposed into one ``Slice`` primitive per output, so every
+  primitive keeps a single output tensor (paper footnote 1);
+* ``Flatten`` / ``Squeeze`` / ``Unsqueeze`` — canonicalized into ``Reshape``;
+* ``Expand`` — emitted as a chain of broadcast primitives, one per expanded
+  axis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...primitives.layout import LayoutPrimitive
+from ...primitives.reduce_broadcast import BroadcastPrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+
+@fission_rule("Transpose")
+def _transpose(ctx: FissionContext) -> None:
+    rank = ctx.input_type(0).rank
+    perm = tuple(ctx.attr("perm") or tuple(reversed(range(rank))))
+    ctx.emit_final(LayoutPrimitive("Transpose", perm=perm), [ctx.input(0)])
+
+
+@fission_rule("Reshape")
+def _reshape(ctx: FissionContext) -> None:
+    # The operator-level shape may contain -1; the declared output type is
+    # already fully static, so use it directly.
+    ctx.emit_final(
+        LayoutPrimitive("Reshape", shape=ctx.output_type(0).shape), [ctx.input(0)]
+    )
+
+
+@fission_rule("Flatten", "Squeeze", "Unsqueeze")
+def _reshape_like(ctx: FissionContext) -> None:
+    ctx.emit_final(
+        LayoutPrimitive("Reshape", shape=ctx.output_type(0).shape), [ctx.input(0)]
+    )
+
+
+@fission_rule("Slice")
+def _slice(ctx: FissionContext) -> None:
+    starts = tuple(ctx.attr("starts"))
+    attrs = {
+        "starts": starts,
+        "ends": tuple(ctx.attr("ends")),
+        "axes": tuple(ctx.attr("axes") or range(len(starts))),
+        "steps": tuple(ctx.attr("steps") or (1,) * len(starts)),
+    }
+    ctx.emit_final(LayoutPrimitive("Slice", **attrs), [ctx.input(0)])
+
+
+@fission_rule("Pad")
+def _pad(ctx: FissionContext) -> None:
+    ctx.emit_final(
+        LayoutPrimitive("Pad", pads=tuple(ctx.attr("pads")), value=float(ctx.attr("value", 0.0))),
+        [ctx.input(0)],
+    )
+
+
+@fission_rule("Concat")
+def _concat(ctx: FissionContext) -> None:
+    ctx.emit_final(
+        LayoutPrimitive("Concat", axis=int(ctx.attr("axis", 0))),
+        [ctx.input(i) for i in range(ctx.num_inputs)],
+    )
+
+
+@fission_rule("Resize")
+def _resize(ctx: FissionContext) -> None:
+    ctx.emit_final(
+        LayoutPrimitive(
+            "Resize",
+            sizes=ctx.output_type(0).shape,
+            mode=str(ctx.attr("mode", "nearest")),
+        ),
+        [ctx.input(0)],
+    )
+
+
+@fission_rule("Split")
+def _split(ctx: FissionContext) -> None:
+    """Split along an axis becomes one Slice primitive per output."""
+    x = ctx.input(0)
+    x_type = ctx.input_type(0)
+    axis = int(ctx.attr("axis", 0))
+    if axis < 0:
+        axis += x_type.rank
+    sizes = tuple(ctx.attr("split") or ())
+    if not sizes:
+        count = len(ctx.node.outputs)
+        sizes = (x_type.shape[axis] // count,) * count
+    offset = 0
+    for index, size in enumerate(sizes):
+        ctx.emit(
+            LayoutPrimitive(
+                "Slice",
+                starts=(offset,),
+                ends=(offset + size,),
+                axes=(axis,),
+                steps=(1,),
+            ),
+            [x],
+            output=ctx.output(index),
+        )
+        offset += size
+
+
+@fission_rule("Expand")
+def _expand(ctx: FissionContext) -> None:
+    """Expand becomes a chain of broadcasts over every grown axis."""
+    x = ctx.input(0)
+    in_shape = ctx.input_type(0).shape
+    out_shape = ctx.output_type(0).shape
+    # Align ranks by prepending unit dims with a reshape.
+    if len(in_shape) < len(out_shape):
+        in_shape = (1,) * (len(out_shape) - len(in_shape)) + in_shape
+        x = ctx.emit(LayoutPrimitive("Reshape", shape=in_shape), [x])
+    grown = [axis for axis, (src, dst) in enumerate(zip(in_shape, out_shape)) if src != dst]
+    if not grown:
+        ctx.emit_final(LayoutPrimitive("Reshape", shape=out_shape), [x])
+        return
+    for position, axis in enumerate(grown):
+        prim = BroadcastPrimitive(axis=axis, size=out_shape[axis])
+        if position == len(grown) - 1:
+            ctx.emit_final(prim, [x])
+        else:
+            x = ctx.emit(prim, [x])
+    # Sanity: the final emitted tensor must have the declared number of elements.
+    assert math.prod(out_shape) == ctx.output_type(0).num_elements

@@ -1,0 +1,66 @@
+"""Fission rules for compute-intensive (linear transformation) operators.
+
+Convolutions and matrix multiplications stay as single linear primitives —
+their bias addition is kept inside the primitive for Conv (cuDNN fuses it) and
+emitted as an elementwise Add for Gemm so it can be fused into neighbouring
+memory-bound kernels.
+"""
+
+from __future__ import annotations
+
+from ...primitives.elementwise import ElementwisePrimitive
+from ...primitives.layout import LayoutPrimitive
+from ...primitives.linear import ConvPrimitive, ConvTransposePrimitive, MatMulPrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+
+@fission_rule("Conv")
+def _conv(ctx: FissionContext) -> None:
+    inputs = [ctx.input(i) for i in range(ctx.num_inputs)]
+    ctx.emit_final(
+        ConvPrimitive(
+            strides=tuple(ctx.attr("strides")),
+            pads=tuple(ctx.attr("pads") or (0, 0, 0, 0)),
+            dilations=tuple(ctx.attr("dilations", (1, 1))),
+            group=int(ctx.attr("group", 1)),
+        ),
+        inputs,
+    )
+
+
+@fission_rule("ConvTranspose")
+def _conv_transpose(ctx: FissionContext) -> None:
+    inputs = [ctx.input(i) for i in range(ctx.num_inputs)]
+    ctx.emit_final(
+        ConvTransposePrimitive(
+            strides=tuple(ctx.attr("strides")),
+            pads=tuple(ctx.attr("pads") or (0, 0, 0, 0)),
+            output_padding=tuple(ctx.attr("output_padding", (0, 0))),
+            group=int(ctx.attr("group", 1)),
+        ),
+        inputs,
+    )
+
+
+@fission_rule("MatMul")
+def _matmul(ctx: FissionContext) -> None:
+    ctx.emit_final(MatMulPrimitive(), [ctx.input(0), ctx.input(1)])
+
+
+@fission_rule("Gemm")
+def _gemm(ctx: FissionContext) -> None:
+    a, b = ctx.input(0), ctx.input(1)
+    if bool(ctx.attr("trans_a", False)):
+        rank = ctx.ttype(a).rank
+        a = ctx.emit(LayoutPrimitive("Transpose", perm=(rank - 1, rank - 2)), [a])
+    if bool(ctx.attr("trans_b", False)):
+        rank = ctx.ttype(b).rank
+        b = ctx.emit(LayoutPrimitive("Transpose", perm=(rank - 1, rank - 2)), [b])
+    if ctx.num_inputs >= 3:
+        product = ctx.emit(MatMulPrimitive(), [a, b])
+        ctx.emit_final(ElementwisePrimitive("Add"), [product, ctx.input(2)])
+    else:
+        ctx.emit_final(MatMulPrimitive(), [a, b])

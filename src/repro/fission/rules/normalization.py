@@ -1,0 +1,126 @@
+"""Fission rules for normalization operators.
+
+These follow the InstanceNorm decomposition shown in Figure 12b of the paper:
+the statistics are computed with reduce primitives and the affine part is a
+chain of elementwise primitives, which lets Korch fuse the tail of the
+normalization into the following ReLU/Pad kernels (the Candy case study).
+
+Per the paper's footnote 3, elementwise primitives broadcast size-1 axes
+implicitly (ONNX semantics), so no explicit Broadcast primitive is emitted
+between the reduced statistics and the elementwise chain.
+"""
+
+from __future__ import annotations
+
+from ...primitives.elementwise import ElementwisePrimitive
+from ...primitives.layout import LayoutPrimitive
+from ...primitives.reduce_broadcast import ReducePrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+
+def _channel_view(ctx: FissionContext, tensor: str, data_rank: int, channel_axis: int = 1) -> str:
+    """Reshape a per-channel (C,) parameter so it broadcasts against the data."""
+    ttype = ctx.ttype(tensor)
+    if ttype.rank == data_rank:
+        return tensor
+    channels = ttype.num_elements
+    shape = [1] * data_rank
+    shape[channel_axis] = channels
+    return ctx.emit(LayoutPrimitive("Reshape", shape=tuple(shape)), [tensor])
+
+
+def _normalize_core(ctx: FissionContext, x: str, axes: tuple[int, ...], epsilon: float) -> str:
+    """Emit mean/variance normalization of ``x`` over ``axes``; returns the
+    normalized tensor name (before scale/bias)."""
+    mean = ctx.emit(ReducePrimitive("Mean", axes=axes, keepdims=True), [x])
+    centered = ctx.emit(ElementwisePrimitive("Sub"), [x, mean])
+    squared = ctx.emit(ElementwisePrimitive("Mul"), [centered, centered])
+    variance = ctx.emit(ReducePrimitive("Mean", axes=axes, keepdims=True), [squared])
+    eps = ctx.scalar(float(epsilon), like=x)
+    shifted = ctx.emit(ElementwisePrimitive("Add"), [variance, eps])
+    std = ctx.emit(ElementwisePrimitive("Sqrt"), [shifted])
+    return ctx.emit(ElementwisePrimitive("Div"), [centered, std])
+
+
+@fission_rule("InstanceNormalization")
+def _instance_norm(ctx: FissionContext) -> None:
+    x = ctx.input(0)
+    rank = ctx.input_type(0).rank
+    axes = tuple(range(2, rank))
+    normalized = _normalize_core(ctx, x, axes, float(ctx.attr("epsilon", 1e-5)))
+    if ctx.num_inputs >= 3:
+        scale = _channel_view(ctx, ctx.input(1), rank)
+        bias = _channel_view(ctx, ctx.input(2), rank)
+        scaled = ctx.emit(ElementwisePrimitive("Mul"), [normalized, scale])
+        ctx.emit_final(ElementwisePrimitive("Add"), [scaled, bias])
+    else:
+        ctx.emit_final(ElementwisePrimitive("Identity"), [normalized])
+
+
+@fission_rule("LayerNormalization")
+def _layer_norm(ctx: FissionContext) -> None:
+    x = ctx.input(0)
+    x_type = ctx.input_type(0)
+    axis = int(ctx.attr("axis", -1))
+    if axis < 0:
+        axis += x_type.rank
+    normalized = _normalize_core(ctx, x, (axis,), float(ctx.attr("epsilon", 1e-5)))
+    if ctx.num_inputs >= 3 and axis == x_type.rank - 1:
+        # Scale/bias along the last axis broadcast without a reshape.
+        scaled = ctx.emit(ElementwisePrimitive("Mul"), [normalized, ctx.input(1)])
+        ctx.emit_final(ElementwisePrimitive("Add"), [scaled, ctx.input(2)])
+    elif ctx.num_inputs >= 3:
+        scale = _channel_view(ctx, ctx.input(1), x_type.rank, axis)
+        bias = _channel_view(ctx, ctx.input(2), x_type.rank, axis)
+        scaled = ctx.emit(ElementwisePrimitive("Mul"), [normalized, scale])
+        ctx.emit_final(ElementwisePrimitive("Add"), [scaled, bias])
+    else:
+        ctx.emit_final(ElementwisePrimitive("Identity"), [normalized])
+
+
+@fission_rule("GroupNormalization")
+def _group_norm(ctx: FissionContext) -> None:
+    """GroupNorm: reshape into groups, normalize, reshape back, affine."""
+    x = ctx.input(0)
+    x_type = ctx.input_type(0)
+    n, c = x_type.shape[0], x_type.shape[1]
+    spatial = x_type.shape[2:]
+    groups = int(ctx.attr("num_groups", 32))
+    grouped_shape = (n, groups, c // groups) + spatial
+    grouped = ctx.emit(LayoutPrimitive("Reshape", shape=grouped_shape), [x])
+    axes = tuple(range(2, len(grouped_shape)))
+    normalized = _normalize_core(ctx, grouped, axes, float(ctx.attr("epsilon", 1e-5)))
+    flat = ctx.emit(LayoutPrimitive("Reshape", shape=x_type.shape), [normalized])
+    if ctx.num_inputs >= 3:
+        scale = _channel_view(ctx, ctx.input(1), x_type.rank)
+        bias = _channel_view(ctx, ctx.input(2), x_type.rank)
+        scaled = ctx.emit(ElementwisePrimitive("Mul"), [flat, scale])
+        ctx.emit_final(ElementwisePrimitive("Add"), [scaled, bias])
+    else:
+        ctx.emit_final(ElementwisePrimitive("Identity"), [flat])
+
+
+@fission_rule("BatchNormalization")
+def _batch_norm(ctx: FissionContext) -> None:
+    """Inference-mode BatchNorm using running statistics.
+
+    ``y = scale * (x - running_mean) / sqrt(running_var + eps) + bias``; all
+    four parameters are per-channel vectors reshaped to broadcast over NCHW.
+    """
+    x = ctx.input(0)
+    rank = ctx.input_type(0).rank
+    scale = _channel_view(ctx, ctx.input(1), rank)
+    bias = _channel_view(ctx, ctx.input(2), rank)
+    mean = _channel_view(ctx, ctx.input(3), rank)
+    var = _channel_view(ctx, ctx.input(4), rank)
+    eps = ctx.scalar(float(ctx.attr("epsilon", 1e-5)), like=x)
+
+    centered = ctx.emit(ElementwisePrimitive("Sub"), [x, mean])
+    shifted = ctx.emit(ElementwisePrimitive("Add"), [var, eps])
+    std = ctx.emit(ElementwisePrimitive("Sqrt"), [shifted])
+    normalized = ctx.emit(ElementwisePrimitive("Div"), [centered, std])
+    scaled = ctx.emit(ElementwisePrimitive("Mul"), [normalized, scale])
+    ctx.emit_final(ElementwisePrimitive("Add"), [scaled, bias])

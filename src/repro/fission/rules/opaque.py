@@ -1,0 +1,43 @@
+"""Fission rules for operators outside the primitive algebra.
+
+Per §3 ("Supporting new operators"), operators such as TopK are wrapped into
+opaque primitives: the rest of the graph is still optimized, but the opaque
+node always executes in its own kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...primitives.opaque import OpaquePrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+
+@fission_rule("TopK")
+def _topk(ctx: FissionContext) -> None:
+    x = ctx.input(0)
+    k = int(ctx.attr("k", 1))
+    axis = int(ctx.attr("axis", -1))
+
+    def _values(inputs):
+        (data,) = inputs
+        return np.take(np.sort(data, axis=axis), range(-1, -k - 1, -1), axis=axis)
+
+    def _indices(inputs):
+        (data,) = inputs
+        order = np.argsort(data, axis=axis)
+        return np.take(order, range(-1, -k - 1, -1), axis=axis)
+
+    ctx.emit(
+        OpaquePrimitive("TopK.values", ctx.output_type(0), compute_fn=_values, k=k, axis=axis),
+        [x],
+        output=ctx.output(0),
+    )
+    ctx.emit(
+        OpaquePrimitive("TopK.indices", ctx.output_type(1), compute_fn=_indices, k=k, axis=axis),
+        [x],
+        output=ctx.output(1),
+    )

@@ -1,0 +1,44 @@
+"""Fission rules for reduction and pooling operators."""
+
+from __future__ import annotations
+
+from ...primitives.elementwise import ElementwisePrimitive
+from ...primitives.reduce_broadcast import ReducePrimitive, WindowReducePrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+_REDUCE_OP = {"ReduceSum": "Sum", "ReduceMean": "Mean", "ReduceMax": "Max"}
+
+
+@fission_rule("ReduceSum", "ReduceMean", "ReduceMax")
+def _reduce(ctx: FissionContext) -> None:
+    axes = tuple(ctx.attr("axes") or (-1,))
+    keepdims = bool(ctx.attr("keepdims", True))
+    ctx.emit_final(
+        ReducePrimitive(_REDUCE_OP[ctx.node.op_type], axes=axes, keepdims=keepdims),
+        [ctx.input(0)],
+    )
+
+
+@fission_rule("MaxPool", "AveragePool")
+def _pool(ctx: FissionContext) -> None:
+    op = "Max" if ctx.node.op_type == "MaxPool" else "Mean"
+    ctx.emit_final(
+        WindowReducePrimitive(
+            op,
+            kernel=tuple(ctx.attr("kernel_shape")),
+            strides=tuple(ctx.attr("strides")),
+            pads=tuple(ctx.attr("pads") or (0, 0, 0, 0)),
+        ),
+        [ctx.input(0)],
+    )
+
+
+@fission_rule("GlobalAveragePool")
+def _global_average_pool(ctx: FissionContext) -> None:
+    rank = ctx.input_type(0).rank
+    ctx.emit_final(
+        ReducePrimitive("Mean", axes=tuple(range(2, rank)), keepdims=True), [ctx.input(0)]
+    )

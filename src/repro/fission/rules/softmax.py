@@ -1,0 +1,36 @@
+"""Operator fission rule for Softmax (Figure 3 of the paper).
+
+Softmax mixes three parallelism patterns — elementwise exponentiation,
+vector-wise aggregation and vector-wise broadcast — which is why running it in
+one kernel is suboptimal (§1).  The paper's rule decomposes it into::
+
+    Softmax(x)  →  ElementWise(Exp) → Reduce(Sum) → Broadcast → ElementWise(Div)
+
+The broadcast is explicit here (matching Figure 3) so that the TASO-style
+transformation of §3 can later replace Reduce(Sum) with a MatMul against an
+all-ones vector and swap the division past a following MatMul.
+"""
+
+from __future__ import annotations
+
+from ...primitives.elementwise import ElementwisePrimitive
+from ...primitives.reduce_broadcast import BroadcastPrimitive, ReducePrimitive
+from ..context import FissionContext
+from ..registry import fission_rule
+
+__all__ = []
+
+
+@fission_rule("Softmax")
+def _softmax(ctx: FissionContext) -> None:
+    x = ctx.input(0)
+    x_type = ctx.input_type(0)
+    axis = int(ctx.attr("axis", -1))
+    if axis < 0:
+        axis += x_type.rank
+    size = x_type.shape[axis]
+
+    exp = ctx.emit(ElementwisePrimitive("Exp"), [x])
+    total = ctx.emit(ReducePrimitive("Sum", axes=(axis,), keepdims=True), [exp])
+    spread = ctx.emit(BroadcastPrimitive(axis=axis, size=size), [total])
+    ctx.emit_final(ElementwisePrimitive("Div"), [exp, spread])

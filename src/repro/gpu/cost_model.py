@@ -1,0 +1,98 @@
+"""Roofline-based kernel latency model.
+
+Every backend expresses a kernel's latency as::
+
+    latency = launch_overhead
+            + max( traffic / (peak_bw   * bandwidth_efficiency),
+                   flops   / (peak_flop * compute_efficiency) )
+
+where the efficiencies (0, 1] encode how well the backend's generated or
+hand-written kernel uses the hardware for this particular subgraph.  The
+structure of optimal orchestration strategies — which is all the BLP consumes
+— depends on the *relative* latencies, so an internally-consistent analytical
+model is an adequate stand-in for the on-GPU profiler of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .features import KernelFeatures
+from .specs import GpuSpec
+
+__all__ = ["CostBreakdown", "roofline_latency", "parallelism_factor"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Latency estimate with its components, for reports and debugging."""
+
+    latency_s: float
+    launch_s: float
+    memory_s: float
+    compute_s: float
+    traffic_bytes: int
+    flops: int
+    bandwidth_efficiency: float
+    compute_efficiency: float
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates: 'memory' or 'compute'."""
+        return "memory" if self.memory_s >= self.compute_s else "compute"
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_s * 1e6
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+def parallelism_factor(features: KernelFeatures, spec: GpuSpec) -> float:
+    """Fraction of peak bandwidth reachable given the kernel's parallelism.
+
+    Kernels with fewer output elements than the GPU needs to fill its SMs
+    achieve proportionally lower bandwidth; tiny kernels are bounded below at
+    10% so the model never predicts absurd slowdowns for scalar work.
+    """
+    if features.output_elements <= 0:
+        return 0.1
+    return max(0.1, min(1.0, features.output_elements / spec.saturation_elements))
+
+
+def roofline_latency(
+    features: KernelFeatures,
+    spec: GpuSpec,
+    bandwidth_efficiency: float,
+    compute_efficiency: float,
+    launch_overhead_s: float | None = None,
+    extra_traffic_bytes: int = 0,
+    extra_flops: int = 0,
+) -> CostBreakdown:
+    """Latency of one kernel under the roofline model.
+
+    ``extra_traffic_bytes`` / ``extra_flops`` let backends add model-specific
+    costs (e.g. an implicit-GEMM conv reads the im2col expansion).
+    """
+    bandwidth_efficiency = min(1.0, max(1e-3, bandwidth_efficiency))
+    compute_efficiency = min(1.0, max(1e-3, compute_efficiency))
+    launch = spec.kernel_launch_s if launch_overhead_s is None else launch_overhead_s
+
+    traffic = features.traffic_bytes + extra_traffic_bytes
+    flops = features.flops + extra_flops
+
+    memory_s = traffic / (spec.mem_bandwidth_bytes * bandwidth_efficiency)
+    compute_s = flops / (spec.peak_flops(features.dtype) * compute_efficiency)
+    latency = launch + max(memory_s, compute_s)
+    return CostBreakdown(
+        latency_s=latency,
+        launch_s=launch,
+        memory_s=memory_s,
+        compute_s=compute_s,
+        traffic_bytes=traffic,
+        flops=flops,
+        bandwidth_efficiency=bandwidth_efficiency,
+        compute_efficiency=compute_efficiency,
+    )

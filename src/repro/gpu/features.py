@@ -1,0 +1,253 @@
+"""Static features of a candidate kernel subgraph.
+
+The kernel profiler and every backend latency model consume a
+:class:`KernelFeatures` summary instead of walking the primitive graph
+themselves.  Features capture exactly the quantities the roofline model and
+the backend efficiency heuristics need: memory traffic, arithmetic work,
+primitive composition, GEMM/conv shapes, and the structural properties
+(reduction passes, heterogeneous branches) that determine how well a code
+generator can fuse the subgraph into one kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..ir.dtype import DataType
+from ..primitives.base import PrimitiveCategory
+from ..primitives.graph import PrimitiveGraph, PrimitiveNode
+from ..primitives.linear import ConvPrimitive, ConvTransposePrimitive, MatMulPrimitive
+from ..primitives.reduce_broadcast import ReducePrimitive
+
+__all__ = ["GemmShape", "ConvShape", "KernelFeatures", "extract_features"]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Dimensions of one GEMM inside a kernel: ``batch × (M×K) @ (K×N)``."""
+
+    batch: int
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.batch * self.m * self.n * self.k
+
+    @property
+    def aspect_ratio(self) -> float:
+        """Ratio between the largest and smallest of (M, N, K); extreme ratios
+        are the shapes vendor GEMM kernels handle poorly (Figure 8)."""
+        dims = [self.m, self.n, self.k]
+        return max(dims) / max(1, min(dims))
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """Dimensions of one convolution inside a kernel."""
+
+    batch: int
+    in_channels: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    out_h: int
+    out_w: int
+    groups: int = 1
+
+    @property
+    def flops(self) -> int:
+        per_output = 2 * (self.in_channels // self.groups) * self.kernel_h * self.kernel_w
+        return self.batch * self.out_channels * self.out_h * self.out_w * per_output
+
+
+@dataclass
+class KernelFeatures:
+    """Summary of one candidate kernel used by all latency models."""
+
+    num_primitives: int = 0
+    category_counts: dict[str, int] = field(default_factory=dict)
+    input_bytes: int = 0
+    output_bytes: int = 0
+    flops: int = 0
+    linear_flops: int = 0
+    multipass_bytes: int = 0
+    output_elements: int = 0
+    num_outputs: int = 1
+    branch_shapes: tuple[tuple[int, ...], ...] = ()
+    resize_factors: tuple[float, ...] = ()
+    gemms: tuple[GemmShape, ...] = ()
+    convs: tuple[ConvShape, ...] = ()
+    has_opaque: bool = False
+    dtype: DataType = DataType.FLOAT32
+
+    # ------------------------------------------------------------ derived
+    @property
+    def num_linear(self) -> int:
+        return self.category_counts.get(PrimitiveCategory.LINEAR.value, 0)
+
+    @property
+    def num_reduce(self) -> int:
+        return self.category_counts.get(PrimitiveCategory.REDUCE.value, 0)
+
+    @property
+    def num_layout(self) -> int:
+        return self.category_counts.get(PrimitiveCategory.LAYOUT.value, 0)
+
+    @property
+    def num_elementwise(self) -> int:
+        return self.category_counts.get(PrimitiveCategory.ELEMENTWISE.value, 0)
+
+    @property
+    def num_broadcast(self) -> int:
+        return self.category_counts.get(PrimitiveCategory.BROADCAST.value, 0)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Kernels without a linear primitive are memory-intensive (§5.2)."""
+        return self.num_linear == 0
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Device-memory traffic of the fused kernel.
+
+        External inputs are read once, outputs written once, and reductions
+        whose result is consumed inside the kernel force a second pass over
+        their source data (``multipass_bytes``) — this is what makes a
+        monolithic softmax kernel slower than an orchestrated one (§1).
+        """
+        return self.input_bytes + self.output_bytes + self.multipass_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of device-memory traffic."""
+        return self.flops / max(1, self.traffic_bytes)
+
+    @property
+    def branch_heterogeneity(self) -> int:
+        """How many differently-shaped data streams the fused kernel mixes.
+
+        A fused kernel that produces several differently-shaped outputs, or
+        that re-samples several branches with different Resize factors before
+        combining them (the Segformer MLP-decoder subgraph of Figure 11),
+        forces the code generator to compromise on a single tiling, degrading
+        achieved bandwidth (Figure 13).  Computed as the larger of
+        (#distinct output shapes - 1) and (#distinct resize factors - 1).
+        """
+        output_based = max(0, len(set(self.branch_shapes)) - 1)
+        resize_based = max(0, len(set(self.resize_factors)) - 1)
+        return max(output_based, resize_based)
+
+
+def extract_features(
+    pg: PrimitiveGraph,
+    nodes: Sequence[PrimitiveNode],
+    external_inputs: Sequence[str],
+    outputs: Sequence[str],
+) -> KernelFeatures:
+    """Compute :class:`KernelFeatures` for the kernel executing ``nodes``."""
+    features = KernelFeatures()
+    node_names = {node.name for node in nodes}
+    features.num_primitives = len(nodes)
+
+    # External memory traffic: inputs read once, outputs written once.
+    for tensor in external_inputs:
+        features.input_bytes += pg.tensor_type(tensor).size_bytes
+    output_shapes: list[tuple[int, ...]] = []
+    for tensor in outputs:
+        ttype = pg.tensor_type(tensor)
+        features.output_bytes += ttype.size_bytes
+        features.output_elements += ttype.num_elements
+        output_shapes.append(ttype.shape)
+    features.num_outputs = len(outputs)
+    features.branch_shapes = tuple(output_shapes)
+
+    if outputs:
+        features.dtype = pg.tensor_type(outputs[0]).dtype
+    elif external_inputs:
+        features.dtype = pg.tensor_type(external_inputs[0]).dtype
+
+    for node in nodes:
+        category = node.category.value
+        features.category_counts[category] = features.category_counts.get(category, 0) + 1
+        input_types = [pg.tensor_type(t) for t in node.inputs]
+        output_type = pg.tensor_type(node.output)
+        node_flops = node.prim.flops(input_types, output_type)
+        features.flops += node_flops
+        if node.is_linear:
+            features.linear_flops += node_flops
+            features.gemms, features.convs = _record_linear_shapes(
+                node, input_types, output_type, features.gemms, features.convs
+            )
+        if node.category is PrimitiveCategory.OPAQUE:
+            features.has_opaque = True
+        if isinstance(node.prim, ReducePrimitive):
+            features.multipass_bytes += _multipass_bytes(pg, node, node_names, input_types)
+        if node.prim.op == "Resize":
+            in_elements = max(1, input_types[0].num_elements)
+            factor = round(output_type.num_elements / in_elements, 4)
+            features.resize_factors = features.resize_factors + (factor,)
+
+    return features
+
+
+def _record_linear_shapes(
+    node: PrimitiveNode,
+    input_types,
+    output_type,
+    gemms: tuple[GemmShape, ...],
+    convs: tuple[ConvShape, ...],
+) -> tuple[tuple[GemmShape, ...], tuple[ConvShape, ...]]:
+    prim = node.prim
+    if isinstance(prim, MatMulPrimitive):
+        batch, m, n, k = prim.gemm_dims(input_types)
+        return gemms + (GemmShape(batch, m, n, k),), convs
+    if isinstance(prim, (ConvPrimitive, ConvTransposePrimitive)):
+        weight = input_types[1]
+        out_shape = output_type.shape
+        if isinstance(prim, ConvPrimitive):
+            oc, ic_per_group, kh, kw = weight.shape
+            groups = prim.attr("group", 1)
+            in_channels = ic_per_group * groups
+        else:
+            ic, oc_per_group, kh, kw = weight.shape
+            groups = prim.attr("group", 1)
+            oc = oc_per_group * groups
+            in_channels = ic
+        conv = ConvShape(
+            batch=out_shape[0],
+            in_channels=in_channels,
+            out_channels=oc,
+            kernel_h=kh,
+            kernel_w=kw,
+            out_h=out_shape[2],
+            out_w=out_shape[3],
+            groups=groups,
+        )
+        return gemms, convs + (conv,)
+    return gemms, convs
+
+
+def _multipass_bytes(
+    pg: PrimitiveGraph,
+    reduce_node: PrimitiveNode,
+    kernel_nodes: set[str],
+    input_types,
+) -> int:
+    """Extra traffic caused by fusing a reduction with its consumers.
+
+    When the output of a reduce primitive is consumed by later primitives in
+    the *same* kernel (softmax's normalization, a normalization's centering),
+    the generated kernel needs a second pass over the reduction's source data
+    (or an equivalent grid synchronization that spills it).  We charge one
+    extra read plus one extra write of the reduce input, which is the
+    behaviour of the two-pass kernels TVM/TensorRT generate for such fusions.
+    """
+    consumed_inside = any(
+        consumer.name in kernel_nodes for consumer in pg.consumers(reduce_node.output)
+    )
+    if not consumed_inside:
+        return 0
+    return 2 * sum(t.size_bytes for t in input_types)

@@ -1,0 +1,118 @@
+"""Kernel profiler: the ``Profiling()`` routine of Algorithm 1.
+
+Given a candidate set of primitives (with its external inputs and required
+outputs), the profiler extracts the kernel's features, asks each registered
+backend for a latency estimate, and returns the best supported one — or
+``None`` when no backend can generate the kernel, which corresponds to the
+paper's profiler returning ∞.
+
+The profiler memoizes on the candidate's structural signature, mirroring the
+TVM database the paper uses to avoid re-tuning identical kernels (§6.5), and
+feeds the tuning-time model used by the Table 2 reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..backends import KernelBackend, TuningTimeModel, default_korch_backends
+from ..primitives.graph import PrimitiveGraph, PrimitiveNode
+from .cost_model import CostBreakdown
+from .features import KernelFeatures, extract_features
+from .specs import GpuSpec
+
+__all__ = ["KernelProfile", "KernelProfiler"]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Result of profiling one candidate kernel."""
+
+    latency_s: float
+    backend: str
+    breakdown: CostBreakdown
+    features: KernelFeatures
+
+    @property
+    def latency_us(self) -> float:
+        return self.latency_s * 1e6
+
+
+class KernelProfiler:
+    """Profiles candidate kernels against a set of backend latency models."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        backends: Sequence[KernelBackend] | None = None,
+        tuning_model: TuningTimeModel | None = None,
+    ) -> None:
+        self.spec = spec
+        self.backends: list[KernelBackend] = list(backends or default_korch_backends())
+        self.tuning_model = tuning_model if tuning_model is not None else TuningTimeModel()
+        self._cache: dict[tuple, KernelProfile | None] = {}
+
+    # ------------------------------------------------------------------ api
+    def profile(
+        self,
+        pg: PrimitiveGraph,
+        nodes: Sequence[PrimitiveNode],
+        external_inputs: Sequence[str],
+        outputs: Sequence[str],
+    ) -> KernelProfile | None:
+        """Profile one candidate kernel; ``None`` means no backend supports it."""
+        signature = self.kernel_signature(pg, nodes, external_inputs, outputs)
+        if signature in self._cache:
+            return self._cache[signature]
+
+        features = extract_features(pg, nodes, external_inputs, outputs)
+        best: KernelProfile | None = None
+        for backend in self.backends:
+            breakdown = backend.estimate(features, self.spec)
+            if breakdown is None:
+                continue
+            profile = KernelProfile(
+                latency_s=breakdown.latency_s,
+                backend=backend.name,
+                breakdown=breakdown,
+                features=features,
+            )
+            if best is None or profile.latency_s < best.latency_s:
+                best = profile
+
+        if best is not None:
+            tuning_backend = next(b for b in self.backends if b.name == best.backend)
+            self.tuning_model.record(
+                signature, features, best.backend, tuning_backend.tuning_time_s(features)
+            )
+        self._cache[signature] = best
+        return best
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def kernel_signature(
+        pg: PrimitiveGraph,
+        nodes: Sequence[PrimitiveNode],
+        external_inputs: Sequence[str],
+        outputs: Sequence[str],
+    ) -> tuple:
+        """Structural identity of a candidate kernel.
+
+        Two candidates with the same multiset of (primitive, input shapes,
+        output shape) triples and the same I/O tensor types are the same
+        kernel for tuning purposes, regardless of tensor names.
+        """
+        node_sigs = tuple(
+            sorted(
+                (
+                    node.prim.signature(),
+                    tuple(pg.tensor_type(t).shape for t in node.inputs),
+                    pg.tensor_type(node.output).shape,
+                )
+                for node in nodes
+            )
+        )
+        input_sigs = tuple(sorted((pg.tensor_type(t).shape, pg.tensor_type(t).dtype.value) for t in external_inputs))
+        output_sigs = tuple(sorted((pg.tensor_type(t).shape, pg.tensor_type(t).dtype.value) for t in outputs))
+        return (node_sigs, input_sigs, output_sigs)

@@ -1,0 +1,158 @@
+"""GPU hardware specifications used by the analytical cost model.
+
+The numbers are the published peak specifications of the SXM variants of each
+GPU generation (the paper's Figure 5 compares exactly these).  The cost model
+never claims to predict absolute kernel latencies on real hardware; it uses
+the *ratios* between compute throughput and memory bandwidth, which is what
+determines the structure of good kernel orchestration strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.dtype import DataType
+
+__all__ = ["GpuSpec", "GPU_SPECS", "get_gpu", "gpu_generation_trends", "V100", "A100", "P100", "H100"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Peak capabilities of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"V100"``.
+    fp32_tflops / tf32_tflops / fp16_tflops:
+        Peak throughput in TFLOP/s.  ``tf32_tflops`` is the tensor-core TF32
+        rate (equal to FP32 on pre-Ampere GPUs, which have no TF32 mode).
+    mem_bandwidth_gbs:
+        Peak device-memory bandwidth in GB/s.
+    l2_cache_mb:
+        L2 cache capacity in MB; used by the TVM codegen-quality model.
+    kernel_launch_us:
+        Fixed host-side cost of launching one kernel, in microseconds.
+    sm_count:
+        Number of streaming multiprocessors; used to model how many elements
+        are needed before a kernel saturates the GPU.
+    """
+
+    name: str
+    fp32_tflops: float
+    tf32_tflops: float
+    fp16_tflops: float
+    mem_bandwidth_gbs: float
+    l2_cache_mb: float
+    kernel_launch_us: float
+    sm_count: int
+
+    # ------------------------------------------------------------ derived
+    @property
+    def mem_bandwidth_bytes(self) -> float:
+        """Peak memory bandwidth in bytes/second."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def l2_cache_bytes(self) -> float:
+        return self.l2_cache_mb * 1e6
+
+    @property
+    def kernel_launch_s(self) -> float:
+        return self.kernel_launch_us * 1e-6
+
+    def peak_flops(self, dtype: DataType) -> float:
+        """Peak FLOP/s for arithmetic in ``dtype`` (FLOPs, not TFLOPs)."""
+        if dtype in (DataType.FLOAT16, DataType.BFLOAT16):
+            return self.fp16_tflops * 1e12
+        if dtype is DataType.TF32:
+            return self.tf32_tflops * 1e12
+        return self.fp32_tflops * 1e12
+
+    def ridge_intensity(self, dtype: DataType) -> float:
+        """Roofline ridge point in FLOPs/byte for ``dtype``."""
+        return self.peak_flops(dtype) / self.mem_bandwidth_bytes
+
+    @property
+    def saturation_elements(self) -> int:
+        """Rough number of output elements needed to keep every SM busy.
+
+        Modeled as 8 resident thread blocks of 256 threads per SM, which is
+        the occupancy regime where memory-bound kernels reach peak bandwidth.
+        """
+        return self.sm_count * 8 * 256
+
+
+# Published SXM specifications per generation (dense, non-sparsity numbers).
+P100 = GpuSpec(
+    name="P100",
+    fp32_tflops=10.6,
+    tf32_tflops=10.6,
+    fp16_tflops=21.2,
+    mem_bandwidth_gbs=732.0,
+    l2_cache_mb=4.0,
+    kernel_launch_us=6.0,
+    sm_count=56,
+)
+
+V100 = GpuSpec(
+    name="V100",
+    fp32_tflops=15.7,
+    tf32_tflops=15.7,
+    fp16_tflops=125.0,
+    mem_bandwidth_gbs=900.0,
+    l2_cache_mb=6.0,
+    kernel_launch_us=5.0,
+    sm_count=80,
+)
+
+A100 = GpuSpec(
+    name="A100",
+    fp32_tflops=19.5,
+    tf32_tflops=156.0,
+    fp16_tflops=312.0,
+    mem_bandwidth_gbs=2039.0,
+    l2_cache_mb=40.0,
+    kernel_launch_us=4.0,
+    sm_count=108,
+)
+
+H100 = GpuSpec(
+    name="H100",
+    fp32_tflops=67.0,
+    tf32_tflops=494.5,
+    fp16_tflops=989.5,
+    mem_bandwidth_gbs=3350.0,
+    l2_cache_mb=50.0,
+    kernel_launch_us=4.0,
+    sm_count=132,
+)
+
+GPU_SPECS: dict[str, GpuSpec] = {spec.name: spec for spec in (P100, V100, A100, H100)}
+
+
+def get_gpu(name: str) -> GpuSpec:
+    """Look up a GPU spec by name (case-insensitive)."""
+    try:
+        return GPU_SPECS[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; known: {sorted(GPU_SPECS)}") from None
+
+
+def gpu_generation_trends(baseline: str = "P100") -> dict[str, dict[str, float]]:
+    """Figure 5 of the paper: per-generation memory bandwidth and FP32/FP16
+    throughput, normalized to ``baseline``.
+
+    Returns ``{gpu_name: {"mem_bw": r, "fp32": r, "fp16": r}}`` where each
+    value is the ratio to the baseline GPU.
+    """
+    base = get_gpu(baseline)
+    trends: dict[str, dict[str, float]] = {}
+    for name in ("P100", "V100", "A100", "H100"):
+        spec = GPU_SPECS[name]
+        trends[name] = {
+            "mem_bw": spec.mem_bandwidth_gbs / base.mem_bandwidth_gbs,
+            "fp32": spec.fp32_tflops / base.fp32_tflops,
+            "fp16": spec.fp16_tflops / base.fp16_tflops,
+        }
+    return trends

@@ -1,0 +1,32 @@
+"""Operator-level tensor IR: dtypes, tensor types, operators, graphs, builder."""
+
+from .builder import GraphBuilder
+from .dtype import DataType
+from .graph import Graph, GraphError, Node
+from .ops import REGISTRY, OpKind, OpSpec, get_op, register_op
+from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .shape_inference import broadcast_shapes, infer_graph_types, infer_node_types
+from .tensor_type import TensorType
+from .validation import validate_graph
+
+__all__ = [
+    "DataType",
+    "TensorType",
+    "OpKind",
+    "OpSpec",
+    "REGISTRY",
+    "register_op",
+    "get_op",
+    "Node",
+    "Graph",
+    "GraphError",
+    "GraphBuilder",
+    "validate_graph",
+    "infer_node_types",
+    "infer_graph_types",
+    "broadcast_shapes",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+]

@@ -1,0 +1,330 @@
+"""Fluent builder for operator-level computation graphs.
+
+The model zoo (:mod:`repro.models`) builds every workload through this class.
+Each builder method creates one node, runs shape inference eagerly, declares
+the resulting tensors, and returns the output tensor name, so models read
+like framework code::
+
+    b = GraphBuilder("block")
+    x = b.input("x", (1, 64, 56, 56))
+    y = b.conv2d(x, 128, kernel=3, stride=2)
+    y = b.relu(b.instance_norm(y))
+    b.output(y)
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .dtype import DataType
+from .graph import Graph, Node
+from .shape_inference import infer_node_types
+from .tensor_type import TensorType
+from .validation import validate_graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally constructs a :class:`~repro.ir.graph.Graph`."""
+
+    def __init__(self, name: str = "graph", dtype: DataType = DataType.FLOAT32) -> None:
+        self.graph = Graph(name)
+        self.dtype = dtype
+
+    # ------------------------------------------------------------ primitives
+    def input(self, name: str, shape: Sequence[int], dtype: DataType | None = None) -> str:
+        """Declare a runtime input tensor and return its name."""
+        return self.graph.add_input(name, TensorType(shape, dtype or self.dtype))
+
+    def param(self, name: str, shape: Sequence[int], dtype: DataType | None = None) -> str:
+        """Declare a weight tensor (no data) and return its name."""
+        name = self._fresh(name)
+        return self.graph.add_param(name, TensorType(shape, dtype or self.dtype))
+
+    def constant(self, name: str, value: np.ndarray) -> str:
+        """Declare a literal constant tensor and return its name."""
+        name = self._fresh(name)
+        return self.graph.add_constant(name, np.asarray(value, dtype=self.dtype.to_numpy()))
+
+    def output(self, *tensors: str) -> None:
+        """Mark tensors as graph outputs."""
+        for tensor in tensors:
+            self.graph.add_output(tensor)
+
+    def node(
+        self,
+        op_type: str,
+        inputs: Sequence[str],
+        attrs: dict[str, Any] | None = None,
+        name: str | None = None,
+        num_outputs: int = 1,
+    ) -> list[str]:
+        """Add an arbitrary node; returns its output tensor names."""
+        node_name = name or self.graph.unique_name(op_type.lower())
+        outputs = [self.graph.unique_name(f"{node_name}_out") for _ in range(num_outputs)]
+        node = Node(node_name, op_type, list(inputs), outputs, dict(attrs or {}))
+        input_types = [self.graph.tensor_type(t) for t in inputs]
+        output_types = infer_node_types(node, input_types)
+        node.outputs = outputs[: len(output_types)]
+        for tensor, ttype in zip(node.outputs, output_types):
+            self.graph.add_tensor(tensor, ttype)
+        self.graph.add_node(node)
+        return node.outputs
+
+    def op(self, op_type: str, *inputs: str, **attrs: Any) -> str:
+        """Single-output helper around :meth:`node`."""
+        return self.node(op_type, list(inputs), attrs)[0]
+
+    def build(self, validate: bool = True) -> Graph:
+        """Finish and optionally validate the graph."""
+        if not self.graph.outputs:
+            raise ValueError(f"graph {self.graph.name!r} has no outputs")
+        if validate:
+            validate_graph(self.graph)
+        return self.graph
+
+    def _fresh(self, name: str) -> str:
+        if name in self.graph.tensors:
+            return self.graph.unique_name(name)
+        return name
+
+    def shape(self, tensor: str) -> tuple[int, ...]:
+        """Static shape of a tensor already in the graph."""
+        return self.graph.tensor_type(tensor).shape
+
+    # ---------------------------------------------------------- elementwise
+    def add(self, a: str, b: str) -> str:
+        return self.op("Add", a, b)
+
+    def sub(self, a: str, b: str) -> str:
+        return self.op("Sub", a, b)
+
+    def mul(self, a: str, b: str) -> str:
+        return self.op("Mul", a, b)
+
+    def div(self, a: str, b: str) -> str:
+        return self.op("Div", a, b)
+
+    def pow(self, a: str, b: str) -> str:
+        return self.op("Pow", a, b)
+
+    def relu(self, x: str) -> str:
+        return self.op("Relu", x)
+
+    def leaky_relu(self, x: str, alpha: float = 0.1) -> str:
+        return self.op("LeakyRelu", x, alpha=alpha)
+
+    def sigmoid(self, x: str) -> str:
+        return self.op("Sigmoid", x)
+
+    def tanh(self, x: str) -> str:
+        return self.op("Tanh", x)
+
+    def exp(self, x: str) -> str:
+        return self.op("Exp", x)
+
+    def sqrt(self, x: str) -> str:
+        return self.op("Sqrt", x)
+
+    def erf(self, x: str) -> str:
+        return self.op("Erf", x)
+
+    def gelu(self, x: str) -> str:
+        return self.op("Gelu", x)
+
+    def silu(self, x: str) -> str:
+        return self.op("Silu", x)
+
+    def mish(self, x: str) -> str:
+        return self.op("Mish", x)
+
+    def hard_swish(self, x: str) -> str:
+        return self.op("HardSwish", x)
+
+    def clip(self, x: str, minimum: float = 0.0, maximum: float = 6.0) -> str:
+        return self.op("Clip", x, min=minimum, max=maximum)
+
+    def softmax(self, x: str, axis: int = -1) -> str:
+        return self.op("Softmax", x, axis=axis)
+
+    # ------------------------------------------------------- normalizations
+    def layer_norm(self, x: str, axis: int = -1, epsilon: float = 1e-5) -> str:
+        channels = self.shape(x)[axis]
+        scale = self.param("ln_scale", (channels,))
+        bias = self.param("ln_bias", (channels,))
+        return self.op("LayerNormalization", x, scale, bias, axis=axis, epsilon=epsilon)
+
+    def instance_norm(self, x: str, epsilon: float = 1e-5) -> str:
+        channels = self.shape(x)[1]
+        scale = self.param("in_scale", (channels,))
+        bias = self.param("in_bias", (channels,))
+        return self.op("InstanceNormalization", x, scale, bias, epsilon=epsilon)
+
+    def batch_norm(self, x: str, epsilon: float = 1e-5) -> str:
+        channels = self.shape(x)[1]
+        scale = self.param("bn_scale", (channels,))
+        bias = self.param("bn_bias", (channels,))
+        mean = self.param("bn_mean", (channels,))
+        var = self.param("bn_var", (channels,))
+        return self.op("BatchNormalization", x, scale, bias, mean, var, epsilon=epsilon)
+
+    # ----------------------------------------------------------- reductions
+    def reduce_sum(self, x: str, axes: Sequence[int] = (-1,), keepdims: bool = True) -> str:
+        return self.op("ReduceSum", x, axes=tuple(axes), keepdims=keepdims)
+
+    def reduce_mean(self, x: str, axes: Sequence[int] = (-1,), keepdims: bool = True) -> str:
+        return self.op("ReduceMean", x, axes=tuple(axes), keepdims=keepdims)
+
+    def reduce_max(self, x: str, axes: Sequence[int] = (-1,), keepdims: bool = True) -> str:
+        return self.op("ReduceMax", x, axes=tuple(axes), keepdims=keepdims)
+
+    def max_pool(self, x: str, kernel: int = 2, stride: int = 2, padding: int = 0) -> str:
+        return self.op(
+            "MaxPool",
+            x,
+            kernel_shape=(kernel, kernel),
+            strides=(stride, stride),
+            pads=(padding, padding, padding, padding),
+        )
+
+    def avg_pool(self, x: str, kernel: int = 2, stride: int = 2, padding: int = 0) -> str:
+        return self.op(
+            "AveragePool",
+            x,
+            kernel_shape=(kernel, kernel),
+            strides=(stride, stride),
+            pads=(padding, padding, padding, padding),
+        )
+
+    def global_avg_pool(self, x: str) -> str:
+        return self.op("GlobalAveragePool", x)
+
+    # --------------------------------------------------------------- layout
+    def transpose(self, x: str, perm: Sequence[int]) -> str:
+        return self.op("Transpose", x, perm=tuple(perm))
+
+    def reshape(self, x: str, shape: Sequence[int]) -> str:
+        return self.op("Reshape", x, shape=tuple(shape))
+
+    def flatten(self, x: str, axis: int = 1) -> str:
+        return self.op("Flatten", x, axis=axis)
+
+    def squeeze(self, x: str, axes: Sequence[int]) -> str:
+        return self.op("Squeeze", x, axes=tuple(axes))
+
+    def unsqueeze(self, x: str, axes: Sequence[int]) -> str:
+        return self.op("Unsqueeze", x, axes=tuple(axes))
+
+    def concat(self, tensors: Sequence[str], axis: int = 0) -> str:
+        return self.node("Concat", list(tensors), {"axis": axis})[0]
+
+    def split(self, x: str, num: int, axis: int = 0, sizes: Sequence[int] | None = None) -> list[str]:
+        attrs: dict[str, Any] = {"axis": axis}
+        if sizes is not None:
+            attrs["split"] = tuple(sizes)
+            num = len(sizes)
+        return self.node("Split", [x], attrs, num_outputs=num)
+
+    def slice(
+        self,
+        x: str,
+        starts: Sequence[int],
+        ends: Sequence[int],
+        axes: Sequence[int] | None = None,
+        steps: Sequence[int] | None = None,
+    ) -> str:
+        attrs: dict[str, Any] = {"starts": tuple(starts), "ends": tuple(ends)}
+        if axes is not None:
+            attrs["axes"] = tuple(axes)
+        if steps is not None:
+            attrs["steps"] = tuple(steps)
+        return self.node("Slice", [x], attrs)[0]
+
+    def pad(self, x: str, pads: Sequence[int], value: float = 0.0) -> str:
+        return self.op("Pad", x, pads=tuple(pads), value=value)
+
+    def resize(self, x: str, scale: float = 2.0, mode: str = "nearest") -> str:
+        rank = len(self.shape(x))
+        scales = (1.0, 1.0) + (float(scale),) * (rank - 2)
+        return self.op("Resize", x, scales=scales, mode=mode)
+
+    def resize_to(self, x: str, sizes: Sequence[int], mode: str = "nearest") -> str:
+        return self.op("Resize", x, sizes=tuple(sizes), mode=mode)
+
+    # -------------------------------------------------------------- compute
+    def conv2d(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: int | None = None,
+        groups: int = 1,
+        bias: bool = True,
+        name: str = "conv",
+    ) -> str:
+        """2D convolution with freshly declared weight (and optional bias) params."""
+        in_channels = self.shape(x)[1]
+        if padding is None:
+            padding = kernel // 2
+        weight = self.param(f"{name}_w", (out_channels, in_channels // groups, kernel, kernel))
+        inputs = [x, weight]
+        if bias:
+            inputs.append(self.param(f"{name}_b", (out_channels,)))
+        return self.node(
+            "Conv",
+            inputs,
+            {
+                "kernel_shape": (kernel, kernel),
+                "strides": (stride, stride),
+                "pads": (padding, padding, padding, padding),
+                "dilations": (1, 1),
+                "group": groups,
+            },
+        )[0]
+
+    def conv_transpose2d(
+        self,
+        x: str,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 2,
+        padding: int = 1,
+        output_padding: int = 1,
+        name: str = "deconv",
+    ) -> str:
+        """2D transposed convolution (Candy decoder)."""
+        in_channels = self.shape(x)[1]
+        weight = self.param(f"{name}_w", (in_channels, out_channels, kernel, kernel))
+        bias = self.param(f"{name}_b", (out_channels,))
+        return self.node(
+            "ConvTranspose",
+            [x, weight, bias],
+            {
+                "kernel_shape": (kernel, kernel),
+                "strides": (stride, stride),
+                "pads": (padding, padding, padding, padding),
+                "output_padding": (output_padding, output_padding),
+                "group": 1,
+            },
+        )[0]
+
+    def matmul(self, a: str, b: str) -> str:
+        return self.op("MatMul", a, b)
+
+    def linear(self, x: str, out_features: int, bias: bool = True, name: str = "linear") -> str:
+        """Dense layer ``x @ W`` (+ bias) over the last dimension."""
+        in_features = self.shape(x)[-1]
+        weight = self.param(f"{name}_w", (in_features, out_features))
+        y = self.matmul(x, weight)
+        if bias:
+            b = self.param(f"{name}_b", (out_features,))
+            y = self.add(y, b)
+        return y
+
+    def gemm(self, a: str, b: str, trans_a: bool = False, trans_b: bool = False) -> str:
+        return self.op("Gemm", a, b, trans_a=trans_a, trans_b=trans_b)

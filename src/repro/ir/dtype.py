@@ -1,0 +1,91 @@
+"""Scalar data types used by the tensor IR.
+
+The paper evaluates FP32 on V100 and TF32 (tensor-core 19-bit format stored
+in 32-bit words) on A100.  The cost model only needs the storage width and,
+for linear-transformation primitives, which peak-throughput column of the GPU
+spec applies, so the type set here is intentionally small.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DataType"]
+
+
+class DataType(str, enum.Enum):
+    """Element type of a tensor.
+
+    ``TF32`` is stored like ``FLOAT32`` (4 bytes per element) but is executed
+    on tensor cores, so it shares the storage width of FP32 while using the
+    TF32 throughput column of a GPU spec.
+    """
+
+    FLOAT32 = "float32"
+    FLOAT16 = "float16"
+    TF32 = "tf32"
+    BFLOAT16 = "bfloat16"
+    INT64 = "int64"
+    INT32 = "int32"
+    INT8 = "int8"
+    BOOL = "bool"
+
+    @property
+    def itemsize(self) -> int:
+        """Storage size of one element in bytes."""
+        return _ITEMSIZE[self]
+
+    @property
+    def is_floating(self) -> bool:
+        """Whether the type participates in floating-point arithmetic."""
+        return self in (
+            DataType.FLOAT32,
+            DataType.FLOAT16,
+            DataType.TF32,
+            DataType.BFLOAT16,
+        )
+
+    def to_numpy(self) -> np.dtype:
+        """numpy dtype used by the functional executor for this type.
+
+        TF32 has no numpy equivalent; it is simulated with float32, which is
+        how frameworks expose it to users as well.
+        """
+        return np.dtype(_NUMPY_NAME[self])
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DataType":
+        """Map a numpy dtype back to a :class:`DataType`."""
+        name = np.dtype(dtype).name
+        for member, np_name in _NUMPY_NAME.items():
+            if np_name == name and member is not DataType.TF32:
+                return member
+        raise ValueError(f"unsupported numpy dtype: {dtype!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_ITEMSIZE = {
+    DataType.FLOAT32: 4,
+    DataType.FLOAT16: 2,
+    DataType.TF32: 4,
+    DataType.BFLOAT16: 2,
+    DataType.INT64: 8,
+    DataType.INT32: 4,
+    DataType.INT8: 1,
+    DataType.BOOL: 1,
+}
+
+_NUMPY_NAME = {
+    DataType.FLOAT32: "float32",
+    DataType.FLOAT16: "float16",
+    DataType.TF32: "float32",
+    DataType.BFLOAT16: "float32",
+    DataType.INT64: "int64",
+    DataType.INT32: "int32",
+    DataType.INT8: "int8",
+    DataType.BOOL: "bool",
+}

@@ -1,0 +1,299 @@
+"""Operator-level computation graph.
+
+A :class:`Graph` is the input to Korch (Figure 1): a DAG whose nodes are
+tensor operators and whose edges are tensors.  Tensors are referred to by
+name; every named tensor carries a static :class:`~repro.ir.tensor_type.TensorType`.
+
+The graph distinguishes three producer categories for a tensor:
+
+* **inputs** — fed at runtime (e.g. the image batch),
+* **params** — model weights; never materialized here (large models would not
+  fit), only their types are recorded, and the functional executor fabricates
+  deterministic data for them on demand,
+* **constants** — small literal tensors required by graph transformations
+  (e.g. the all-ones vector introduced when a ReduceSum is rewritten as a
+  MatMul).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from .dtype import DataType
+from .ops import REGISTRY, OpSpec
+from .tensor_type import TensorType
+
+__all__ = ["Node", "Graph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised when a graph or node is structurally invalid."""
+
+
+@dataclass
+class Node:
+    """One operator application.
+
+    Attributes
+    ----------
+    name:
+        Unique node name within its graph.
+    op_type:
+        Registered operator name (see :mod:`repro.ir.ops`).
+    inputs / outputs:
+        Ordered tensor names.
+    attrs:
+        Operator attributes (static hyper-parameters such as strides).
+    """
+
+    name: str
+    op_type: str
+    inputs: list[str]
+    outputs: list[str]
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def spec(self) -> OpSpec:
+        """Registered specification of this node's operator."""
+        return REGISTRY.get(self.op_type)
+
+    @property
+    def output(self) -> str:
+        """Name of the single output (errors for multi-output nodes)."""
+        if len(self.outputs) != 1:
+            raise GraphError(f"node {self.name} has {len(self.outputs)} outputs")
+        return self.outputs[0]
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Attribute lookup falling back to the operator's declared default."""
+        if key in self.attrs:
+            return self.attrs[key]
+        spec_default = self.spec.attributes.get(key, default)
+        return spec_default
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({self.name}: {self.op_type} {self.inputs} -> {self.outputs})"
+
+
+class Graph:
+    """Directed acyclic graph of tensor operators."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: list[Node] = []
+        self.tensors: dict[str, TensorType] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.params: dict[str, TensorType] = {}
+        self.constants: dict[str, np.ndarray] = {}
+        self._nodes_by_name: dict[str, Node] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------ build
+    def unique_name(self, prefix: str) -> str:
+        """Generate a tensor/node name that does not collide with existing ones."""
+        while True:
+            candidate = f"{prefix}_{next(self._counter)}"
+            if candidate not in self.tensors and candidate not in self._nodes_by_name:
+                return candidate
+
+    def add_tensor(self, name: str, ttype: TensorType) -> str:
+        """Declare a named tensor; re-declaring with a different type is an error."""
+        existing = self.tensors.get(name)
+        if existing is not None and existing != ttype:
+            raise GraphError(f"tensor {name!r} re-declared with type {ttype} != {existing}")
+        self.tensors[name] = ttype
+        return name
+
+    def add_input(self, name: str, ttype: TensorType) -> str:
+        """Declare a runtime graph input."""
+        self.add_tensor(name, ttype)
+        if name not in self.inputs:
+            self.inputs.append(name)
+        return name
+
+    def add_param(self, name: str, ttype: TensorType) -> str:
+        """Declare a weight tensor (type only; data synthesized when executing)."""
+        self.add_tensor(name, ttype)
+        self.params[name] = ttype
+        return name
+
+    def add_constant(self, name: str, value: np.ndarray) -> str:
+        """Declare a small literal constant with actual data."""
+        value = np.asarray(value)
+        self.add_tensor(name, TensorType(value.shape, DataType.from_numpy(value.dtype)))
+        self.constants[name] = value
+        return name
+
+    def add_output(self, name: str) -> str:
+        """Mark an existing tensor as a graph output."""
+        if name not in self.tensors:
+            raise GraphError(f"cannot mark unknown tensor {name!r} as output")
+        if name not in self.outputs:
+            self.outputs.append(name)
+        return name
+
+    def add_node(self, node: Node) -> Node:
+        """Insert a node; inputs must already be declared tensors."""
+        if node.name in self._nodes_by_name:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        node.spec.validate_arity(len(node.inputs), len(node.outputs))
+        for tensor in node.inputs:
+            if tensor not in self.tensors:
+                raise GraphError(f"node {node.name}: unknown input tensor {tensor!r}")
+        self.nodes.append(node)
+        self._nodes_by_name[node.name] = node
+        return node
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node (used by graph transformations)."""
+        self.nodes.remove(node)
+        del self._nodes_by_name[node.name]
+
+    # ------------------------------------------------------------------ query
+    def node(self, name: str) -> Node:
+        """Node lookup by name."""
+        return self._nodes_by_name[name]
+
+    def tensor_type(self, name: str) -> TensorType:
+        """Type of a declared tensor."""
+        try:
+            return self.tensors[name]
+        except KeyError:
+            raise GraphError(f"unknown tensor {name!r}") from None
+
+    def producer(self, tensor: str) -> Node | None:
+        """Node producing ``tensor``, or ``None`` for inputs/params/constants."""
+        for node in self.nodes:
+            if tensor in node.outputs:
+                return node
+        return None
+
+    def consumers(self, tensor: str) -> list[Node]:
+        """All nodes consuming ``tensor``."""
+        return [node for node in self.nodes if tensor in node.inputs]
+
+    def is_source_tensor(self, tensor: str) -> bool:
+        """True if ``tensor`` is an input, parameter, or constant."""
+        return tensor in self.inputs or tensor in self.params or tensor in self.constants
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    # ------------------------------------------------------------- structure
+    def producer_map(self) -> dict[str, Node]:
+        """Map from tensor name to producing node (sources excluded)."""
+        result: dict[str, Node] = {}
+        for node in self.nodes:
+            for out in node.outputs:
+                if out in result:
+                    raise GraphError(f"tensor {out!r} produced by multiple nodes")
+                result[out] = node
+        return result
+
+    def consumer_map(self) -> dict[str, list[Node]]:
+        """Map from tensor name to list of consuming nodes."""
+        result: dict[str, list[Node]] = {}
+        for node in self.nodes:
+            for inp in node.inputs:
+                result.setdefault(inp, []).append(node)
+        return result
+
+    def predecessors(self, node: Node) -> list[Node]:
+        """Nodes whose outputs feed ``node``."""
+        producers = self.producer_map()
+        preds = []
+        for tensor in node.inputs:
+            pred = producers.get(tensor)
+            if pred is not None and pred not in preds:
+                preds.append(pred)
+        return preds
+
+    def successors(self, node: Node) -> list[Node]:
+        """Nodes consuming any output of ``node``."""
+        consumers = self.consumer_map()
+        succs = []
+        for tensor in node.outputs:
+            for succ in consumers.get(tensor, []):
+                if succ not in succs:
+                    succs.append(succ)
+        return succs
+
+    def topological_order(self) -> list[Node]:
+        """Nodes in a valid execution order; raises on cycles."""
+        producers = self.producer_map()
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[Node]] = {}
+        for node in self.nodes:
+            deps = {producers[t].name for t in node.inputs if t in producers}
+            indegree[node.name] = len(deps)
+            for dep in deps:
+                dependents.setdefault(dep, []).append(node)
+        ready = [node for node in self.nodes if indegree[node.name] == 0]
+        order: list[Node] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for succ in dependents.get(node.name, []):
+                indegree[succ.name] -= 1
+                if indegree[succ.name] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        return order
+
+    # ------------------------------------------------------------------ misc
+    def stats(self) -> dict[str, int]:
+        """Simple size statistics used by reports and Table 2."""
+        kinds: dict[str, int] = {}
+        for node in self.nodes:
+            kinds[node.op_type] = kinds.get(node.op_type, 0) + 1
+        return {
+            "num_nodes": len(self.nodes),
+            "num_tensors": len(self.tensors),
+            "num_inputs": len(self.inputs),
+            "num_outputs": len(self.outputs),
+            "num_params": len(self.params),
+            "num_op_types": len(kinds),
+        }
+
+    def op_type_histogram(self) -> dict[str, int]:
+        """Count of nodes per operator type."""
+        histogram: dict[str, int] = {}
+        for node in self.nodes:
+            histogram[node.op_type] = histogram.get(node.op_type, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def subgraph_tensors(self, nodes: Iterable[Node]) -> tuple[set[str], set[str]]:
+        """External inputs and outputs of a node subset.
+
+        Returns ``(external_inputs, external_outputs)`` where external inputs
+        are tensors consumed inside the subset but produced outside it, and
+        external outputs are tensors produced inside the subset that are
+        consumed outside it or are graph outputs.
+        """
+        node_set = set(id(n) for n in nodes)
+        produced = {t for n in self.nodes if id(n) in node_set for t in n.outputs}
+        consumed = {t for n in self.nodes if id(n) in node_set for t in n.inputs}
+        external_inputs = consumed - produced
+        external_outputs = set()
+        for tensor in produced:
+            if tensor in self.outputs:
+                external_outputs.add(tensor)
+                continue
+            for consumer in self.consumers(tensor):
+                if id(consumer) not in node_set:
+                    external_outputs.add(tensor)
+                    break
+        return external_inputs, external_outputs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph({self.name!r}, nodes={len(self.nodes)}, outputs={self.outputs})"

@@ -1,0 +1,338 @@
+"""Operator registry for the computation-graph IR.
+
+The registry mirrors the subset of ONNX operators exercised by the paper's
+five workloads (Candy, YOLOv4, YOLOX-Nano, Segformer, EfficientViT) plus the
+operators that appear in the fission rules of §3.  Each operator is described
+by an :class:`OpSpec` that records
+
+* its arity,
+* the attributes it accepts (with defaults),
+* a coarse *kind* used by the baselines' fusion policies (the paper's
+  baselines reason about operators, not primitives), and
+* whether Korch treats it as compute-intensive (contains a linear
+  transformation after fission).
+
+Shape inference lives in :mod:`repro.ir.shape_inference`; fission rules in
+:mod:`repro.fission.rules`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["OpKind", "OpSpec", "OperatorRegistry", "REGISTRY", "register_op", "get_op"]
+
+
+class OpKind(str, enum.Enum):
+    """Coarse operator classification used by rule-based fusion baselines.
+
+    This follows the classification used informally by TVM/TensorRT fusion
+    rules and explicitly by DNNFusion: elementwise ops are *injective*,
+    reductions are *reduction*, data-movement ops are *layout*, and ops built
+    around a GEMM/conv core are *compute*.  Composite ops (Softmax,
+    InstanceNorm, ...) mix several behaviours and are what operator fission
+    takes apart.
+    """
+
+    ELEMENTWISE = "elementwise"
+    REDUCTION = "reduction"
+    LAYOUT = "layout"
+    COMPUTE = "compute"
+    COMPOSITE = "composite"
+    OPAQUE = "opaque"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operator type."""
+
+    name: str
+    kind: OpKind
+    min_inputs: int = 1
+    max_inputs: int = 1
+    num_outputs: int = 1
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    variadic_inputs: bool = False
+    variadic_outputs: bool = False
+    doc: str = ""
+
+    def validate_arity(self, num_inputs: int, num_outputs: int) -> None:
+        """Raise ``ValueError`` if the node arity is outside the spec."""
+        if not self.variadic_inputs and not (self.min_inputs <= num_inputs <= self.max_inputs):
+            raise ValueError(
+                f"{self.name}: expected between {self.min_inputs} and "
+                f"{self.max_inputs} inputs, got {num_inputs}"
+            )
+        if self.variadic_inputs and num_inputs < self.min_inputs:
+            raise ValueError(
+                f"{self.name}: expected at least {self.min_inputs} inputs, got {num_inputs}"
+            )
+        if not self.variadic_outputs and num_outputs != self.num_outputs:
+            raise ValueError(
+                f"{self.name}: expected {self.num_outputs} outputs, got {num_outputs}"
+            )
+
+    def default_attrs(self) -> dict[str, Any]:
+        """Copy of the attribute defaults for this operator."""
+        return dict(self.attributes)
+
+
+class OperatorRegistry:
+    """Name-indexed collection of :class:`OpSpec` objects."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, OpSpec] = {}
+
+    def register(self, spec: OpSpec) -> OpSpec:
+        """Add ``spec``; re-registering an existing name is an error."""
+        if spec.name in self._specs:
+            raise ValueError(f"operator {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> OpSpec:
+        """Look up an operator; raises ``KeyError`` with a helpful message."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown operator {name!r}; known operators: {sorted(self._specs)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self) -> list[str]:
+        """Sorted list of registered operator names."""
+        return sorted(self._specs)
+
+    def by_kind(self, kind: OpKind) -> list[OpSpec]:
+        """All operators of a given kind, sorted by name."""
+        return sorted((s for s in self._specs.values() if s.kind == kind), key=lambda s: s.name)
+
+
+REGISTRY = OperatorRegistry()
+
+
+def register_op(spec: OpSpec) -> OpSpec:
+    """Register ``spec`` in the module-level :data:`REGISTRY`."""
+    return REGISTRY.register(spec)
+
+
+def get_op(name: str) -> OpSpec:
+    """Fetch an operator spec from the module-level :data:`REGISTRY`."""
+    return REGISTRY.get(name)
+
+
+def _register_builtin_operators() -> None:
+    """Populate the registry with every operator used in the reproduction."""
+    specs = [
+        # ------------------------------------------------------------ elementwise binary
+        OpSpec("Add", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise addition with broadcasting."),
+        OpSpec("Sub", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise subtraction with broadcasting."),
+        OpSpec("Mul", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise multiplication with broadcasting."),
+        OpSpec("Div", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise division with broadcasting."),
+        OpSpec("Pow", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise power with broadcasting."),
+        OpSpec("Maximum", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise maximum."),
+        OpSpec("Minimum", OpKind.ELEMENTWISE, 2, 2, doc="Elementwise minimum."),
+        # ------------------------------------------------------------ elementwise unary
+        OpSpec("Relu", OpKind.ELEMENTWISE, doc="max(x, 0)"),
+        OpSpec("LeakyRelu", OpKind.ELEMENTWISE, attributes={"alpha": 0.1}, doc="Leaky ReLU."),
+        OpSpec("Sigmoid", OpKind.ELEMENTWISE, doc="1 / (1 + exp(-x))"),
+        OpSpec("Tanh", OpKind.ELEMENTWISE, doc="Hyperbolic tangent."),
+        OpSpec("Exp", OpKind.ELEMENTWISE, doc="Elementwise exponential."),
+        OpSpec("Log", OpKind.ELEMENTWISE, doc="Elementwise natural logarithm."),
+        OpSpec("Sqrt", OpKind.ELEMENTWISE, doc="Elementwise square root."),
+        OpSpec("Erf", OpKind.ELEMENTWISE, doc="Gauss error function (used by exact GELU)."),
+        OpSpec("Neg", OpKind.ELEMENTWISE, doc="Elementwise negation."),
+        OpSpec("Reciprocal", OpKind.ELEMENTWISE, doc="Elementwise 1/x."),
+        OpSpec("Identity", OpKind.ELEMENTWISE, doc="Pass-through."),
+        OpSpec("Softplus", OpKind.ELEMENTWISE, doc="log(1 + exp(x)) (part of Mish)."),
+        OpSpec("Clip", OpKind.ELEMENTWISE, attributes={"min": 0.0, "max": 6.0}, doc="Clamp."),
+        # ------------------------------------------------------------ composite activations / normalizations
+        OpSpec("Gelu", OpKind.COMPOSITE, doc="Gaussian error linear unit (exact, erf-based)."),
+        OpSpec("Silu", OpKind.COMPOSITE, doc="x * sigmoid(x) (a.k.a. Swish); used by YOLO heads."),
+        OpSpec("Mish", OpKind.COMPOSITE, doc="x * tanh(softplus(x)); used by YOLOv4."),
+        OpSpec("HardSwish", OpKind.COMPOSITE, doc="x * relu6(x + 3) / 6; used by EfficientViT."),
+        OpSpec("Softmax", OpKind.COMPOSITE, attributes={"axis": -1}, doc="Softmax along one axis."),
+        OpSpec(
+            "LayerNormalization",
+            OpKind.COMPOSITE,
+            1,
+            3,
+            attributes={"axis": -1, "epsilon": 1e-5},
+            doc="Layer normalization with optional scale/bias inputs.",
+        ),
+        OpSpec(
+            "InstanceNormalization",
+            OpKind.COMPOSITE,
+            1,
+            3,
+            attributes={"epsilon": 1e-5},
+            doc="Instance normalization over spatial dims with optional scale/bias.",
+        ),
+        OpSpec(
+            "BatchNormalization",
+            OpKind.COMPOSITE,
+            1,
+            5,
+            attributes={"epsilon": 1e-5},
+            doc="Inference-mode batch normalization (folded running statistics).",
+        ),
+        OpSpec(
+            "GroupNormalization",
+            OpKind.COMPOSITE,
+            1,
+            3,
+            attributes={"num_groups": 32, "epsilon": 1e-5},
+            doc="Group normalization.",
+        ),
+        # ------------------------------------------------------------ reductions and pooling
+        OpSpec(
+            "ReduceSum",
+            OpKind.REDUCTION,
+            attributes={"axes": (-1,), "keepdims": True},
+            doc="Sum reduction along the given axes.",
+        ),
+        OpSpec(
+            "ReduceMean",
+            OpKind.REDUCTION,
+            attributes={"axes": (-1,), "keepdims": True},
+            doc="Mean reduction along the given axes.",
+        ),
+        OpSpec(
+            "ReduceMax",
+            OpKind.REDUCTION,
+            attributes={"axes": (-1,), "keepdims": True},
+            doc="Max reduction along the given axes.",
+        ),
+        OpSpec(
+            "MaxPool",
+            OpKind.REDUCTION,
+            attributes={"kernel_shape": (2, 2), "strides": (2, 2), "pads": (0, 0, 0, 0)},
+            doc="2D max pooling over NCHW tensors.",
+        ),
+        OpSpec(
+            "AveragePool",
+            OpKind.REDUCTION,
+            attributes={"kernel_shape": (2, 2), "strides": (2, 2), "pads": (0, 0, 0, 0)},
+            doc="2D average pooling over NCHW tensors.",
+        ),
+        OpSpec("GlobalAveragePool", OpKind.REDUCTION, doc="Global spatial average pooling."),
+        # ------------------------------------------------------------ layout transformations
+        OpSpec("Transpose", OpKind.LAYOUT, attributes={"perm": ()}, doc="Dimension permutation."),
+        OpSpec("Reshape", OpKind.LAYOUT, attributes={"shape": ()}, doc="Reshape to a static shape."),
+        OpSpec("Flatten", OpKind.LAYOUT, attributes={"axis": 1}, doc="Flatten trailing dims."),
+        OpSpec(
+            "Split",
+            OpKind.LAYOUT,
+            1,
+            1,
+            num_outputs=2,
+            variadic_outputs=True,
+            attributes={"axis": 0, "split": ()},
+            doc="Split one tensor into several along an axis.",
+        ),
+        OpSpec(
+            "Concat",
+            OpKind.LAYOUT,
+            2,
+            64,
+            variadic_inputs=True,
+            attributes={"axis": 0},
+            doc="Concatenate tensors along an axis.",
+        ),
+        OpSpec(
+            "Slice",
+            OpKind.LAYOUT,
+            attributes={"starts": (), "ends": (), "axes": (), "steps": ()},
+            doc="Strided slice with static bounds.",
+        ),
+        OpSpec(
+            "Pad",
+            OpKind.LAYOUT,
+            attributes={"pads": (), "value": 0.0},
+            doc="Constant padding; `pads` is per-dim (begin..., end...).",
+        ),
+        OpSpec("Squeeze", OpKind.LAYOUT, attributes={"axes": ()}, doc="Remove unit dims."),
+        OpSpec("Unsqueeze", OpKind.LAYOUT, attributes={"axes": ()}, doc="Insert unit dims."),
+        OpSpec(
+            "Resize",
+            OpKind.LAYOUT,
+            attributes={"scales": (), "sizes": (), "mode": "nearest"},
+            doc="Spatial up/down-sampling (nearest or bilinear).",
+        ),
+        OpSpec(
+            "Expand",
+            OpKind.LAYOUT,
+            attributes={"shape": ()},
+            doc="Broadcast a tensor to a larger shape.",
+        ),
+        # ------------------------------------------------------------ compute-intensive operators
+        OpSpec(
+            "Conv",
+            OpKind.COMPUTE,
+            2,
+            3,
+            attributes={
+                "kernel_shape": (3, 3),
+                "strides": (1, 1),
+                "pads": (1, 1, 1, 1),
+                "dilations": (1, 1),
+                "group": 1,
+            },
+            doc="2D convolution over NCHW tensors (weights OIHW).",
+        ),
+        OpSpec(
+            "ConvTranspose",
+            OpKind.COMPUTE,
+            2,
+            3,
+            attributes={
+                "kernel_shape": (3, 3),
+                "strides": (2, 2),
+                "pads": (1, 1, 1, 1),
+                "output_padding": (1, 1),
+                "group": 1,
+            },
+            doc="2D transposed convolution (used by Candy's decoder).",
+        ),
+        OpSpec(
+            "MatMul",
+            OpKind.COMPUTE,
+            2,
+            2,
+            doc="Matrix multiplication with numpy broadcasting over batch dims.",
+        ),
+        OpSpec(
+            "Gemm",
+            OpKind.COMPUTE,
+            2,
+            3,
+            attributes={"trans_a": False, "trans_b": False, "alpha": 1.0, "beta": 1.0},
+            doc="General matrix multiply with optional bias.",
+        ),
+        # ------------------------------------------------------------ opaque
+        OpSpec(
+            "TopK",
+            OpKind.OPAQUE,
+            1,
+            1,
+            num_outputs=2,
+            attributes={"k": 1, "axis": -1},
+            doc="Top-k selection; treated as an opaque primitive by Korch (§3).",
+        ),
+    ]
+    for spec in specs:
+        register_op(spec)
+
+
+_register_builtin_operators()

@@ -1,0 +1,117 @@
+"""JSON (de)serialization of computation graphs.
+
+The paper ships its benchmark models as ONNX protobufs.  This repo stores the
+same information in a plain JSON document (an "ONNX-like" exchange format) so
+graphs can be saved, diffed and reloaded without the onnx dependency.
+Constant tensor data is stored inline as nested lists, which is acceptable
+because only small constants (ones vectors, scalars) carry data; weights are
+type-only parameters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .dtype import DataType
+from .graph import Graph, Node
+from .tensor_type import TensorType
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def _type_to_dict(ttype: TensorType) -> dict[str, Any]:
+    return {"shape": list(ttype.shape), "dtype": ttype.dtype.value}
+
+
+def _type_from_dict(data: dict[str, Any]) -> TensorType:
+    return TensorType(tuple(data["shape"]), DataType(data["dtype"]))
+
+
+def _jsonable_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    result: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        result[key] = value
+    return result
+
+
+def _restore_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    result: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, list):
+            value = tuple(value)
+        result[key] = value
+    return result
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    """Serialize ``graph`` into a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "tensors": {name: _type_to_dict(t) for name, t in graph.tensors.items()},
+        "params": {name: _type_to_dict(t) for name, t in graph.params.items()},
+        "constants": {
+            name: {"dtype": str(value.dtype), "data": value.tolist()}
+            for name, value in graph.constants.items()
+        },
+        "nodes": [
+            {
+                "name": node.name,
+                "op_type": node.op_type,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "attrs": _jsonable_attrs(node.attrs),
+            }
+            for node in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> Graph:
+    """Rebuild a :class:`~repro.ir.graph.Graph` from :func:`graph_to_dict` output."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    graph = Graph(data["name"])
+    for name, tdict in data["tensors"].items():
+        graph.add_tensor(name, _type_from_dict(tdict))
+    graph.inputs = list(data["inputs"])
+    graph.outputs = list(data["outputs"])
+    graph.params = {name: _type_from_dict(t) for name, t in data["params"].items()}
+    graph.constants = {
+        name: np.array(entry["data"], dtype=entry["dtype"])
+        for name, entry in data["constants"].items()
+    }
+    for node_data in data["nodes"]:
+        graph.add_node(
+            Node(
+                node_data["name"],
+                node_data["op_type"],
+                list(node_data["inputs"]),
+                list(node_data["outputs"]),
+                _restore_attrs(node_data.get("attrs", {})),
+            )
+        )
+    return graph
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(graph_to_dict(graph), indent=2, sort_keys=True))
+    return path
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a graph previously written with :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,355 @@
+"""Static shape inference for the operator-level IR.
+
+Every operator registered in :mod:`repro.ir.ops` has an inference function
+here.  The :class:`~repro.ir.builder.GraphBuilder` runs inference eagerly, so
+by the time a graph reaches operator fission all tensor types are known.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from .dtype import DataType
+from .graph import Graph, GraphError, Node
+from .tensor_type import TensorType
+
+__all__ = ["infer_node_types", "infer_graph_types", "broadcast_shapes"]
+
+_InferFn = Callable[[Node, list[TensorType]], list[TensorType]]
+_INFERENCE: dict[str, _InferFn] = {}
+
+
+def _register(*names: str) -> Callable[[_InferFn], _InferFn]:
+    def decorator(fn: _InferFn) -> _InferFn:
+        for name in names:
+            _INFERENCE[name] = fn
+        return fn
+
+    return decorator
+
+
+def broadcast_shapes(a: Sequence[int], b: Sequence[int]) -> tuple[int, ...]:
+    """Numpy-style broadcasting of two static shapes."""
+    result: list[int] = []
+    ra, rb = list(a)[::-1], list(b)[::-1]
+    for i in range(max(len(ra), len(rb))):
+        da = ra[i] if i < len(ra) else 1
+        db = rb[i] if i < len(rb) else 1
+        if da == db or da == 1 or db == 1:
+            result.append(max(da, db))
+        else:
+            raise GraphError(f"cannot broadcast shapes {tuple(a)} and {tuple(b)}")
+    return tuple(result[::-1])
+
+
+def infer_node_types(node: Node, input_types: list[TensorType]) -> list[TensorType]:
+    """Output types of ``node`` given its input types."""
+    try:
+        fn = _INFERENCE[node.op_type]
+    except KeyError:
+        raise GraphError(f"no shape inference registered for operator {node.op_type!r}") from None
+    return fn(node, input_types)
+
+
+def infer_graph_types(graph: Graph) -> None:
+    """Re-run shape inference over a whole graph in topological order.
+
+    Used after graph transformations that rewire nodes; inputs, params and
+    constants keep their declared types.
+    """
+    for node in graph.topological_order():
+        input_types = [graph.tensor_type(t) for t in node.inputs]
+        output_types = infer_node_types(node, input_types)
+        if len(output_types) != len(node.outputs):
+            raise GraphError(
+                f"node {node.name}: inference produced {len(output_types)} outputs, "
+                f"node declares {len(node.outputs)}"
+            )
+        for tensor, ttype in zip(node.outputs, output_types):
+            graph.tensors[tensor] = ttype
+
+
+# --------------------------------------------------------------------------- helpers
+def _normalize_axis(axis: int, rank: int) -> int:
+    if axis < 0:
+        axis += rank
+    if not 0 <= axis < rank:
+        raise GraphError(f"axis {axis} out of range for rank {rank}")
+    return axis
+
+
+def _pair(value, name: str) -> tuple[int, int]:
+    value = tuple(value)
+    if len(value) != 2:
+        raise GraphError(f"{name} must have two entries, got {value}")
+    return int(value[0]), int(value[1])
+
+
+# --------------------------------------------------------------------------- elementwise
+@_register(
+    "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Exp", "Log", "Sqrt", "Erf", "Neg",
+    "Reciprocal", "Identity", "Softplus", "Clip", "Gelu", "Silu", "Mish",
+    "HardSwish", "Softmax",
+)
+def _infer_unary(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    return [inputs[0]]
+
+
+@_register("Add", "Sub", "Mul", "Div", "Pow", "Maximum", "Minimum")
+def _infer_binary(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    shape = broadcast_shapes(inputs[0].shape, inputs[1].shape)
+    return [TensorType(shape, inputs[0].dtype)]
+
+
+@_register("LayerNormalization", "InstanceNormalization", "BatchNormalization", "GroupNormalization")
+def _infer_normalization(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    return [inputs[0]]
+
+
+# --------------------------------------------------------------------------- reductions
+@_register("ReduceSum", "ReduceMean", "ReduceMax")
+def _infer_reduce(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    axes = node.attr("axes") or (-1,)
+    keepdims = bool(node.attr("keepdims", True))
+    axes = sorted(_normalize_axis(a, x.rank) for a in axes)
+    shape = list(x.shape)
+    for axis in reversed(axes):
+        if keepdims:
+            shape[axis] = 1
+        else:
+            del shape[axis]
+    return [x.with_shape(shape)]
+
+
+@_register("GlobalAveragePool")
+def _infer_global_pool(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    if x.rank != 4:
+        raise GraphError(f"GlobalAveragePool expects NCHW input, got rank {x.rank}")
+    n, c = x.shape[:2]
+    return [x.with_shape((n, c, 1, 1))]
+
+
+@_register("MaxPool", "AveragePool")
+def _infer_pool(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    if x.rank != 4:
+        raise GraphError(f"{node.op_type} expects NCHW input, got rank {x.rank}")
+    kh, kw = _pair(node.attr("kernel_shape"), "kernel_shape")
+    sh, sw = _pair(node.attr("strides"), "strides")
+    pads = tuple(node.attr("pads") or (0, 0, 0, 0))
+    n, c, h, w = x.shape
+    oh = (h + pads[0] + pads[2] - kh) // sh + 1
+    ow = (w + pads[1] + pads[3] - kw) // sw + 1
+    return [x.with_shape((n, c, oh, ow))]
+
+
+# --------------------------------------------------------------------------- layout
+@_register("Transpose")
+def _infer_transpose(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    perm = tuple(node.attr("perm") or tuple(reversed(range(x.rank))))
+    return [x.transpose(perm)]
+
+
+@_register("Reshape", "Expand")
+def _infer_reshape(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    shape = list(node.attr("shape"))
+    if not shape:
+        raise GraphError(f"{node.op_type} node {node.name} is missing a static 'shape' attribute")
+    if node.op_type == "Reshape":
+        if shape.count(-1) > 1:
+            raise GraphError("Reshape allows at most one -1 dimension")
+        known = math.prod(d for d in shape if d != -1)
+        if -1 in shape:
+            shape[shape.index(-1)] = x.num_elements // known
+        if math.prod(shape) != x.num_elements:
+            raise GraphError(
+                f"Reshape {node.name}: cannot reshape {x.shape} ({x.num_elements} elems) to {shape}"
+            )
+    else:  # Expand: broadcast to target shape
+        shape = list(broadcast_shapes(x.shape, shape))
+    return [x.with_shape(shape)]
+
+
+@_register("Flatten")
+def _infer_flatten(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    axis = _normalize_axis(int(node.attr("axis", 1)), x.rank + 1)
+    lead = math.prod(x.shape[:axis]) if axis else 1
+    tail = math.prod(x.shape[axis:]) if axis < x.rank else 1
+    return [x.with_shape((lead, tail))]
+
+
+@_register("Squeeze")
+def _infer_squeeze(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    axes = node.attr("axes") or tuple(i for i, d in enumerate(x.shape) if d == 1)
+    axes = sorted(_normalize_axis(a, x.rank) for a in axes)
+    shape = [d for i, d in enumerate(x.shape) if i not in axes]
+    return [x.with_shape(shape)]
+
+
+@_register("Unsqueeze")
+def _infer_unsqueeze(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    axes = sorted(node.attr("axes"))
+    shape = list(x.shape)
+    for axis in axes:
+        axis = _normalize_axis(axis, len(shape) + 1)
+        shape.insert(axis, 1)
+    return [x.with_shape(shape)]
+
+
+@_register("Split")
+def _infer_split(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    axis = _normalize_axis(int(node.attr("axis", 0)), x.rank)
+    split = tuple(node.attr("split") or ())
+    num_outputs = len(node.outputs)
+    if not split:
+        if x.shape[axis] % num_outputs:
+            raise GraphError(
+                f"Split {node.name}: axis size {x.shape[axis]} not divisible by {num_outputs}"
+            )
+        split = (x.shape[axis] // num_outputs,) * num_outputs
+    if sum(split) != x.shape[axis]:
+        raise GraphError(f"Split {node.name}: sizes {split} do not sum to {x.shape[axis]}")
+    outputs = []
+    for size in split:
+        shape = list(x.shape)
+        shape[axis] = size
+        outputs.append(x.with_shape(shape))
+    return outputs
+
+
+@_register("Concat")
+def _infer_concat(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    axis = _normalize_axis(int(node.attr("axis", 0)), inputs[0].rank)
+    base = list(inputs[0].shape)
+    total = 0
+    for ttype in inputs:
+        if list(ttype.shape[:axis]) + list(ttype.shape[axis + 1 :]) != base[:axis] + base[axis + 1 :]:
+            raise GraphError(f"Concat {node.name}: incompatible shapes {[t.shape for t in inputs]}")
+        total += ttype.shape[axis]
+    base[axis] = total
+    return [inputs[0].with_shape(base)]
+
+
+@_register("Slice")
+def _infer_slice(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    starts = tuple(node.attr("starts"))
+    ends = tuple(node.attr("ends"))
+    axes = tuple(node.attr("axes") or range(len(starts)))
+    steps = tuple(node.attr("steps") or (1,) * len(starts))
+    shape = list(x.shape)
+    for start, end, axis, step in zip(starts, ends, axes, steps):
+        axis = _normalize_axis(axis, x.rank)
+        dim = x.shape[axis]
+        start = min(max(start + dim if start < 0 else start, 0), dim)
+        end = min(max(end + dim if end < 0 else end, 0), dim)
+        shape[axis] = max(0, -(-(end - start) // step))
+    return [x.with_shape(shape)]
+
+
+@_register("Pad")
+def _infer_pad(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    pads = tuple(node.attr("pads"))
+    if len(pads) != 2 * x.rank:
+        raise GraphError(f"Pad {node.name}: pads {pads} must have 2*rank={2 * x.rank} entries")
+    shape = [d + pads[i] + pads[i + x.rank] for i, d in enumerate(x.shape)]
+    return [x.with_shape(shape)]
+
+
+@_register("Resize")
+def _infer_resize(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    sizes = tuple(node.attr("sizes") or ())
+    scales = tuple(node.attr("scales") or ())
+    if sizes:
+        if len(sizes) != x.rank:
+            raise GraphError(f"Resize {node.name}: sizes {sizes} must match rank {x.rank}")
+        return [x.with_shape(sizes)]
+    if scales:
+        if len(scales) != x.rank:
+            raise GraphError(f"Resize {node.name}: scales {scales} must match rank {x.rank}")
+        return [x.with_shape(tuple(int(round(d * s)) for d, s in zip(x.shape, scales)))]
+    raise GraphError(f"Resize {node.name}: needs 'sizes' or 'scales'")
+
+
+# --------------------------------------------------------------------------- compute
+@_register("Conv")
+def _infer_conv(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x, w = inputs[0], inputs[1]
+    if x.rank != 4 or w.rank != 4:
+        raise GraphError(f"Conv {node.name}: expects 4D input and weight")
+    sh, sw = _pair(node.attr("strides"), "strides")
+    dh, dw = _pair(node.attr("dilations", (1, 1)), "dilations")
+    pads = tuple(node.attr("pads") or (0, 0, 0, 0))
+    group = int(node.attr("group", 1))
+    n, c, h, w_in = x.shape
+    oc, ic_per_group, kh, kw = w.shape
+    if ic_per_group * group != c:
+        raise GraphError(
+            f"Conv {node.name}: input channels {c} != weight channels {ic_per_group} * group {group}"
+        )
+    oh = (h + pads[0] + pads[2] - dh * (kh - 1) - 1) // sh + 1
+    ow = (w_in + pads[1] + pads[3] - dw * (kw - 1) - 1) // sw + 1
+    return [x.with_shape((n, oc, oh, ow))]
+
+
+@_register("ConvTranspose")
+def _infer_conv_transpose(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x, w = inputs[0], inputs[1]
+    sh, sw = _pair(node.attr("strides"), "strides")
+    pads = tuple(node.attr("pads") or (0, 0, 0, 0))
+    oph, opw = _pair(node.attr("output_padding", (0, 0)), "output_padding")
+    n, c, h, w_in = x.shape
+    ic, oc_per_group, kh, kw = w.shape
+    group = int(node.attr("group", 1))
+    oc = oc_per_group * group
+    oh = (h - 1) * sh - pads[0] - pads[2] + kh + oph
+    ow = (w_in - 1) * sw - pads[1] - pads[3] + kw + opw
+    return [x.with_shape((n, oc, oh, ow))]
+
+
+@_register("MatMul")
+def _infer_matmul(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    a, b = inputs
+    if a.rank < 2 or b.rank < 2:
+        raise GraphError(f"MatMul {node.name}: inputs must be at least rank 2")
+    if a.shape[-1] != b.shape[-2]:
+        raise GraphError(
+            f"MatMul {node.name}: inner dims mismatch {a.shape} @ {b.shape}"
+        )
+    batch = broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    return [a.with_shape(batch + (a.shape[-2], b.shape[-1]))]
+
+
+@_register("Gemm")
+def _infer_gemm(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    a, b = inputs[0], inputs[1]
+    trans_a = bool(node.attr("trans_a", False))
+    trans_b = bool(node.attr("trans_b", False))
+    m, k = (a.shape[1], a.shape[0]) if trans_a else (a.shape[0], a.shape[1])
+    kb, n = (b.shape[1], b.shape[0]) if trans_b else (b.shape[0], b.shape[1])
+    if k != kb:
+        raise GraphError(f"Gemm {node.name}: inner dims mismatch {a.shape} @ {b.shape}")
+    return [a.with_shape((m, n))]
+
+
+@_register("TopK")
+def _infer_topk(node: Node, inputs: list[TensorType]) -> list[TensorType]:
+    x = inputs[0]
+    k = int(node.attr("k", 1))
+    axis = _normalize_axis(int(node.attr("axis", -1)), x.rank)
+    shape = list(x.shape)
+    shape[axis] = k
+    values = x.with_shape(shape)
+    indices = TensorType(tuple(shape), DataType.INT64)
+    return [values, indices]

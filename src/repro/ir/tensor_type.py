@@ -1,0 +1,116 @@
+"""Static tensor descriptors (shape + dtype) shared by every IR layer.
+
+Both the operator-level computation graph (:mod:`repro.ir.graph`) and the
+primitive graph (:mod:`repro.primitives.graph`) annotate every edge with a
+:class:`TensorType`.  The kernel cost model derives memory traffic directly
+from these descriptors, so they are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .dtype import DataType
+
+__all__ = ["TensorType"]
+
+
+@dataclass(frozen=True, order=True)
+class TensorType:
+    """Shape and element type of a tensor.
+
+    Parameters
+    ----------
+    shape:
+        Static dimensions.  Scalars use an empty tuple.
+    dtype:
+        Element type, defaults to FP32 which is what the V100 experiments use.
+    """
+
+    shape: tuple[int, ...]
+    dtype: DataType = field(default=DataType.FLOAT32, compare=True)
+
+    def __init__(self, shape: Sequence[int] | int, dtype: DataType = DataType.FLOAT32):
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(d) for d in shape)
+        for dim in shape:
+            if dim < 0:
+                raise ValueError(f"negative dimension in shape {shape}")
+        if not isinstance(dtype, DataType):
+            dtype = DataType(dtype)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "dtype", dtype)
+
+    # ------------------------------------------------------------------ info
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count (1 for scalars)."""
+        return int(math.prod(self.shape)) if self.shape else 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of the tensor in bytes."""
+        return self.num_elements * self.dtype.itemsize
+
+    # --------------------------------------------------------------- editing
+    def with_shape(self, shape: Iterable[int]) -> "TensorType":
+        """Return a copy with a different shape but the same dtype."""
+        return TensorType(tuple(shape), self.dtype)
+
+    def with_dtype(self, dtype: DataType) -> "TensorType":
+        """Return a copy with a different dtype but the same shape."""
+        return TensorType(self.shape, dtype)
+
+    def squeeze(self, axis: int) -> "TensorType":
+        """Drop a unit dimension at ``axis``."""
+        axis = _normalize_axis(axis, self.rank)
+        if self.shape[axis] != 1:
+            raise ValueError(f"cannot squeeze non-unit axis {axis} of {self.shape}")
+        return self.with_shape(self.shape[:axis] + self.shape[axis + 1 :])
+
+    def unsqueeze(self, axis: int) -> "TensorType":
+        """Insert a unit dimension before ``axis``."""
+        axis = _normalize_axis(axis, self.rank + 1)
+        return self.with_shape(self.shape[:axis] + (1,) + self.shape[axis:])
+
+    def reduce(self, axis: int, keepdims: bool = False) -> "TensorType":
+        """Shape after a reduce primitive along ``axis``."""
+        axis = _normalize_axis(axis, self.rank)
+        if keepdims:
+            new_shape = self.shape[:axis] + (1,) + self.shape[axis + 1 :]
+        else:
+            new_shape = self.shape[:axis] + self.shape[axis + 1 :]
+        return self.with_shape(new_shape)
+
+    def broadcast(self, axis: int, size: int) -> "TensorType":
+        """Shape after a broadcast primitive inserting ``size`` copies at ``axis``."""
+        axis = _normalize_axis(axis, self.rank + 1)
+        return self.with_shape(self.shape[:axis] + (size,) + self.shape[axis:])
+
+    def transpose(self, perm: Sequence[int]) -> "TensorType":
+        """Shape after permuting dimensions with ``perm``."""
+        perm = tuple(perm)
+        if sorted(perm) != list(range(self.rank)):
+            raise ValueError(f"invalid permutation {perm} for rank {self.rank}")
+        return self.with_shape(tuple(self.shape[p] for p in perm))
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape) or "scalar"
+        return f"{self.dtype.value}[{dims}]"
+
+
+def _normalize_axis(axis: int, rank: int) -> int:
+    """Convert a possibly-negative axis into the range ``[0, rank)``."""
+    if axis < 0:
+        axis += rank
+    if not 0 <= axis < rank:
+        raise ValueError(f"axis {axis} out of range for rank {rank}")
+    return axis

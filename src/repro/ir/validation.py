@@ -1,0 +1,71 @@
+"""Structural validation of computation graphs.
+
+Checks are deliberately strict: a graph that passes :func:`validate_graph`
+can be consumed by the fission engine, the baselines and the functional
+executor without further defensive checks.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, GraphError
+from .ops import REGISTRY
+from .shape_inference import infer_node_types
+
+__all__ = ["validate_graph"]
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`~repro.ir.graph.GraphError` if ``graph`` is malformed.
+
+    Validates operator names, arity, tensor declarations, single-producer
+    discipline, acyclicity, output reachability and consistency of declared
+    tensor types with shape inference.
+    """
+    _check_structure(graph)
+    _check_types(graph)
+
+
+def _check_structure(graph: Graph) -> None:
+    produced: set[str] = set()
+    for node in graph.nodes:
+        if node.op_type not in REGISTRY:
+            raise GraphError(f"node {node.name}: unknown operator {node.op_type!r}")
+        node.spec.validate_arity(len(node.inputs), len(node.outputs))
+        for tensor in node.inputs + node.outputs:
+            if tensor not in graph.tensors:
+                raise GraphError(f"node {node.name}: undeclared tensor {tensor!r}")
+        for tensor in node.outputs:
+            if tensor in produced:
+                raise GraphError(f"tensor {tensor!r} has multiple producers")
+            if graph.is_source_tensor(tensor):
+                raise GraphError(f"node {node.name} writes to source tensor {tensor!r}")
+            produced.add(tensor)
+
+    for tensor in graph.outputs:
+        if tensor not in graph.tensors:
+            raise GraphError(f"graph output {tensor!r} is not a declared tensor")
+        if tensor not in produced and not graph.is_source_tensor(tensor):
+            raise GraphError(f"graph output {tensor!r} has no producer")
+
+    for node in graph.nodes:
+        for tensor in node.inputs:
+            if tensor not in produced and not graph.is_source_tensor(tensor):
+                raise GraphError(
+                    f"node {node.name}: input {tensor!r} is neither produced nor a graph source"
+                )
+
+    # topological_order raises on cycles
+    graph.topological_order()
+
+
+def _check_types(graph: Graph) -> None:
+    for node in graph.topological_order():
+        input_types = [graph.tensor_type(t) for t in node.inputs]
+        inferred = infer_node_types(node, input_types)
+        for tensor, expected in zip(node.outputs, inferred):
+            declared = graph.tensor_type(tensor)
+            if declared.shape != expected.shape:
+                raise GraphError(
+                    f"node {node.name}: declared shape {declared.shape} of {tensor!r} "
+                    f"does not match inferred {expected.shape}"
+                )

@@ -1,0 +1,44 @@
+"""Model zoo: the five DNN workloads of the paper's evaluation plus the
+case-study subgraphs (§6.1, §6.4)."""
+
+from .candy import build_candy, build_candy_block
+from .efficientvit import build_efficientvit, build_efficientvit_attention_block
+from .segformer import (
+    build_segformer,
+    build_segformer_attention_block,
+    build_segformer_decoder_subgraph,
+)
+from .yolov4 import build_yolov4
+from .yolox import build_yolox_nano
+
+__all__ = [
+    "build_candy",
+    "build_candy_block",
+    "build_segformer",
+    "build_segformer_attention_block",
+    "build_segformer_decoder_subgraph",
+    "build_efficientvit",
+    "build_efficientvit_attention_block",
+    "build_yolov4",
+    "build_yolox_nano",
+    "MODEL_BUILDERS",
+    "build_model",
+]
+
+#: Name -> builder for the Figure 6 / Table 2 sweeps.
+MODEL_BUILDERS = {
+    "candy": build_candy,
+    "efficientvit": build_efficientvit,
+    "yolox": build_yolox_nano,
+    "yolov4": build_yolov4,
+    "segformer": build_segformer,
+}
+
+
+def build_model(name: str, **kwargs):
+    """Build one of the five evaluation models by name."""
+    try:
+        builder = MODEL_BUILDERS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(MODEL_BUILDERS)}") from None
+    return builder(**kwargs)

@@ -1,0 +1,69 @@
+"""Candy: fast neural style transfer CNN (Johnson et al.).
+
+The network is an encoder (three downsampling convolutions), five residual
+blocks, and a decoder (two transposed convolutions plus an output
+convolution); every convolution is followed by InstanceNorm and ReLU and is
+preceded by explicit padding — the pattern whose kernel orchestration the
+Candy case study (Figure 12) analyses.  Default input: 1×3×224×224.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import conv_in_relu
+
+__all__ = ["build_candy", "build_candy_block"]
+
+
+def _residual_block(b: GraphBuilder, x: str, channels: int, index: int) -> str:
+    y = conv_in_relu(b, x, channels, kernel=3, name=f"res{index}a")
+    # Second conv of the residual block has no ReLU (per the original network).
+    y = b.pad(y, (0, 0, 1, 1, 0, 0, 1, 1))
+    y = b.conv2d(y, channels, kernel=3, padding=0, name=f"res{index}b")
+    y = b.instance_norm(y)
+    return b.add(x, y)
+
+
+def build_candy(resolution: int = 224, batch: int = 1, num_residual_blocks: int = 5) -> Graph:
+    """Fast style-transfer network at the paper's default 224×224 resolution."""
+    b = GraphBuilder("candy")
+    x = b.input("image", (batch, 3, resolution, resolution))
+
+    # Encoder.
+    y = conv_in_relu(b, x, 32, kernel=9, stride=1, pad=4, name="enc1")
+    y = conv_in_relu(b, y, 64, kernel=3, stride=2, pad=1, name="enc2")
+    y = conv_in_relu(b, y, 128, kernel=3, stride=2, pad=1, name="enc3")
+
+    # Residual blocks.
+    for index in range(num_residual_blocks):
+        y = _residual_block(b, y, 128, index)
+
+    # Decoder.
+    y = b.conv_transpose2d(y, 64, kernel=3, stride=2, padding=1, output_padding=1, name="dec1")
+    y = b.instance_norm(y)
+    y = b.relu(y)
+    y = b.conv_transpose2d(y, 32, kernel=3, stride=2, padding=1, output_padding=1, name="dec2")
+    y = b.instance_norm(y)
+    y = b.relu(y)
+    y = b.pad(y, (0, 0, 4, 4, 0, 0, 4, 4))
+    y = b.conv2d(y, 3, kernel=9, padding=0, name="out_conv")
+
+    b.output(y)
+    return b.build()
+
+
+def build_candy_block(channels: int = 128, resolution: int = 56, batch: int = 1) -> Graph:
+    """The InstanceNorm → ReLU → Pad pattern of Figure 12 in isolation.
+
+    The pattern appears between consecutive convolutions inside Candy's
+    residual blocks; the case-study benchmark compares TensorRT's three
+    kernels against Korch's orchestration of the decomposed InstanceNorm.
+    """
+    b = GraphBuilder("candy_in_relu_pad")
+    x = b.input("features", (batch, channels, resolution, resolution))
+    y = b.instance_norm(x)
+    y = b.relu(y)
+    y = b.pad(y, (0, 0, 1, 1, 0, 0, 1, 1))
+    b.output(y)
+    return b.build()

@@ -1,0 +1,107 @@
+"""EfficientViT: high-resolution vision backbone with ReLU linear attention.
+
+The paper evaluates EfficientViT at 2048×2048 input, where the lightweight
+multi-scale attention module dominates: Q/K/V come from a 1×1 convolution,
+queries and keys pass through ReLU, and attention is computed linearly as
+``Q (Kᵀ V) / (Q (Kᵀ·1) + ε)`` — the subgraph of Figure 8a with its Slice,
+ReLU, Transpose, MatMul, ReduceSum, MatMul, MatMul, Add, Div primitives.
+The EfficientViT case study (Figures 8–10) runs on the attention block built
+by :func:`build_efficientvit_attention_block`.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import conv_bn_act
+
+__all__ = ["build_efficientvit", "build_efficientvit_attention_block"]
+
+
+def _mbconv(b: GraphBuilder, x: str, out_channels: int, stride: int, expand: int, name: str) -> str:
+    """MobileNet-style inverted bottleneck with HardSwish activations."""
+    in_channels = b.shape(x)[1]
+    hidden = in_channels * expand
+    y = conv_bn_act(b, x, hidden, kernel=1, activation="HardSwish", name=f"{name}_expand")
+    y = conv_bn_act(b, y, hidden, kernel=3, stride=stride, groups=hidden,
+                    activation="HardSwish", name=f"{name}_dw")
+    y = conv_bn_act(b, y, out_channels, kernel=1, activation="", name=f"{name}_project")
+    if stride == 1 and in_channels == out_channels:
+        y = b.add(x, y)
+    return y
+
+
+def _relu_linear_attention(b: GraphBuilder, x: str, dim: int, name: str) -> str:
+    """EfficientViT's ReLU linear attention over an NCHW feature map."""
+    n, c, h, w = b.shape(x)
+    qkv = b.conv2d(x, 3 * dim, kernel=1, padding=0, name=f"{name}_qkv")
+    tokens = b.reshape(qkv, (n, 3 * dim, h * w))
+    tokens = b.transpose(tokens, (0, 2, 1))  # (N, HW, 3*dim)
+
+    query = b.slice(tokens, starts=(0,), ends=(dim,), axes=(2,))
+    key = b.slice(tokens, starts=(dim,), ends=(2 * dim,), axes=(2,))
+    value = b.slice(tokens, starts=(2 * dim,), ends=(3 * dim,), axes=(2,))
+
+    query = b.relu(query)
+    key = b.relu(key)
+    key_t = b.transpose(key, (0, 2, 1))  # (N, dim, HW)
+
+    context = b.matmul(key_t, value)  # (N, dim, dim)
+    numerator = b.matmul(query, context)  # (N, HW, dim)
+    key_sum = b.reduce_sum(key_t, axes=(-1,), keepdims=True)  # (N, dim, 1)
+    denominator = b.matmul(query, key_sum)  # (N, HW, 1)
+    eps = b.constant(f"{name}_eps", [1e-6])
+    denominator = b.add(denominator, eps)
+    attended = b.div(numerator, denominator)
+
+    attended = b.transpose(attended, (0, 2, 1))
+    fmap = b.reshape(attended, (n, dim, h, w))
+    projected = b.conv2d(fmap, c, kernel=1, padding=0, name=f"{name}_proj")
+    return b.add(x, projected)
+
+
+def build_efficientvit(resolution: int = 2048, batch: int = 1, num_classes: int = 19) -> Graph:
+    """EfficientViT backbone + segmentation head at 2048×2048."""
+    b = GraphBuilder("efficientvit")
+    x = b.input("image", (batch, 3, resolution, resolution))
+
+    # Stem: /4.
+    y = conv_bn_act(b, x, 16, kernel=3, stride=2, activation="HardSwish", name="stem1")
+    y = conv_bn_act(b, y, 16, kernel=3, stride=2, activation="HardSwish", name="stem2")
+
+    # Convolutional stages: /8, /16.
+    y = _mbconv(b, y, 32, stride=2, expand=4, name="stage1_0")
+    y = _mbconv(b, y, 32, stride=1, expand=4, name="stage1_1")
+    y = _mbconv(b, y, 64, stride=2, expand=4, name="stage2_0")
+    y = _mbconv(b, y, 64, stride=1, expand=4, name="stage2_1")
+
+    # Attention stages at /16 and /32.
+    y = _relu_linear_attention(b, y, dim=16, name="attn1")
+    y = _mbconv(b, y, 64, stride=1, expand=4, name="stage3_0")
+    y = _mbconv(b, y, 128, stride=2, expand=4, name="stage4_0")
+    y = _relu_linear_attention(b, y, dim=16, name="attn2")
+    y = _mbconv(b, y, 128, stride=1, expand=4, name="stage4_1")
+
+    # Segmentation head: 1x1 convs + upsample to /8 resolution.
+    head = conv_bn_act(b, y, 64, kernel=1, activation="HardSwish", name="head_reduce")
+    head = b.resize(head, 4.0, mode="bilinear")
+    head = conv_bn_act(b, head, 64, kernel=3, activation="HardSwish", name="head_conv")
+    logits = b.conv2d(head, num_classes, kernel=1, padding=0, name="head_out")
+    b.output(logits)
+    return b.build()
+
+
+def build_efficientvit_attention_block(
+    resolution: int = 128, channels: int = 48, dim: int = 16, batch: int = 1
+) -> Graph:
+    """The attention block of Figure 8a in isolation.
+
+    At 2048×2048 model input the /16 feature map is 128×128, i.e. 16384
+    tokens with a head dimension of 16 — the 1024:1 aspect-ratio GEMM whose
+    data layout Korch's strategy fixes by fusing a Transpose (Figure 8b).
+    """
+    b = GraphBuilder("efficientvit_attention")
+    x = b.input("features", (batch, channels, resolution, resolution))
+    y = _relu_linear_attention(b, x, dim=dim, name="attn")
+    b.output(y)
+    return b.build()

@@ -1,0 +1,186 @@
+"""Segformer-B0: hierarchical vision Transformer for semantic segmentation.
+
+Four encoder stages (overlapped patch embedding + efficient self-attention +
+Mix-FFN) followed by the all-MLP decoder that resizes every stage's features
+to a common resolution and concatenates them — the subgraph Figure 11/13
+studies.  Default input: 1×3×512×512 (the paper's Segformer resolution).
+
+Simplifications relative to the reference implementation (documented per the
+repro policy in DESIGN.md): single-head attention (so attention tensors stay
+rank-3) and two transformer blocks per stage.  Neither changes the operator
+patterns the evaluation exercises (softmax attention, LayerNorm, GELU MLPs,
+the Resize/Concat decoder).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+
+__all__ = [
+    "build_segformer",
+    "build_segformer_attention_block",
+    "build_segformer_decoder_subgraph",
+]
+
+# Segformer-B0 stage configuration: (embed dim, spatial-reduction ratio, depth).
+_STAGES = (
+    (32, 8, 2),
+    (64, 4, 2),
+    (160, 2, 2),
+    (256, 1, 2),
+)
+_PATCH_STRIDES = (4, 2, 2, 2)
+_DECODER_DIM = 256
+
+
+def _tokens(b: GraphBuilder, x: str) -> tuple[str, int, int, int]:
+    """NCHW feature map -> (tokens tensor of shape (N, H*W, C), C, H, W)."""
+    n, c, h, w = b.shape(x)
+    flat = b.reshape(x, (n, c, h * w))
+    tokens = b.transpose(flat, (0, 2, 1))
+    return tokens, c, h, w
+
+
+def _feature_map(b: GraphBuilder, tokens: str, channels: int, height: int, width: int) -> str:
+    """(N, H*W, C) tokens -> NCHW feature map."""
+    n = b.shape(tokens)[0]
+    swapped = b.transpose(tokens, (0, 2, 1))
+    return b.reshape(swapped, (n, channels, height, width))
+
+
+def _efficient_attention(
+    b: GraphBuilder, tokens: str, channels: int, height: int, width: int, sr_ratio: int, name: str
+) -> str:
+    """Segformer's efficient self-attention with spatial reduction."""
+    normed = b.layer_norm(tokens)
+    query = b.linear(normed, channels, name=f"{name}_q")
+
+    if sr_ratio > 1:
+        fmap = _feature_map(b, normed, channels, height, width)
+        reduced = b.conv2d(fmap, channels, kernel=sr_ratio, stride=sr_ratio, padding=0, name=f"{name}_sr")
+        kv_tokens, _, _, _ = _tokens(b, reduced)
+        kv_tokens = b.layer_norm(kv_tokens)
+    else:
+        kv_tokens = normed
+
+    key = b.linear(kv_tokens, channels, name=f"{name}_k")
+    value = b.linear(kv_tokens, channels, name=f"{name}_v")
+
+    key_t = b.transpose(key, (0, 2, 1))
+    scores = b.matmul(query, key_t)
+    scale = b.constant(f"{name}_scale", [math.sqrt(channels)])
+    scores = b.div(scores, scale)
+    probs = b.softmax(scores, axis=-1)
+    context = b.matmul(probs, value)
+    projected = b.linear(context, channels, name=f"{name}_proj")
+    return b.add(tokens, projected)
+
+
+def _mix_ffn(
+    b: GraphBuilder, tokens: str, channels: int, height: int, width: int, name: str
+) -> str:
+    """Mix-FFN: Linear → depthwise 3x3 conv → GELU → Linear, with residual."""
+    hidden = channels * 4
+    normed = b.layer_norm(tokens)
+    expanded = b.linear(normed, hidden, name=f"{name}_fc1")
+    fmap = _feature_map(b, expanded, hidden, height, width)
+    mixed = b.conv2d(fmap, hidden, kernel=3, groups=hidden, name=f"{name}_dwconv")
+    mixed_tokens, _, _, _ = _tokens(b, mixed)
+    activated = b.gelu(mixed_tokens)
+    contracted = b.linear(activated, channels, name=f"{name}_fc2")
+    return b.add(tokens, contracted)
+
+
+def build_segformer(resolution: int = 512, batch: int = 1, num_classes: int = 150) -> Graph:
+    """Segformer-B0 encoder + all-MLP decoder at 512×512."""
+    b = GraphBuilder("segformer")
+    x = b.input("image", (batch, 3, resolution, resolution))
+
+    stage_outputs: list[tuple[str, int, int, int]] = []
+    current = x
+    for stage, ((channels, sr_ratio, depth), stride) in enumerate(zip(_STAGES, _PATCH_STRIDES)):
+        kernel = stride * 2 - 1
+        current = b.conv2d(
+            current, channels, kernel=kernel, stride=stride, padding=kernel // 2,
+            name=f"patch_embed{stage}",
+        )
+        tokens, c, h, w = _tokens(b, current)
+        tokens = b.layer_norm(tokens)
+        for block in range(depth):
+            tokens = _efficient_attention(b, tokens, c, h, w, sr_ratio, f"s{stage}b{block}_attn")
+            tokens = _mix_ffn(b, tokens, c, h, w, f"s{stage}b{block}_ffn")
+        tokens = b.layer_norm(tokens)
+        current = _feature_map(b, tokens, c, h, w)
+        stage_outputs.append((tokens, c, h, w))
+
+    # All-MLP decoder: project every stage to a common dim, reshape to NCHW,
+    # resize to 1/4 resolution, concatenate, fuse (Figure 11's subgraph).
+    target = resolution // 4
+    decoded = []
+    for stage, (tokens, channels, height, width) in enumerate(stage_outputs):
+        projected = b.linear(tokens, _DECODER_DIM, name=f"dec_proj{stage}")
+        fmap = _feature_map(b, projected, _DECODER_DIM, height, width)
+        if height != target:
+            fmap = b.resize_to(fmap, (batch, _DECODER_DIM, target, target), mode="bilinear")
+        decoded.append(fmap)
+    fused = b.concat(decoded[::-1], axis=1)
+    fused = b.conv2d(fused, _DECODER_DIM, kernel=1, padding=0, name="dec_fuse")
+    fused = b.batch_norm(fused)
+    fused = b.relu(fused)
+    logits = b.conv2d(fused, num_classes, kernel=1, padding=0, name="classifier")
+    b.output(logits)
+    return b.build()
+
+
+def build_segformer_attention_block(
+    tokens: int = 4096, channels: int = 64, kv_tokens: int = 256, batch: int = 1
+) -> Graph:
+    """The self-attention subgraph of Figures 2a/4a.
+
+    ``MatMul → Div → Softmax → MatMul`` with a transposed key operand, the
+    pattern whose decomposition lets Korch map Softmax across four kernels
+    (§6.4, "Map one operator to different kernels").
+    """
+    b = GraphBuilder("segformer_attention")
+    query = b.input("query", (batch, tokens, channels))
+    key = b.input("key", (batch, kv_tokens, channels))
+    value = b.input("value", (batch, kv_tokens, channels))
+
+    key_t = b.transpose(key, (0, 2, 1))
+    scores = b.matmul(query, key_t)
+    scale = b.constant("scale", [math.sqrt(channels)])
+    scaled = b.div(scores, scale)
+    probs = b.softmax(scaled, axis=-1)
+    context = b.matmul(probs, value)
+    b.output(context)
+    return b.build()
+
+
+def build_segformer_decoder_subgraph(batch: int = 1, channels: int = _DECODER_DIM) -> Graph:
+    """The MLP-decoder subgraph of Figure 11.
+
+    Four branches — ``Add (bias) → Transpose → Reshape → Resize`` over token
+    counts 16384/4096/1024/256 — feeding one Concat.  TVM fuses the whole
+    subgraph into one kernel; Korch picks that plan at batch 1 but a
+    five-kernel plan at batch 16 (Figure 13).
+    """
+    b = GraphBuilder("segformer_decoder")
+    token_counts = (16384, 4096, 1024, 256)
+    target = 128
+    branches = []
+    for index, tokens in enumerate(token_counts):
+        x = b.input(f"branch{index}", (batch, tokens, channels))
+        bias = b.param(f"bias{index}", (channels,))
+        y = b.add(x, bias)
+        y = b.transpose(y, (0, 2, 1))
+        side = int(math.isqrt(tokens))
+        y = b.reshape(y, (batch, channels, side, side))
+        if side != target:
+            y = b.resize_to(y, (batch, channels, target, target), mode="bilinear")
+        branches.append(y)
+    fused = b.concat(branches, axis=1)
+    b.output(fused)
+    return b.build()

@@ -1,0 +1,99 @@
+"""YOLOv4: CSPDarknet53 backbone + SPP + PANet neck + three detection heads.
+
+Mish activations in the backbone, LeakyReLU in the neck, and the
+concatenation-heavy CSP/PAN topology are the operator patterns that matter
+for kernel orchestration on this workload.  Default input: 1×3×416×416.
+
+The stage depths are reduced relative to the full 53-layer backbone
+(documented simplification) so the end-to-end pipeline optimizes the model in
+seconds; the operator mix and tensor shapes per stage match the original.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import conv_bn_act, spp_block
+
+__all__ = ["build_yolov4"]
+
+#: (out_channels, number of residual units) per downsampling stage.
+_BACKBONE_STAGES = ((64, 1), (128, 1), (256, 2), (512, 2), (1024, 1))
+
+
+def _csp_stage(b: GraphBuilder, x: str, out_channels: int, num_blocks: int, name: str) -> str:
+    """Cross-stage-partial stage: downsample, split, residual units, merge."""
+    y = conv_bn_act(b, x, out_channels, kernel=3, stride=2, activation="Mish", name=f"{name}_down")
+    route = conv_bn_act(b, y, out_channels // 2, kernel=1, activation="Mish", name=f"{name}_route")
+    main = conv_bn_act(b, y, out_channels // 2, kernel=1, activation="Mish", name=f"{name}_main")
+    for block in range(num_blocks):
+        residual = conv_bn_act(b, main, out_channels // 2, kernel=1, activation="Mish",
+                               name=f"{name}_b{block}_1")
+        residual = conv_bn_act(b, residual, out_channels // 2, kernel=3, activation="Mish",
+                               name=f"{name}_b{block}_2")
+        main = b.add(main, residual)
+    main = conv_bn_act(b, main, out_channels // 2, kernel=1, activation="Mish", name=f"{name}_post")
+    merged = b.concat([main, route], axis=1)
+    return conv_bn_act(b, merged, out_channels, kernel=1, activation="Mish", name=f"{name}_out")
+
+
+def _conv_set(b: GraphBuilder, x: str, channels: int, name: str) -> str:
+    """The five-convolution block used throughout the PANet neck."""
+    y = conv_bn_act(b, x, channels, kernel=1, activation="LeakyRelu", name=f"{name}_1")
+    y = conv_bn_act(b, y, channels * 2, kernel=3, activation="LeakyRelu", name=f"{name}_2")
+    y = conv_bn_act(b, y, channels, kernel=1, activation="LeakyRelu", name=f"{name}_3")
+    y = conv_bn_act(b, y, channels * 2, kernel=3, activation="LeakyRelu", name=f"{name}_4")
+    return conv_bn_act(b, y, channels, kernel=1, activation="LeakyRelu", name=f"{name}_5")
+
+
+def _detect_head(b: GraphBuilder, x: str, channels: int, num_outputs: int, name: str) -> str:
+    y = conv_bn_act(b, x, channels * 2, kernel=3, activation="LeakyRelu", name=f"{name}_conv")
+    return b.conv2d(y, num_outputs, kernel=1, padding=0, name=f"{name}_out")
+
+
+def build_yolov4(resolution: int = 416, batch: int = 1, num_classes: int = 80) -> Graph:
+    """YOLOv4 object detector at the paper's 416×416 resolution."""
+    b = GraphBuilder("yolov4")
+    x = b.input("image", (batch, 3, resolution, resolution))
+    num_outputs = 3 * (num_classes + 5)
+
+    # Backbone.
+    y = conv_bn_act(b, x, 32, kernel=3, activation="Mish", name="stem")
+    features = []
+    for index, (channels, blocks) in enumerate(_BACKBONE_STAGES):
+        y = _csp_stage(b, y, channels, blocks, name=f"csp{index}")
+        features.append(y)
+    c3, c4, c5 = features[2], features[3], features[4]
+
+    # SPP on the deepest feature map.
+    p5 = spp_block(b, c5, 512, activation="LeakyRelu")
+    p5 = _conv_set(b, p5, 512, name="p5_set")
+
+    # Top-down path.
+    p5_up = conv_bn_act(b, p5, 256, kernel=1, activation="LeakyRelu", name="p5_up_conv")
+    p5_up = b.resize(p5_up, 2.0)
+    c4_lat = conv_bn_act(b, c4, 256, kernel=1, activation="LeakyRelu", name="c4_lateral")
+    p4 = b.concat([c4_lat, p5_up], axis=1)
+    p4 = _conv_set(b, p4, 256, name="p4_set")
+
+    p4_up = conv_bn_act(b, p4, 128, kernel=1, activation="LeakyRelu", name="p4_up_conv")
+    p4_up = b.resize(p4_up, 2.0)
+    c3_lat = conv_bn_act(b, c3, 128, kernel=1, activation="LeakyRelu", name="c3_lateral")
+    p3 = b.concat([c3_lat, p4_up], axis=1)
+    p3 = _conv_set(b, p3, 128, name="p3_set")
+
+    # Bottom-up path.
+    p3_down = conv_bn_act(b, p3, 256, kernel=3, stride=2, activation="LeakyRelu", name="p3_down")
+    p4 = b.concat([p3_down, p4], axis=1)
+    p4 = _conv_set(b, p4, 256, name="p4_set2")
+
+    p4_down = conv_bn_act(b, p4, 512, kernel=3, stride=2, activation="LeakyRelu", name="p4_down")
+    p5 = b.concat([p4_down, p5], axis=1)
+    p5 = _conv_set(b, p5, 512, name="p5_set2")
+
+    # Detection heads at /8, /16, /32.
+    out_small = _detect_head(b, p3, 128, num_outputs, name="head_small")
+    out_medium = _detect_head(b, p4, 256, num_outputs, name="head_medium")
+    out_large = _detect_head(b, p5, 512, num_outputs, name="head_large")
+    b.output(out_small, out_medium, out_large)
+    return b.build()

@@ -1,0 +1,89 @@
+"""YOLOX-Nano: anchor-free detector with depthwise-separable convolutions.
+
+YOLOX-Nano uses a Focus stem (space-to-depth slices + concat), depthwise
+separable CSP blocks with SiLU activations, and a decoupled head whose
+classification/regression outputs are concatenated and passed through
+sigmoids — a mix of memory-bound layout, elementwise and small compute
+operators that stresses kernel orchestration differently than the larger
+CNNs.  Default input: 1×3×416×416.
+"""
+
+from __future__ import annotations
+
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from .common import conv_bn_act, depthwise_separable, focus_layer
+
+__all__ = ["build_yolox_nano"]
+
+#: (out_channels, csp blocks) per stage of the CSPDarknet-nano backbone.
+_STAGES = ((32, 1), (64, 2), (128, 2), (256, 1))
+
+
+def _csp_layer(b: GraphBuilder, x: str, out_channels: int, num_blocks: int, name: str) -> str:
+    """Depthwise CSP layer used by both the backbone and the PAFPN neck."""
+    half = out_channels // 2
+    main = conv_bn_act(b, x, half, kernel=1, activation="Silu", name=f"{name}_main")
+    route = conv_bn_act(b, x, half, kernel=1, activation="Silu", name=f"{name}_route")
+    for block in range(num_blocks):
+        bottleneck = depthwise_separable(b, main, half, activation="Silu", name=f"{name}_b{block}")
+        main = b.add(main, bottleneck)
+    merged = b.concat([main, route], axis=1)
+    return conv_bn_act(b, merged, out_channels, kernel=1, activation="Silu", name=f"{name}_out")
+
+
+def _decoupled_head(b: GraphBuilder, x: str, num_classes: int, name: str) -> str:
+    """YOLOX decoupled head: shared stem, then class and box/objectness branches."""
+    stem = conv_bn_act(b, x, 64, kernel=1, activation="Silu", name=f"{name}_stem")
+
+    cls_branch = depthwise_separable(b, stem, 64, activation="Silu", name=f"{name}_cls1")
+    cls_branch = depthwise_separable(b, cls_branch, 64, activation="Silu", name=f"{name}_cls2")
+    cls_out = b.conv2d(cls_branch, num_classes, kernel=1, padding=0, name=f"{name}_cls_pred")
+    cls_out = b.sigmoid(cls_out)
+
+    reg_branch = depthwise_separable(b, stem, 64, activation="Silu", name=f"{name}_reg1")
+    reg_branch = depthwise_separable(b, reg_branch, 64, activation="Silu", name=f"{name}_reg2")
+    box_out = b.conv2d(reg_branch, 4, kernel=1, padding=0, name=f"{name}_box_pred")
+    obj_out = b.conv2d(reg_branch, 1, kernel=1, padding=0, name=f"{name}_obj_pred")
+    obj_out = b.sigmoid(obj_out)
+
+    return b.concat([box_out, obj_out, cls_out], axis=1)
+
+
+def build_yolox_nano(resolution: int = 416, batch: int = 1, num_classes: int = 80) -> Graph:
+    """YOLOX-Nano at the paper's 416×416 resolution."""
+    b = GraphBuilder("yolox_nano")
+    x = b.input("image", (batch, 3, resolution, resolution))
+
+    # Backbone (CSPDarknet-nano with Focus stem).
+    y = focus_layer(b, x, 16, activation="Silu")
+    features = []
+    for index, (channels, blocks) in enumerate(_STAGES):
+        y = depthwise_separable(b, y, channels, stride=2, activation="Silu", name=f"down{index}")
+        y = _csp_layer(b, y, channels, blocks, name=f"stage{index}")
+        features.append(y)
+    c3, c4, c5 = features[1], features[2], features[3]
+
+    # PAFPN neck.
+    p5 = conv_bn_act(b, c5, 128, kernel=1, activation="Silu", name="lateral5")
+    p5_up = b.resize(p5, 2.0)
+    p4 = b.concat([p5_up, c4], axis=1)
+    p4 = _csp_layer(b, p4, 128, 1, name="fpn_p4")
+    p4_lat = conv_bn_act(b, p4, 64, kernel=1, activation="Silu", name="lateral4")
+    p4_up = b.resize(p4_lat, 2.0)
+    p3 = b.concat([p4_up, c3], axis=1)
+    p3 = _csp_layer(b, p3, 64, 1, name="fpn_p3")
+
+    p3_down = depthwise_separable(b, p3, 64, stride=2, activation="Silu", name="pan_down3")
+    p4 = b.concat([p3_down, p4_lat], axis=1)
+    p4 = _csp_layer(b, p4, 128, 1, name="pan_p4")
+    p4_down = depthwise_separable(b, p4, 128, stride=2, activation="Silu", name="pan_down4")
+    p5 = b.concat([p4_down, p5], axis=1)
+    p5 = _csp_layer(b, p5, 256, 1, name="pan_p5")
+
+    # Decoupled heads at /8, /16, /32.
+    out_small = _decoupled_head(b, p3, num_classes, name="head_small")
+    out_medium = _decoupled_head(b, p4, num_classes, name="head_medium")
+    out_large = _decoupled_head(b, p5, num_classes, name="head_large")
+    b.output(out_small, out_medium, out_large)
+    return b.build()

@@ -1,0 +1,32 @@
+"""Kernel orchestration: execution states, kernel identification, BLP optimizer (§4)."""
+
+from .blp import OrchestrationBlp, build_orchestration_blp
+from .execution_state import (
+    connected_components,
+    convex_subgraphs_from_states,
+    enumerate_execution_states,
+    is_convex,
+    is_execution_state,
+)
+from .identifier import KernelIdentifier, KernelIdentifierConfig, KernelIdentifierReport
+from .kernel import CandidateKernel
+from .optimizer import KernelOrchestrationOptimizer, OrchestrationResult
+from .strategy import OrchestrationStrategy, order_kernels
+
+__all__ = [
+    "enumerate_execution_states",
+    "is_execution_state",
+    "is_convex",
+    "convex_subgraphs_from_states",
+    "connected_components",
+    "CandidateKernel",
+    "KernelIdentifier",
+    "KernelIdentifierConfig",
+    "KernelIdentifierReport",
+    "OrchestrationBlp",
+    "build_orchestration_blp",
+    "OrchestrationStrategy",
+    "order_kernels",
+    "KernelOrchestrationOptimizer",
+    "OrchestrationResult",
+]

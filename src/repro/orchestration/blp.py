@@ -1,0 +1,87 @@
+"""Binary linear program construction for kernel orchestration (§4.2).
+
+Variables: one binary ``u_i`` per candidate kernel (1 = the kernel is
+launched).  Objective: the sum of the selected kernels' profiled latencies
+(Equation 2).  Constraints:
+
+* **Output constraints** (Equation 3): every tensor the primitive graph must
+  produce is materialized by at least one selected kernel.
+* **Dependency constraints** (Equation 4): if a selected kernel reads a
+  tensor produced by some primitive, at least one selected kernel must
+  materialize that tensor.
+
+Unlike prior work, primitives may be *executed* by any number of selected
+kernels (redundant computation); only materialization is constrained, which
+is exactly the relaxation that lets Korch trade recomputation for memory
+traffic and launch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..primitives.graph import PrimitiveGraph
+from ..solver.problem import BinaryLinearProgram
+from .kernel import CandidateKernel
+
+__all__ = ["OrchestrationBlp", "build_orchestration_blp"]
+
+
+@dataclass
+class OrchestrationBlp:
+    """The constructed BLP plus the bookkeeping to interpret its solution."""
+
+    problem: BinaryLinearProgram
+    kernels: list[CandidateKernel]
+    #: tensor name -> indices of kernels that materialize it
+    producers_of: dict[str, list[int]]
+    #: tensors that must be materialized because they are graph outputs
+    required_tensors: list[str]
+
+    def selected_kernels(self, values: list[int]) -> list[CandidateKernel]:
+        """Kernels chosen by a 0/1 assignment."""
+        return [kernel for kernel, value in zip(self.kernels, values) if value >= 0.5]
+
+
+def build_orchestration_blp(pg: PrimitiveGraph, kernels: list[CandidateKernel]) -> OrchestrationBlp:
+    """Construct the kernel orchestration BLP for ``pg`` and its candidates."""
+    problem = BinaryLinearProgram(f"{pg.name}.orchestration")
+
+    producers_of: dict[str, list[int]] = {}
+    for position, kernel in enumerate(kernels):
+        index = problem.add_variable(f"u_{position}", kernel.latency_s)
+        if index != position:
+            raise AssertionError("kernel variable indices must match kernel order")
+        for tensor in kernel.outputs:
+            producers_of.setdefault(tensor, []).append(position)
+
+    # Output constraints: every graph output tensor produced by a primitive
+    # must be materialized at least once.  (Outputs that are graph sources —
+    # pass-through inputs — need no kernel.)
+    required = [t for t in pg.outputs if pg.producer(t) is not None]
+    for tensor in required:
+        producers = producers_of.get(tensor, [])
+        if not producers:
+            raise ValueError(
+                f"no candidate kernel materializes required output {tensor!r}; "
+                "the kernel identifier must at least provide singleton kernels"
+            )
+        problem.add_constraint({i: 1.0 for i in producers}, ">=", 1.0, name=f"out[{tensor}]")
+
+    # Dependency constraints: a kernel can only run if every tensor it reads
+    # from device memory is materialized by some selected kernel.
+    for position, kernel in enumerate(kernels):
+        for tensor in kernel.external_inputs:
+            if pg.is_source_tensor(tensor):
+                continue  # model inputs/weights/constants are always resident
+            producers = [i for i in producers_of.get(tensor, []) if i != position]
+            coeffs = {i: 1.0 for i in producers}
+            coeffs[position] = coeffs.get(position, 0.0) - 1.0
+            problem.add_constraint(coeffs, ">=", 0.0, name=f"dep[k{position},{tensor}]")
+
+    return OrchestrationBlp(
+        problem=problem,
+        kernels=kernels,
+        producers_of=producers_of,
+        required_tensors=required,
+    )

@@ -1,0 +1,248 @@
+"""Kernel identifier: Algorithm 1 of the paper.
+
+Enumerates execution states with a DFS, derives every convex primitive set
+from pairs of states (Theorem 1), attaches possible output sets, profiles
+each candidate with the kernel profiler, and returns the surviving candidate
+kernels.  Candidates the profiler rejects (no backend can generate them) are
+dropped, mirroring the profiler returning ∞ in the paper.
+
+Pruning heuristics (§6.5): a maximum primitive count per kernel, at most one
+linear-transformation primitive per kernel, opaque primitives only as
+singleton kernels, and (optionally) weak connectivity of the candidate set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..backends import FrameworkEagerBackend, KernelBackend
+from ..gpu.profiler import KernelProfiler
+from ..gpu.specs import GpuSpec
+from ..primitives.graph import PrimitiveGraph, PrimitiveNode
+from .execution_state import connected_components, convex_subgraphs_from_states, enumerate_execution_states
+from .kernel import CandidateKernel
+
+__all__ = ["KernelIdentifierConfig", "KernelIdentifierReport", "KernelIdentifier"]
+
+
+@dataclass
+class KernelIdentifierConfig:
+    """Tunable limits of the kernel identifier."""
+
+    #: Maximum primitives one kernel may contain (candidates above are pruned).
+    max_kernel_size: int = 10
+    #: Maximum linear-transformation primitives per kernel.
+    max_linear_per_kernel: int = 1
+    #: Hard cap on the execution-state enumeration.
+    max_states: int = 20000
+    #: Hard cap on the number of profiled candidates (safety valve).
+    max_candidates: int = 50000
+    #: Require candidate primitive sets to be weakly connected.
+    require_connected: bool = True
+    #: Also emit one multi-output candidate per convex set (in addition to the
+    #: single-output candidates); §8 notes single-output is the paper's
+    #: implementation and multi-output its natural extension.
+    allow_multi_output: bool = True
+    #: Drop candidates that are dominated by a cheaper candidate with the same
+    #: external inputs and the same output set: the BLP constraints only see a
+    #: kernel's I/O tensors, so replacing a dominated kernel by its dominator
+    #: never affects feasibility and cannot increase the objective.
+    prune_dominated: bool = True
+
+
+@dataclass
+class KernelIdentifierReport:
+    """Statistics of one identification run (feeds Table 2)."""
+
+    num_execution_states: int = 0
+    num_convex_sets: int = 0
+    num_candidates_considered: int = 0
+    num_candidates_profiled: int = 0
+    num_candidates_rejected: int = 0
+    num_candidates: int = 0
+    pruned_by_size: int = 0
+    pruned_by_linear: int = 0
+    pruned_by_connectivity: int = 0
+    pruned_by_dominance: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class KernelIdentifier:
+    """Identifies and profiles all candidate kernels of a primitive graph."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        backends: Sequence[KernelBackend] | None = None,
+        config: KernelIdentifierConfig | None = None,
+        profiler: KernelProfiler | None = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config or KernelIdentifierConfig()
+        self.profiler = profiler or KernelProfiler(spec, backends)
+        self._fallback_profiler = KernelProfiler(spec, [FrameworkEagerBackend()], self.profiler.tuning_model)
+
+    # ------------------------------------------------------------------ api
+    def identify(self, pg: PrimitiveGraph) -> tuple[list[CandidateKernel], KernelIdentifierReport]:
+        """Run Algorithm 1 on ``pg``."""
+        report = KernelIdentifierReport()
+        states = enumerate_execution_states(pg, max_states=self.config.max_states)
+        report.num_execution_states = len(states)
+
+        convex_sets = convex_subgraphs_from_states(states, max_size=self.config.max_kernel_size)
+        # Singletons are always candidates, even if the state-pair enumeration
+        # was truncated: they are the fallback that keeps the BLP feasible.
+        for node in pg.nodes:
+            convex_sets.add(frozenset({node.name}))
+        report.num_convex_sets = len(convex_sets)
+
+        nodes_by_name = {node.name: node for node in pg.nodes}
+        candidates: list[CandidateKernel] = []
+        seen: set[tuple[frozenset[str], tuple[str, ...]]] = set()
+
+        for node_set in sorted(convex_sets, key=lambda s: (len(s), sorted(s))):
+            if len(candidates) >= self.config.max_candidates:
+                break
+            pruned = self._prune(pg, node_set, nodes_by_name, report)
+            if pruned:
+                continue
+            for exec_names, outputs in self._candidate_variants(pg, node_set, nodes_by_name):
+                key = (exec_names, tuple(sorted(outputs)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                report.num_candidates_considered += 1
+                candidate = self._profile_candidate(pg, exec_names, outputs, nodes_by_name, len(candidates))
+                report.num_candidates_profiled += 1
+                if candidate is None:
+                    report.num_candidates_rejected += 1
+                    continue
+                candidates.append(candidate)
+                if len(candidates) >= self.config.max_candidates:
+                    break
+
+        if self.config.prune_dominated:
+            candidates = self._prune_dominated(candidates, report)
+        report.num_candidates = len(candidates)
+        return candidates, report
+
+    @staticmethod
+    def _prune_dominated(
+        candidates: list[CandidateKernel], report: KernelIdentifierReport
+    ) -> list[CandidateKernel]:
+        """Keep only the cheapest candidate per (external inputs, outputs) pair."""
+        best: dict[tuple, CandidateKernel] = {}
+        for candidate in candidates:
+            key = (frozenset(candidate.external_inputs), frozenset(candidate.outputs))
+            incumbent = best.get(key)
+            if incumbent is None or candidate.latency_s < incumbent.latency_s:
+                best[key] = candidate
+        surviving = sorted(best.values(), key=lambda c: c.index)
+        report.pruned_by_dominance = len(candidates) - len(surviving)
+        for position, candidate in enumerate(surviving):
+            candidate.index = position
+        return surviving
+
+    # ------------------------------------------------------------- internals
+    def _prune(
+        self,
+        pg: PrimitiveGraph,
+        node_set: frozenset[str],
+        nodes_by_name: dict[str, PrimitiveNode],
+        report: KernelIdentifierReport,
+    ) -> bool:
+        """Apply the §6.5 pruning heuristics; returns True when pruned."""
+        if len(node_set) > self.config.max_kernel_size:
+            report.pruned_by_size += 1
+            return True
+        members = [nodes_by_name[name] for name in node_set]
+        num_linear = sum(1 for node in members if node.is_linear)
+        if num_linear > self.config.max_linear_per_kernel:
+            report.pruned_by_linear += 1
+            return True
+        has_opaque = any(node.prim.category.value == "opaque" for node in members)
+        if has_opaque and len(node_set) > 1:
+            report.pruned_by_linear += 1
+            return True
+        if self.config.require_connected and len(node_set) > 1:
+            if len(connected_components(pg, node_set)) > 1:
+                report.pruned_by_connectivity += 1
+                return True
+        return False
+
+    def _candidate_variants(
+        self,
+        pg: PrimitiveGraph,
+        node_set: frozenset[str],
+        nodes_by_name: dict[str, PrimitiveNode],
+    ):
+        """Yield (execution set, output tensors) variants for a convex set.
+
+        Possible outputs (Definition 3) are the members with a consumer
+        outside the set, plus graph-output producers.  One single-output
+        candidate is emitted per possible output (restricted to that output's
+        ancestors inside the set, which is the part of the set the kernel
+        actually needs), plus — optionally — one candidate materializing all
+        required outputs at once.
+        """
+        members = [nodes_by_name[name] for name in node_set]
+        _, required_outputs = pg.subset_io(members)
+        if not required_outputs:
+            return
+
+        ancestors_cache: dict[str, set[str]] = {}
+
+        def ancestors_within(target: PrimitiveNode) -> frozenset[str]:
+            if target.name not in ancestors_cache:
+                result: set[str] = {target.name}
+                stack = [target]
+                while stack:
+                    current = stack.pop()
+                    for pred in pg.predecessors(current):
+                        if pred.name in node_set and pred.name not in result:
+                            result.add(pred.name)
+                            stack.append(pred)
+                ancestors_cache[target.name] = result
+            return frozenset(ancestors_cache[target.name])
+
+        emitted_full = False
+        for tensor in required_outputs:
+            producer = pg.producer(tensor)
+            if producer is None or producer.name not in node_set:
+                continue
+            restricted = ancestors_within(producer)
+            yield restricted, [tensor]
+            if restricted == node_set and len(required_outputs) == 1:
+                emitted_full = True
+
+        if self.config.allow_multi_output and len(required_outputs) > 1 and not emitted_full:
+            yield frozenset(node_set), list(required_outputs)
+
+    def _profile_candidate(
+        self,
+        pg: PrimitiveGraph,
+        node_names: frozenset[str],
+        outputs: list[str],
+        nodes_by_name: dict[str, PrimitiveNode],
+        index: int,
+    ) -> CandidateKernel | None:
+        order = {node.name: position for position, node in enumerate(pg.topological_order())}
+        nodes = sorted((nodes_by_name[name] for name in node_names), key=lambda n: order[n.name])
+        external_inputs, _ = pg.subset_io(nodes)
+        profile = self.profiler.profile(pg, nodes, external_inputs, outputs)
+        if profile is None and len(nodes) == 1:
+            # Opaque or otherwise unsupported singleton: fall back to the
+            # framework's own kernel so the BLP always has a feasible cover.
+            profile = self._fallback_profiler.profile(pg, nodes, external_inputs, outputs)
+        if profile is None:
+            return None
+        return CandidateKernel(
+            index=index,
+            node_names=node_names,
+            nodes=nodes,
+            external_inputs=list(external_inputs),
+            outputs=list(outputs),
+            profile=profile,
+            source_ops=frozenset(node.source_op for node in nodes if node.source_op),
+        )

@@ -1,0 +1,75 @@
+"""Candidate kernel representation.
+
+A candidate kernel is a convex set of primitives together with the tensors it
+reads from device memory (external inputs) and the tensors it materializes
+back to device memory (its output set).  The same primitive set can appear in
+several candidates with different output sets — that is how the BLP can
+choose to *not* materialize an intermediate and instead recompute it in
+another kernel (the redundant-computation relaxation of §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.profiler import KernelProfile
+from ..primitives.graph import PrimitiveGraph, PrimitiveNode
+
+__all__ = ["CandidateKernel"]
+
+
+@dataclass
+class CandidateKernel:
+    """One candidate kernel produced by the kernel identifier."""
+
+    index: int
+    node_names: frozenset[str]
+    nodes: list[PrimitiveNode]
+    external_inputs: list[str]
+    outputs: list[str]
+    profile: KernelProfile
+
+    #: Names of primitives whose producing operator can be reported (set by
+    #: the identifier from PrimitiveNode.source_op, used by case studies).
+    source_ops: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def latency_s(self) -> float:
+        """Profiled latency of the kernel (the BLP objective coefficient)."""
+        return self.profile.latency_s
+
+    @property
+    def backend(self) -> str:
+        return self.profile.backend
+
+    @property
+    def num_primitives(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def output_nodes(self) -> list[PrimitiveNode]:
+        """Nodes whose result tensor is materialized by this kernel."""
+        outputs = set(self.outputs)
+        return [node for node in self.nodes if node.output in outputs]
+
+    def executes(self, node_name: str) -> bool:
+        """Whether this kernel computes the primitive ``node_name``."""
+        return node_name in self.node_names
+
+    def materializes(self, tensor: str) -> bool:
+        """Whether this kernel writes ``tensor`` to device memory."""
+        return tensor in self.outputs
+
+    def describe(self, pg: PrimitiveGraph) -> str:
+        """One-line human-readable summary used by reports and examples."""
+        ops = ", ".join(node.prim.op for node in self.nodes)
+        return (
+            f"K{self.index}[{ops}] -> {', '.join(self.outputs)} "
+            f"({self.backend}, {self.profile.latency_us:.2f} us)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CandidateKernel(#{self.index}, prims={sorted(self.node_names)}, "
+            f"outputs={self.outputs}, latency={self.profile.latency_us:.2f}us)"
+        )

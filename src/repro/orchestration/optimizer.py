@@ -1,0 +1,98 @@
+"""Kernel orchestration optimizer (§4.2).
+
+Ties the pieces together for one primitive graph: identify candidate kernels
+(Algorithm 1), build the binary linear program, solve it, and turn the
+selected kernels into an ordered :class:`~repro.orchestration.strategy.OrchestrationStrategy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..backends import KernelBackend
+from ..gpu.specs import GpuSpec
+from ..primitives.graph import PrimitiveGraph
+from ..solver import SolveResult, solve_blp
+from .blp import build_orchestration_blp
+from .identifier import KernelIdentifier, KernelIdentifierConfig, KernelIdentifierReport
+from .kernel import CandidateKernel
+from .strategy import OrchestrationStrategy, order_kernels
+
+__all__ = ["OrchestrationResult", "KernelOrchestrationOptimizer"]
+
+
+@dataclass
+class OrchestrationResult:
+    """Strategy plus all the intermediate artifacts, for reports and tests."""
+
+    strategy: OrchestrationStrategy
+    candidates: list[CandidateKernel]
+    identifier_report: KernelIdentifierReport
+    solve_result: SolveResult
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.candidates)
+
+
+class KernelOrchestrationOptimizer:
+    """Discovers the optimal kernel execution strategy for a primitive graph."""
+
+    def __init__(
+        self,
+        spec: GpuSpec,
+        backends: Sequence[KernelBackend] | None = None,
+        identifier_config: KernelIdentifierConfig | None = None,
+        solver_method: str = "auto",
+        solver_time_limit_s: float | None = 1000.0,
+        solver_mip_rel_gap: float = 0.0,
+    ) -> None:
+        self.spec = spec
+        self.identifier = KernelIdentifier(spec, backends=backends, config=identifier_config)
+        self.solver_method = solver_method
+        self.solver_time_limit_s = solver_time_limit_s
+        self.solver_mip_rel_gap = solver_mip_rel_gap
+
+    def optimize(self, pg: PrimitiveGraph) -> OrchestrationResult:
+        """Return the minimum-latency kernel orchestration strategy for ``pg``."""
+        candidates, report = self.identifier.identify(pg)
+        if not candidates and pg.nodes:
+            raise RuntimeError(
+                f"kernel identifier produced no candidates for {pg.name!r}; "
+                "cannot orchestrate"
+            )
+
+        if not pg.nodes:
+            strategy = OrchestrationStrategy(pg, [], 0.0, "optimal", "empty")
+            return OrchestrationResult(strategy, [], report, SolveResult("optimal", 0.0, []))
+
+        blp = build_orchestration_blp(pg, candidates)
+        result = solve_blp(
+            blp.problem,
+            method=self.solver_method,
+            time_limit_s=self.solver_time_limit_s,
+            mip_rel_gap=self.solver_mip_rel_gap,
+        )
+        if not result.is_feasible:
+            raise RuntimeError(
+                f"orchestration BLP for {pg.name!r} is {result.status}; "
+                f"{len(candidates)} candidates, {blp.problem.num_constraints} constraints"
+            )
+
+        selected = blp.selected_kernels(result.values)
+        ordered = order_kernels(pg, selected)
+        strategy = OrchestrationStrategy(
+            pg=pg,
+            kernels=ordered,
+            objective_s=result.objective,
+            solver_status=result.status,
+            solver_method=result.method,
+            metadata={
+                "num_candidates": len(candidates),
+                "num_constraints": blp.problem.num_constraints,
+                "num_execution_states": report.num_execution_states,
+            },
+        )
+        return OrchestrationResult(strategy, candidates, report, result)

@@ -1,0 +1,124 @@
+"""Kernel execution strategies: the output of the orchestration optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..primitives.graph import PrimitiveGraph
+from .kernel import CandidateKernel
+
+__all__ = ["OrchestrationStrategy", "order_kernels"]
+
+
+class StrategyError(RuntimeError):
+    """Raised when a selected kernel set cannot be ordered into a valid plan."""
+
+
+def order_kernels(pg: PrimitiveGraph, kernels: list[CandidateKernel]) -> list[CandidateKernel]:
+    """Topologically order selected kernels by their tensor dependencies.
+
+    Kernel B depends on kernel A when B reads (as an external input) a tensor
+    that A materializes.  When several selected kernels materialize the same
+    tensor, the dependency is satisfied by whichever runs first, so the edge
+    goes to the earliest possible producer; convexity of candidate kernels
+    guarantees the result is acyclic (Theorem 1), and a cycle here is
+    therefore reported as an internal error.
+    """
+    producers: dict[str, list[int]] = {}
+    for position, kernel in enumerate(kernels):
+        for tensor in kernel.outputs:
+            producers.setdefault(tensor, []).append(position)
+
+    dependencies: dict[int, set[int]] = {i: set() for i in range(len(kernels))}
+    for position, kernel in enumerate(kernels):
+        for tensor in kernel.external_inputs:
+            if pg.is_source_tensor(tensor):
+                continue
+            candidates = [i for i in producers.get(tensor, []) if i != position]
+            if not candidates:
+                raise StrategyError(
+                    f"kernel {position} reads {tensor!r} but no selected kernel materializes it"
+                )
+            dependencies[position].add(candidates[0])
+
+    ordered: list[int] = []
+    visited: dict[int, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(index: int) -> None:
+        state = visited.get(index)
+        if state == 1:
+            return
+        if state == 0:
+            raise StrategyError("circular dependency between selected kernels")
+        visited[index] = 0
+        for dep in sorted(dependencies[index]):
+            visit(dep)
+        visited[index] = 1
+        ordered.append(index)
+
+    for index in range(len(kernels)):
+        visit(index)
+    return [kernels[i] for i in ordered]
+
+
+@dataclass
+class OrchestrationStrategy:
+    """An ordered kernel execution plan for one primitive graph."""
+
+    pg: PrimitiveGraph
+    kernels: list[CandidateKernel]
+    objective_s: float
+    solver_status: str = ""
+    solver_method: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ info
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def total_latency_s(self) -> float:
+        """Predicted end-to-end latency (Equation 2: sum of kernel latencies)."""
+        return sum(kernel.latency_s for kernel in self.kernels)
+
+    @property
+    def total_latency_ms(self) -> float:
+        return self.total_latency_s * 1e3
+
+    def execution_counts(self) -> dict[str, int]:
+        """How many times each primitive is executed across selected kernels.
+
+        Values greater than one indicate redundant computation (§4.2,
+        Figure 4c executes p1 three times).
+        """
+        counts: dict[str, int] = {node.name: 0 for node in self.pg.nodes}
+        for kernel in self.kernels:
+            for name in kernel.node_names:
+                counts[name] += 1
+        return counts
+
+    def redundant_primitives(self) -> dict[str, int]:
+        """Primitives executed more than once, with their execution count."""
+        return {name: count for name, count in self.execution_counts().items() if count > 1}
+
+    def kernels_executing_operator(self, source_op: str) -> list[CandidateKernel]:
+        """Kernels that execute at least one primitive of an operator.
+
+        Used by the case studies, e.g. "Korch maps Softmax to all four
+        kernels" (§6.4).
+        """
+        return [kernel for kernel in self.kernels if source_op in kernel.source_ops]
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan (used by the examples)."""
+        lines = [
+            f"strategy for {self.pg.name}: {self.num_kernels} kernels, "
+            f"{self.total_latency_ms:.3f} ms predicted"
+        ]
+        for kernel in self.kernels:
+            lines.append("  " + kernel.describe(self.pg))
+        redundant = self.redundant_primitives()
+        if redundant:
+            lines.append(f"  redundantly executed primitives: {redundant}")
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Computation-graph partitioning (Figure 1's first stage)."""
+
+from .partitioner import GraphPartitioner, Partition, PartitionConfig, partition_graph
+
+__all__ = ["GraphPartitioner", "Partition", "PartitionConfig", "partition_graph"]

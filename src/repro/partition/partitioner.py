@@ -1,0 +1,154 @@
+"""Computation-graph partitioner (Figure 1, "Graph Partitioner").
+
+Korch first splits the input computation graph into smaller subgraphs so the
+per-subgraph optimization space (execution states × candidate kernels × BLP
+size) stays tractable while preserving the optimization opportunities inside
+each subgraph (§2, following the partitioning used by MetaFlow/PET).
+
+The partitioner walks the graph in topological order and greedily grows a
+partition until it reaches ``max_operators``; within a window around the
+limit it prefers to cut at a *narrow* point — a position where few live
+tensors cross the boundary — because a cut tensor must be materialized to
+device memory by whichever kernel produces it, so narrow cuts forfeit the
+fewest fusion opportunities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph, Node
+
+__all__ = ["PartitionConfig", "Partition", "GraphPartitioner", "partition_graph"]
+
+
+@dataclass
+class PartitionConfig:
+    """Tunable limits for the graph partitioner."""
+
+    #: Target maximum number of operators per partition.
+    max_operators: int = 10
+    #: How many positions before the limit the partitioner may cut early if it
+    #: finds a narrower boundary.
+    lookback_window: int = 4
+    #: Hard upper bound; a partition never exceeds this many operators.
+    hard_limit: int = 14
+
+
+@dataclass
+class Partition:
+    """One partition: an operator subgraph with its boundary tensors."""
+
+    index: int
+    graph: Graph
+    node_names: list[str]
+    boundary_inputs: list[str] = field(default_factory=list)
+    boundary_outputs: list[str] = field(default_factory=list)
+
+    @property
+    def num_operators(self) -> int:
+        return len(self.node_names)
+
+
+class GraphPartitioner:
+    """Splits an operator graph into a sequence of smaller subgraphs."""
+
+    def __init__(self, config: PartitionConfig | None = None) -> None:
+        self.config = config or PartitionConfig()
+
+    # ------------------------------------------------------------------ api
+    def partition(self, graph: Graph) -> list[Partition]:
+        """Partition ``graph``; concatenating the partitions in order is
+        execution-equivalent to the original graph."""
+        order = graph.topological_order()
+        if not order:
+            return []
+        groups = self._split_positions(graph, order)
+        partitions = [
+            self._build_partition(graph, index, group) for index, group in enumerate(groups)
+        ]
+        return partitions
+
+    # ------------------------------------------------------------- internals
+    def _split_positions(self, graph: Graph, order: list[Node]) -> list[list[Node]]:
+        """Greedy accumulation with narrow-cut preference."""
+        consumer_map = graph.consumer_map()
+        cut_width: list[int] = []
+        produced: set[str] = set()
+        for position, node in enumerate(order):
+            produced.update(node.outputs)
+            live = 0
+            remaining = {n.name for n in order[position + 1 :]}
+            for tensor in produced:
+                consumers = consumer_map.get(tensor, [])
+                if tensor in graph.outputs or any(c.name in remaining for c in consumers):
+                    live += 1
+            cut_width.append(live)
+
+        groups: list[list[Node]] = []
+        current: list[Node] = []
+        start = 0
+        for position, node in enumerate(order):
+            current.append(node)
+            should_cut = False
+            if len(current) >= self.config.hard_limit:
+                should_cut = True
+            elif len(current) >= self.config.max_operators:
+                window_start = max(start, position - self.config.lookback_window)
+                best = min(range(window_start, position + 1), key=lambda i: cut_width[i])
+                if best < position:
+                    # Retroactively cut at the narrower earlier point.
+                    keep = best - start + 1
+                    groups.append(current[:keep])
+                    current = current[keep:]
+                    start = best + 1
+                    continue
+                should_cut = True
+            if should_cut:
+                groups.append(current)
+                current = []
+                start = position + 1
+        if current:
+            groups.append(current)
+        return groups
+
+    def _build_partition(self, graph: Graph, index: int, nodes: list[Node]) -> Partition:
+        sub = Graph(f"{graph.name}.part{index}")
+        node_set = {node.name for node in nodes}
+        external_inputs, external_outputs = graph.subgraph_tensors(nodes)
+
+        for tensor in sorted(external_inputs):
+            ttype = graph.tensor_type(tensor)
+            if tensor in graph.params:
+                sub.add_param(tensor, ttype)
+            elif tensor in graph.constants:
+                sub.add_constant(tensor, graph.constants[tensor])
+            else:
+                sub.add_input(tensor, ttype)
+
+        for node in nodes:
+            for tensor in node.outputs:
+                sub.add_tensor(tensor, graph.tensor_type(tensor))
+        for node in nodes:
+            sub.add_node(Node(node.name, node.op_type, list(node.inputs), list(node.outputs), dict(node.attrs)))
+
+        for tensor in sorted(external_outputs):
+            sub.add_output(tensor)
+        # Graph outputs produced in this partition are partition outputs too.
+        for tensor in graph.outputs:
+            producer = graph.producer(tensor)
+            if producer is not None and producer.name in node_set:
+                sub.add_output(tensor)
+
+        return Partition(
+            index=index,
+            graph=sub,
+            node_names=[node.name for node in nodes],
+            boundary_inputs=[t for t in sub.inputs],
+            boundary_outputs=list(sub.outputs),
+        )
+
+
+def partition_graph(graph: Graph, max_operators: int = 8) -> list[Partition]:
+    """Convenience wrapper around :class:`GraphPartitioner`."""
+    return GraphPartitioner(PartitionConfig(max_operators=max_operators)).partition(graph)

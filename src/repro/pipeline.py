@@ -1,0 +1,187 @@
+"""The end-to-end Korch pipeline (Figure 1).
+
+``KorchPipeline.optimize`` runs the full flow on an operator-level graph:
+
+1. **Graph partitioner** — split the computation graph into subgraphs.
+2. **Operator fission** — decompose each subgraph into a primitive graph.
+3. **Primitive graph optimizer** — apply TASO-style substitutions (optional).
+4. **Kernel identifier + orchestration optimizer** — enumerate candidate
+   kernels, profile them, and solve the BLP for the optimal strategy.
+5. **Executable generator** — stitch selected kernels into an executable.
+
+The result aggregates per-partition strategies into a model-level executable
+with a predicted end-to-end latency (the sum of kernel latencies, Eq. 2) and
+the statistics used by Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .backends import KernelBackend, TuningTimeModel, TuningTimeReport, default_korch_backends
+from .fission import FissionEngine, FissionReport
+from .gpu.specs import GpuSpec, get_gpu
+from .ir.graph import Graph
+from .orchestration import (
+    KernelIdentifierConfig,
+    KernelOrchestrationOptimizer,
+    OrchestrationResult,
+)
+from .partition import GraphPartitioner, Partition, PartitionConfig
+from .runtime.executable import Executable, ModelExecutable
+from .transforms import GraphOptimizerConfig, GraphOptimizerReport, PrimitiveGraphOptimizer
+
+__all__ = ["KorchConfig", "PartitionResult", "KorchResult", "KorchPipeline", "optimize_model"]
+
+
+@dataclass
+class KorchConfig:
+    """Configuration of the full pipeline."""
+
+    gpu: str | GpuSpec = "V100"
+    enable_graph_optimizer: bool = True
+    enable_tensorrt_backend: bool = False
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    identifier: KernelIdentifierConfig = field(default_factory=KernelIdentifierConfig)
+    graph_optimizer: GraphOptimizerConfig = field(default_factory=GraphOptimizerConfig)
+    solver_method: str = "auto"
+    solver_time_limit_s: float = 1000.0
+    #: Relative optimality gap accepted per subgraph BLP (0 = prove optimal).
+    #: The default trades <2% of modeled latency for a large solver speedup.
+    solver_mip_rel_gap: float = 0.02
+
+    def resolve_gpu(self) -> GpuSpec:
+        return self.gpu if isinstance(self.gpu, GpuSpec) else get_gpu(self.gpu)
+
+
+@dataclass
+class PartitionResult:
+    """Everything produced for one partition."""
+
+    partition: Partition
+    fission_report: FissionReport
+    optimizer_report: GraphOptimizerReport | None
+    orchestration: OrchestrationResult
+    executable: Executable
+
+    @property
+    def latency_s(self) -> float:
+        return self.orchestration.strategy.total_latency_s
+
+    @property
+    def num_kernels(self) -> int:
+        return self.orchestration.strategy.num_kernels
+
+
+@dataclass
+class KorchResult:
+    """Model-level result of the Korch pipeline."""
+
+    graph: Graph
+    spec: GpuSpec
+    partitions: list[PartitionResult]
+    executable: ModelExecutable
+    tuning: TuningTimeReport
+
+    @property
+    def latency_s(self) -> float:
+        """Predicted end-to-end latency (sum over partitions and kernels)."""
+        return sum(part.latency_s for part in self.partitions)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def num_kernels(self) -> int:
+        return sum(part.num_kernels for part in self.partitions)
+
+    @property
+    def num_primitives(self) -> int:
+        return sum(len(part.orchestration.strategy.pg.nodes) for part in self.partitions)
+
+    @property
+    def num_candidate_kernels(self) -> int:
+        return sum(part.orchestration.num_candidates for part in self.partitions)
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat summary used by reports and benchmarks."""
+        return {
+            "model": self.graph.name,
+            "gpu": self.spec.name,
+            "latency_ms": self.latency_ms,
+            "num_partitions": len(self.partitions),
+            "num_primitives": self.num_primitives,
+            "num_candidate_kernels": self.num_candidate_kernels,
+            "num_kernels": self.num_kernels,
+            "tuning_hours": self.tuning.total_hours,
+        }
+
+
+class KorchPipeline:
+    """Runs the Figure 1 flow over a computation graph."""
+
+    def __init__(self, config: KorchConfig | None = None, backends: Sequence[KernelBackend] | None = None) -> None:
+        self.config = config or KorchConfig()
+        self.spec = self.config.resolve_gpu()
+        self.backends = list(
+            backends
+            if backends is not None
+            else default_korch_backends(self.config.enable_tensorrt_backend)
+        )
+        self.partitioner = GraphPartitioner(self.config.partition)
+        self.fission = FissionEngine()
+        self.graph_optimizer = PrimitiveGraphOptimizer(
+            self.spec, config=self.config.graph_optimizer
+        )
+
+    # ------------------------------------------------------------------ api
+    def optimize(self, graph: Graph) -> KorchResult:
+        """Optimize ``graph`` end to end and return the model-level result."""
+        partitions = self.partitioner.partition(graph)
+        results: list[PartitionResult] = []
+        tuning_reports = []
+
+        for partition in partitions:
+            pg, fission_report = self.fission.run(partition.graph)
+            optimizer_report = None
+            if self.config.enable_graph_optimizer:
+                pg, optimizer_report = self.graph_optimizer.optimize(pg)
+
+            optimizer = KernelOrchestrationOptimizer(
+                self.spec,
+                backends=self.backends,
+                identifier_config=self.config.identifier,
+                solver_method=self.config.solver_method,
+                solver_time_limit_s=self.config.solver_time_limit_s,
+                solver_mip_rel_gap=self.config.solver_mip_rel_gap,
+            )
+            orchestration = optimizer.optimize(pg)
+            executable = Executable.from_strategy(orchestration.strategy)
+            results.append(
+                PartitionResult(
+                    partition=partition,
+                    fission_report=fission_report,
+                    optimizer_report=optimizer_report,
+                    orchestration=orchestration,
+                    executable=executable,
+                )
+            )
+            tuning_reports.append(optimizer.identifier.profiler.tuning_model.report)
+
+        model_executable = ModelExecutable(graph.name, [r.executable for r in results])
+        tuning = TuningTimeModel.merge(tuning_reports)
+        return KorchResult(
+            graph=graph,
+            spec=self.spec,
+            partitions=results,
+            executable=model_executable,
+            tuning=tuning,
+        )
+
+
+def optimize_model(graph: Graph, gpu: str = "V100", **config_overrides) -> KorchResult:
+    """One-call convenience API: optimize ``graph`` for ``gpu`` with defaults."""
+    config = KorchConfig(gpu=gpu, **config_overrides)
+    return KorchPipeline(config).optimize(graph)

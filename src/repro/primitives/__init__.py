@@ -1,0 +1,37 @@
+"""Tensor algebra primitives and primitive graphs (§3 of the paper)."""
+
+from .base import Primitive, PrimitiveCategory
+from .elementwise import ELEMENTWISE_OPS, ElementwisePrimitive
+from .graph import PrimitiveGraph, PrimitiveGraphError, PrimitiveNode
+from .layout import LAYOUT_OPS, LayoutPrimitive
+from .linear import ConvPrimitive, ConvTransposePrimitive, MatMulPrimitive
+from .opaque import OpaquePrimitive
+from .reduce_broadcast import (
+    REDUCE_OPS,
+    BroadcastPrimitive,
+    ReducePrimitive,
+    WindowReducePrimitive,
+)
+from .registry import REPRESENTATIVE_OPERATORS, category_of_operator
+
+__all__ = [
+    "Primitive",
+    "PrimitiveCategory",
+    "ElementwisePrimitive",
+    "ELEMENTWISE_OPS",
+    "ReducePrimitive",
+    "BroadcastPrimitive",
+    "WindowReducePrimitive",
+    "REDUCE_OPS",
+    "LayoutPrimitive",
+    "LAYOUT_OPS",
+    "MatMulPrimitive",
+    "ConvPrimitive",
+    "ConvTransposePrimitive",
+    "OpaquePrimitive",
+    "PrimitiveNode",
+    "PrimitiveGraph",
+    "PrimitiveGraphError",
+    "REPRESENTATIVE_OPERATORS",
+    "category_of_operator",
+]

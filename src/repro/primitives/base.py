@@ -1,0 +1,129 @@
+"""Base classes for tensor algebra primitives (§3 of the paper).
+
+Operator fission decomposes every DNN operator into primitives drawn from
+four categories — *elementwise*, *reduce/broadcast*, *layout transformation*
+and *linear transformation* — plus an *opaque* escape hatch for operators
+(e.g. TopK) that fit none of them.  Each primitive carries
+
+* a single, uniform degree of parallelism and data-access pattern, which is
+  what makes it efficient to execute inside one kernel, and
+* enough semantics to be executed functionally on numpy arrays, so that the
+  runtime can verify that orchestrated executables are equivalent to the
+  original model.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..ir.tensor_type import TensorType
+
+__all__ = ["PrimitiveCategory", "Primitive"]
+
+
+class PrimitiveCategory(str, enum.Enum):
+    """The four primitive categories of §3, plus opaque."""
+
+    ELEMENTWISE = "elementwise"
+    REDUCE = "reduce"
+    BROADCAST = "broadcast"
+    LAYOUT = "layout"
+    LINEAR = "linear"
+    OPAQUE = "opaque"
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """Whether kernels made only of this category are memory-intensive.
+
+        Korch's profiler (§5.2) routes candidate kernels without any linear
+        transformation primitive to TVM MetaSchedule and treats them as
+        memory-intensive; kernels containing a linear transformation go to
+        vendor libraries.
+        """
+        return self is not PrimitiveCategory.LINEAR
+
+
+class Primitive(abc.ABC):
+    """A single tensor algebra primitive.
+
+    Subclasses define the category, the output type inference, the numpy
+    reference semantics (:meth:`compute`) and the arithmetic cost
+    (:meth:`flops`).  Instances are immutable value objects: equality and
+    hashing are defined over ``(op, sorted attrs)`` so that graph
+    transformations can compare rewritten nodes.
+    """
+
+    category: PrimitiveCategory
+
+    def __init__(self, op: str, **attrs: Any) -> None:
+        self.op = op
+        self.attrs: dict[str, Any] = dict(attrs)
+
+    # ------------------------------------------------------------ semantics
+    @abc.abstractmethod
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        """Output tensor type given input types."""
+
+    @abc.abstractmethod
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Reference numpy execution."""
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        """Floating point operations performed by this primitive.
+
+        The default counts one operation per output element, which is correct
+        for elementwise/reduce/broadcast primitives; layout primitives
+        override it to zero and linear primitives to the usual 2·M·N·K-style
+        counts.
+        """
+        return output_type.num_elements
+
+    # ----------------------------------------------------------------- info
+    @property
+    def is_linear(self) -> bool:
+        """True for linear transformation primitives (GEMM/conv family)."""
+        return self.category is PrimitiveCategory.LINEAR
+
+    @property
+    def is_memory_bound(self) -> bool:
+        """True for primitives whose cost is dominated by memory traffic."""
+        return self.category.is_memory_bound
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        """Attribute lookup with default."""
+        return self.attrs.get(key, default)
+
+    def signature(self) -> tuple:
+        """Hashable identity of the primitive (category, op, attrs)."""
+        return (
+            self.category.value,
+            self.op,
+            tuple(sorted((k, _freeze(v)) for k, v in self.attrs.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Primitive):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.attrs.items()))
+        return f"{type(self).__name__}({self.op}{', ' + attrs if attrs else ''})"
+
+
+def _freeze(value: Any) -> Any:
+    """Convert attribute values into hashable equivalents."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, np.ndarray):
+        return (value.shape, value.dtype.str, value.tobytes())
+    return value

@@ -1,0 +1,110 @@
+"""Elementwise primitives.
+
+An elementwise primitive computes each output element from the input elements
+at the same position (after numpy broadcasting of trailing unit dimensions,
+which is how ONNX models express bias additions and scale multiplications).
+They carry the lowest arithmetic intensity of all primitives and are the
+natural candidates for fusion as pre-/post-processing of other kernels (§3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import special
+
+from ..ir.shape_inference import broadcast_shapes
+from ..ir.tensor_type import TensorType
+from .base import Primitive, PrimitiveCategory
+
+__all__ = ["ElementwisePrimitive", "ELEMENTWISE_OPS"]
+
+
+def _leaky_relu(x: np.ndarray, alpha: float) -> np.ndarray:
+    return np.where(x >= 0, x, alpha * x)
+
+
+def _clip(x: np.ndarray, minimum: float, maximum: float) -> np.ndarray:
+    return np.clip(x, minimum, maximum)
+
+
+# Unary operators: name -> (callable, flops per element)
+_UNARY: dict[str, tuple[Callable[..., np.ndarray], int]] = {
+    "Exp": (np.exp, 1),
+    "Log": (np.log, 1),
+    "Sqrt": (np.sqrt, 1),
+    "Erf": (special.erf, 2),
+    "Neg": (np.negative, 1),
+    "Reciprocal": (np.reciprocal, 1),
+    "Relu": (lambda x: np.maximum(x, 0), 1),
+    "Sigmoid": (special.expit, 2),
+    "Tanh": (np.tanh, 2),
+    "Identity": (lambda x: x, 0),
+    "Softplus": (lambda x: np.logaddexp(x, 0.0), 2),
+    "LeakyRelu": (_leaky_relu, 1),
+    "Clip": (_clip, 1),
+}
+
+# Binary operators: name -> (callable, flops per element)
+_BINARY: dict[str, tuple[Callable[[np.ndarray, np.ndarray], np.ndarray], int]] = {
+    "Add": (np.add, 1),
+    "Sub": (np.subtract, 1),
+    "Mul": (np.multiply, 1),
+    "Div": (np.divide, 1),
+    "Pow": (np.power, 1),
+    "Maximum": (np.maximum, 1),
+    "Minimum": (np.minimum, 1),
+}
+
+ELEMENTWISE_OPS = tuple(sorted(set(_UNARY) | set(_BINARY)))
+
+
+class ElementwisePrimitive(Primitive):
+    """Unary or binary elementwise computation.
+
+    Parameters
+    ----------
+    op:
+        One of :data:`ELEMENTWISE_OPS`.
+    attrs:
+        Operator-specific scalars, e.g. ``alpha`` for LeakyRelu or
+        ``min``/``max`` for Clip.
+    """
+
+    category = PrimitiveCategory.ELEMENTWISE
+
+    def __init__(self, op: str, **attrs) -> None:
+        if op not in _UNARY and op not in _BINARY:
+            raise ValueError(f"unknown elementwise op {op!r}; known: {ELEMENTWISE_OPS}")
+        super().__init__(op, **attrs)
+
+    @property
+    def arity(self) -> int:
+        """Number of tensor inputs (1 or 2)."""
+        return 1 if self.op in _UNARY else 2
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        if len(input_types) != self.arity:
+            raise ValueError(f"{self.op}: expected {self.arity} inputs, got {len(input_types)}")
+        if self.arity == 1:
+            return input_types[0]
+        shape = broadcast_shapes(input_types[0].shape, input_types[1].shape)
+        return TensorType(shape, input_types[0].dtype)
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        if self.op in _UNARY:
+            fn, _ = _UNARY[self.op]
+            (x,) = inputs
+            if self.op == "LeakyRelu":
+                return fn(x, float(self.attr("alpha", 0.1)))
+            if self.op == "Clip":
+                return fn(x, float(self.attr("min", 0.0)), float(self.attr("max", 6.0)))
+            return fn(x)
+        fn, _ = _BINARY[self.op]
+        a, b = inputs
+        return fn(a, b)
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        per_element = (_UNARY.get(self.op) or _BINARY[self.op])[1]
+        return per_element * output_type.num_elements

@@ -1,0 +1,352 @@
+"""Primitive graph: the representation Korch optimizes and orchestrates.
+
+A :class:`PrimitiveGraph` is a DAG whose nodes each apply one
+:class:`~repro.primitives.base.Primitive` and produce exactly one tensor
+(paper footnote 1).  It is produced by the operator fission engine, optimized
+by :mod:`repro.transforms`, and consumed by the kernel identifier and the
+kernel orchestration optimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..ir.dtype import DataType
+from ..ir.tensor_type import TensorType
+from .base import Primitive, PrimitiveCategory
+
+__all__ = ["PrimitiveNode", "PrimitiveGraph", "PrimitiveGraphError"]
+
+
+class PrimitiveGraphError(ValueError):
+    """Raised when a primitive graph is structurally invalid."""
+
+
+@dataclass
+class PrimitiveNode:
+    """Application of one primitive.
+
+    Attributes
+    ----------
+    name:
+        Unique node name.
+    prim:
+        The primitive being applied.
+    inputs:
+        Names of the consumed tensors.
+    output:
+        Name of the single produced tensor.
+    source_op:
+        Name of the operator-level node this primitive came from (set by the
+        fission engine); used by case-study reports such as "Softmax is mapped
+        to all four kernels" (§6.4).
+    """
+
+    name: str
+    prim: Primitive
+    inputs: list[str]
+    output: str
+    source_op: str = ""
+
+    @property
+    def category(self) -> PrimitiveCategory:
+        return self.prim.category
+
+    @property
+    def is_linear(self) -> bool:
+        return self.prim.is_linear
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrimitiveNode({self.name}: {self.prim.op} {self.inputs} -> {self.output})"
+
+
+class PrimitiveGraph:
+    """DAG of tensor algebra primitives."""
+
+    def __init__(self, name: str = "primitive_graph") -> None:
+        self.name = name
+        self.nodes: list[PrimitiveNode] = []
+        self.tensors: dict[str, TensorType] = {}
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.params: dict[str, TensorType] = {}
+        self.constants: dict[str, np.ndarray] = {}
+        self._producer: dict[str, PrimitiveNode] = {}
+        self._counter = itertools.count()
+        self._reserved: set[str] = set()
+
+    # ------------------------------------------------------------------ build
+    def reserve_names(self, names: Iterable[str]) -> None:
+        """Reserve tensor names that will be declared later (e.g. the
+        operator-level tensor names the fission engine will emit), so
+        :meth:`unique_name` never collides with them."""
+        self._reserved.update(names)
+
+    def unique_name(self, prefix: str) -> str:
+        """Generate a fresh tensor/node name."""
+        while True:
+            candidate = f"{prefix}_{next(self._counter)}"
+            if candidate not in self.tensors and candidate not in self._reserved:
+                return candidate
+
+    def add_tensor(self, name: str, ttype: TensorType) -> str:
+        existing = self.tensors.get(name)
+        if existing is not None and existing != ttype:
+            raise PrimitiveGraphError(
+                f"tensor {name!r} re-declared with type {ttype} != {existing}"
+            )
+        self.tensors[name] = ttype
+        return name
+
+    def add_input(self, name: str, ttype: TensorType) -> str:
+        self.add_tensor(name, ttype)
+        if name not in self.inputs:
+            self.inputs.append(name)
+        return name
+
+    def add_param(self, name: str, ttype: TensorType) -> str:
+        self.add_tensor(name, ttype)
+        self.params[name] = ttype
+        return name
+
+    def add_constant(self, name: str, value: np.ndarray) -> str:
+        value = np.asarray(value)
+        self.add_tensor(name, TensorType(value.shape, DataType.from_numpy(value.dtype)))
+        self.constants[name] = value
+        return name
+
+    def add_output(self, name: str) -> str:
+        if name not in self.tensors:
+            raise PrimitiveGraphError(f"cannot mark unknown tensor {name!r} as output")
+        if name not in self.outputs:
+            self.outputs.append(name)
+        return name
+
+    def add_node(
+        self,
+        prim: Primitive,
+        inputs: Sequence[str],
+        output: str | None = None,
+        name: str | None = None,
+        source_op: str = "",
+    ) -> PrimitiveNode:
+        """Apply ``prim`` to ``inputs``; infers and declares the output tensor."""
+        for tensor in inputs:
+            if tensor not in self.tensors:
+                raise PrimitiveGraphError(f"unknown input tensor {tensor!r}")
+        input_types = [self.tensors[t] for t in inputs]
+        output_type = prim.infer_type(input_types)
+        node_name = name or self.unique_name(prim.op.lower())
+        output = output or self.unique_name(f"{node_name}_out")
+        if output in self._producer:
+            raise PrimitiveGraphError(f"tensor {output!r} already has a producer")
+        self.add_tensor(output, output_type)
+        node = PrimitiveNode(node_name, prim, list(inputs), output, source_op)
+        self.nodes.append(node)
+        self._producer[output] = node
+        return node
+
+    def remove_node(self, node: PrimitiveNode) -> None:
+        """Remove ``node``; its output tensor remains declared but unproduced."""
+        self.nodes.remove(node)
+        self._producer.pop(node.output, None)
+
+    def rename_output(self, node: PrimitiveNode, new_name: str) -> None:
+        """Rename a node's output tensor, updating consumers."""
+        old = node.output
+        ttype = self.tensors[old]
+        self.add_tensor(new_name, ttype)
+        node.output = new_name
+        self._producer.pop(old, None)
+        self._producer[new_name] = node
+        for other in self.nodes:
+            other.inputs = [new_name if t == old else t for t in other.inputs]
+        self.outputs = [new_name if t == old else t for t in self.outputs]
+
+    # ------------------------------------------------------------------ query
+    def producer(self, tensor: str) -> PrimitiveNode | None:
+        """Node producing ``tensor`` (None for graph sources)."""
+        return self._producer.get(tensor)
+
+    def consumers(self, tensor: str) -> list[PrimitiveNode]:
+        """All nodes consuming ``tensor``."""
+        return [node for node in self.nodes if tensor in node.inputs]
+
+    def is_source_tensor(self, tensor: str) -> bool:
+        """True for graph inputs, params and constants."""
+        return tensor in self.inputs or tensor in self.params or tensor in self.constants
+
+    def tensor_type(self, name: str) -> TensorType:
+        try:
+            return self.tensors[name]
+        except KeyError:
+            raise PrimitiveGraphError(f"unknown tensor {name!r}") from None
+
+    def node(self, name: str) -> PrimitiveNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise PrimitiveGraphError(f"unknown node {name!r}")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[PrimitiveNode]:
+        return iter(self.nodes)
+
+    # ------------------------------------------------------------- structure
+    def predecessors(self, node: PrimitiveNode) -> list[PrimitiveNode]:
+        """Producing nodes of ``node``'s inputs (deduplicated, order preserved)."""
+        preds: list[PrimitiveNode] = []
+        for tensor in node.inputs:
+            pred = self._producer.get(tensor)
+            if pred is not None and pred not in preds:
+                preds.append(pred)
+        return preds
+
+    def successors(self, node: PrimitiveNode) -> list[PrimitiveNode]:
+        """Nodes consuming ``node``'s output."""
+        return self.consumers(node.output)
+
+    def topological_order(self) -> list[PrimitiveNode]:
+        """Nodes in execution order; raises on cycles."""
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[PrimitiveNode]] = {}
+        for node in self.nodes:
+            preds = self.predecessors(node)
+            indegree[node.name] = len(preds)
+            for pred in preds:
+                dependents.setdefault(pred.name, []).append(node)
+        ready = [node for node in self.nodes if indegree[node.name] == 0]
+        order: list[PrimitiveNode] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for succ in dependents.get(node.name, []):
+                indegree[succ.name] -= 1
+                if indegree[succ.name] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise PrimitiveGraphError(f"primitive graph {self.name!r} contains a cycle")
+        return order
+
+    def reachability(self) -> dict[str, frozenset[str]]:
+        """Map node name -> names of all nodes reachable from it (descendants).
+
+        Used by the convex-subgraph check and by the kernel identifier.
+        """
+        order = self.topological_order()
+        reach: dict[str, set[str]] = {node.name: set() for node in self.nodes}
+        for node in reversed(order):
+            for succ in self.successors(node):
+                reach[node.name].add(succ.name)
+                reach[node.name] |= reach[succ.name]
+        return {name: frozenset(nodes) for name, nodes in reach.items()}
+
+    def ancestors(self, node: PrimitiveNode) -> set[str]:
+        """Names of every node that must execute before ``node``."""
+        seen: set[str] = set()
+        stack = list(self.predecessors(node))
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            stack.extend(self.predecessors(current))
+        return seen
+
+    def output_nodes(self) -> list[PrimitiveNode]:
+        """Nodes whose output tensor is a graph output."""
+        return [node for node in self.nodes if node.output in self.outputs]
+
+    def subset_io(self, nodes: Iterable[PrimitiveNode]) -> tuple[list[str], list[str]]:
+        """External input tensors and required output tensors of a node subset.
+
+        External inputs are tensors consumed inside the subset but produced
+        outside it (or graph sources).  Required outputs are tensors produced
+        inside the subset that are graph outputs or consumed outside it.
+        """
+        subset = {node.name for node in nodes}
+        produced = {node.output for node in self.nodes if node.name in subset}
+        external_inputs: list[str] = []
+        for node in self.nodes:
+            if node.name not in subset:
+                continue
+            for tensor in node.inputs:
+                if tensor not in produced and tensor not in external_inputs:
+                    external_inputs.append(tensor)
+        required_outputs: list[str] = []
+        for node in self.nodes:
+            if node.name not in subset:
+                continue
+            tensor = node.output
+            needed = tensor in self.outputs or any(
+                consumer.name not in subset for consumer in self.consumers(tensor)
+            )
+            if needed and tensor not in required_outputs:
+                required_outputs.append(tensor)
+        return external_inputs, required_outputs
+
+    # ------------------------------------------------------------------ misc
+    def validate(self) -> None:
+        """Structural validation: declared tensors, single producers, acyclicity."""
+        produced: set[str] = set()
+        for node in self.nodes:
+            for tensor in node.inputs:
+                if tensor not in self.tensors:
+                    raise PrimitiveGraphError(f"node {node.name}: undeclared input {tensor!r}")
+            if node.output not in self.tensors:
+                raise PrimitiveGraphError(f"node {node.name}: undeclared output {node.output!r}")
+            if node.output in produced:
+                raise PrimitiveGraphError(f"tensor {node.output!r} has multiple producers")
+            produced.add(node.output)
+        for node in self.nodes:
+            for tensor in node.inputs:
+                if tensor not in produced and not self.is_source_tensor(tensor):
+                    raise PrimitiveGraphError(
+                        f"node {node.name}: input {tensor!r} has no producer and is not a source"
+                    )
+        for tensor in self.outputs:
+            if tensor not in produced and not self.is_source_tensor(tensor):
+                raise PrimitiveGraphError(f"graph output {tensor!r} has no producer")
+        self.topological_order()
+
+    def category_histogram(self) -> dict[str, int]:
+        """Count of primitives per category."""
+        histogram: dict[str, int] = {}
+        for node in self.nodes:
+            key = node.category.value
+            histogram[key] = histogram.get(key, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics used by Table 2 style reports."""
+        return {
+            "num_primitives": len(self.nodes),
+            "num_linear": sum(1 for n in self.nodes if n.is_linear),
+            "num_tensors": len(self.tensors),
+            "num_inputs": len(self.inputs),
+            "num_outputs": len(self.outputs),
+        }
+
+    def copy(self) -> "PrimitiveGraph":
+        """Deep-ish copy: nodes and structure are copied, primitives shared."""
+        clone = PrimitiveGraph(self.name)
+        clone.tensors = dict(self.tensors)
+        clone.inputs = list(self.inputs)
+        clone.outputs = list(self.outputs)
+        clone.params = dict(self.params)
+        clone.constants = dict(self.constants)
+        for node in self.nodes:
+            copied = PrimitiveNode(node.name, node.prim, list(node.inputs), node.output, node.source_op)
+            clone.nodes.append(copied)
+            clone._producer[copied.output] = copied
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PrimitiveGraph({self.name!r}, primitives={len(self.nodes)})"

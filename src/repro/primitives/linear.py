@@ -1,0 +1,212 @@
+"""Linear transformation primitives.
+
+These capture the compute-intensive operators: matrix multiplication (plain
+and batched), 2D convolution and transposed convolution.  A primitive is
+linear when its output is linear in every input tensor (§3); these are the
+primitives Korch lowers to vendor libraries (cuBLAS/cuDNN) rather than to
+TVM-generated code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.shape_inference import broadcast_shapes
+from ..ir.tensor_type import TensorType
+from .base import Primitive, PrimitiveCategory
+
+__all__ = ["MatMulPrimitive", "ConvPrimitive", "ConvTransposePrimitive"]
+
+
+class MatMulPrimitive(Primitive):
+    """(Batched) matrix multiplication ``A @ B`` with numpy batch broadcasting."""
+
+    category = PrimitiveCategory.LINEAR
+
+    def __init__(self) -> None:
+        super().__init__("MatMul")
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        a, b = input_types
+        if a.rank < 2 or b.rank < 2:
+            raise ValueError("MatMul inputs must be at least rank 2")
+        if a.shape[-1] != b.shape[-2]:
+            raise ValueError(f"MatMul inner dimension mismatch: {a.shape} @ {b.shape}")
+        batch = broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        return a.with_shape(batch + (a.shape[-2], b.shape[-1]))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        a, b = inputs
+        return np.matmul(a, b)
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        a, b = input_types
+        k = a.shape[-1]
+        return 2 * output_type.num_elements * k
+
+    def gemm_dims(self, input_types: Sequence[TensorType]) -> tuple[int, int, int, int]:
+        """(batch, M, N, K) of the underlying GEMM, used by the cuBLAS model."""
+        a, b = input_types
+        batch_shape = broadcast_shapes(a.shape[:-2], b.shape[:-2])
+        batch = int(math.prod(batch_shape)) if batch_shape else 1
+        return batch, a.shape[-2], b.shape[-1], a.shape[-1]
+
+
+class ConvPrimitive(Primitive):
+    """2D convolution over NCHW activations with OIHW weights."""
+
+    category = PrimitiveCategory.LINEAR
+
+    def __init__(
+        self,
+        strides: Sequence[int] = (1, 1),
+        pads: Sequence[int] = (0, 0, 0, 0),
+        dilations: Sequence[int] = (1, 1),
+        group: int = 1,
+    ) -> None:
+        super().__init__(
+            "Conv",
+            strides=tuple(strides),
+            pads=tuple(pads),
+            dilations=tuple(dilations),
+            group=int(group),
+        )
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        x, w = input_types[0], input_types[1]
+        sh, sw = self.attr("strides")
+        dh, dw = self.attr("dilations")
+        pads = self.attr("pads")
+        group = self.attr("group")
+        n, c, h, w_in = x.shape
+        oc, ic_per_group, kh, kw = w.shape
+        if ic_per_group * group != c:
+            raise ValueError(f"Conv channel mismatch: input {c}, weight {ic_per_group}x{group}")
+        oh = (h + pads[0] + pads[2] - dh * (kh - 1) - 1) // sh + 1
+        ow = (w_in + pads[1] + pads[3] - dw * (kw - 1) - 1) // sw + 1
+        return x.with_shape((n, oc, oh, ow))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        x, w = inputs[0], inputs[1]
+        bias = inputs[2] if len(inputs) > 2 else None
+        out = _conv2d_im2col(
+            x,
+            w,
+            strides=self.attr("strides"),
+            pads=self.attr("pads"),
+            dilations=self.attr("dilations"),
+            group=self.attr("group"),
+        )
+        if bias is not None:
+            out = out + bias.reshape(1, -1, 1, 1)
+        return out
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        w = input_types[1]
+        oc, ic_per_group, kh, kw = w.shape
+        return 2 * output_type.num_elements * ic_per_group * kh * kw
+
+
+class ConvTransposePrimitive(Primitive):
+    """2D transposed convolution (fractionally-strided convolution)."""
+
+    category = PrimitiveCategory.LINEAR
+
+    def __init__(
+        self,
+        strides: Sequence[int] = (2, 2),
+        pads: Sequence[int] = (1, 1, 1, 1),
+        output_padding: Sequence[int] = (1, 1),
+        group: int = 1,
+    ) -> None:
+        super().__init__(
+            "ConvTranspose",
+            strides=tuple(strides),
+            pads=tuple(pads),
+            output_padding=tuple(output_padding),
+            group=int(group),
+        )
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        x, w = input_types[0], input_types[1]
+        sh, sw = self.attr("strides")
+        pads = self.attr("pads")
+        oph, opw = self.attr("output_padding")
+        n, c, h, w_in = x.shape
+        ic, oc_per_group, kh, kw = w.shape
+        oc = oc_per_group * self.attr("group")
+        oh = (h - 1) * sh - pads[0] - pads[2] + kh + oph
+        ow = (w_in - 1) * sw - pads[1] - pads[3] + kw + opw
+        return x.with_shape((n, oc, oh, ow))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        x, w = inputs[0], inputs[1]
+        bias = inputs[2] if len(inputs) > 2 else None
+        sh, sw = self.attr("strides")
+        pads = self.attr("pads")
+        oph, opw = self.attr("output_padding")
+        n, c, h, w_in = x.shape
+        ic, oc, kh, kw = w.shape
+        oh = (h - 1) * sh - pads[0] - pads[2] + kh + oph
+        ow = (w_in - 1) * sw - pads[1] - pads[3] + kw + opw
+        out = np.zeros((n, oc, oh + pads[0] + pads[2], ow + pads[1] + pads[3]), dtype=x.dtype)
+        # Scatter-add each input position's contribution; fine for the small
+        # verification graphs the executor runs on.
+        for i in range(h):
+            for j in range(w_in):
+                patch = np.einsum("nc,cokl->nokl", x[:, :, i, j], w)
+                out[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw] += patch
+        out = out[:, :, pads[0] : pads[0] + oh, pads[1] : pads[1] + ow]
+        if bias is not None:
+            out = out + bias.reshape(1, -1, 1, 1)
+        return out
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        x, w = input_types[0], input_types[1]
+        ic, oc_per_group, kh, kw = w.shape
+        return 2 * x.num_elements * oc_per_group * kh * kw
+
+
+def _conv2d_im2col(
+    x: np.ndarray,
+    w: np.ndarray,
+    strides: tuple[int, int],
+    pads: tuple[int, int, int, int],
+    dilations: tuple[int, int],
+    group: int,
+) -> np.ndarray:
+    """im2col + GEMM reference convolution used by the functional executor."""
+    sh, sw = strides
+    dh, dw = dilations
+    n, c, h, w_in = x.shape
+    oc, ic_per_group, kh, kw = w.shape
+    x = np.pad(x, ((0, 0), (0, 0), (pads[0], pads[2]), (pads[1], pads[3])))
+    oh = (x.shape[2] - dh * (kh - 1) - 1) // sh + 1
+    ow = (x.shape[3] - dw * (kw - 1) - 1) // sw + 1
+    oc_per_group = oc // group
+    out = np.empty((n, oc, oh, ow), dtype=x.dtype)
+    for g in range(group):
+        xg = x[:, g * ic_per_group : (g + 1) * ic_per_group]
+        wg = w[g * oc_per_group : (g + 1) * oc_per_group]
+        cols = np.empty((n, ic_per_group * kh * kw, oh * ow), dtype=x.dtype)
+        idx = 0
+        for ky in range(kh):
+            for kx in range(kw):
+                patch = xg[
+                    :,
+                    :,
+                    ky * dh : ky * dh + oh * sh : sh,
+                    kx * dw : kx * dw + ow * sw : sw,
+                ]
+                cols[:, idx * ic_per_group : (idx + 1) * ic_per_group] = patch.reshape(
+                    n, ic_per_group, -1
+                )
+                idx += 1
+        # Weight layout must match the column layout (kernel-major blocks).
+        wg_cols = wg.transpose(2, 3, 1, 0).reshape(kh * kw * ic_per_group, oc_per_group)
+        result = np.einsum("nkp,ko->nop", cols, wg_cols)
+        out[:, g * oc_per_group : (g + 1) * oc_per_group] = result.reshape(n, oc_per_group, oh, ow)
+    return out

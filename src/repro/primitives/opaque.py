@@ -1,0 +1,62 @@
+"""Opaque primitives.
+
+Operators such as TopK cannot be expressed with the four primitive categories
+(§3, "Supporting new operators").  Korch wraps them in an opaque primitive:
+the surrounding graph is still optimized, but the opaque node is never fused
+with its neighbours and always runs in its own kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ir.tensor_type import TensorType
+from .base import Primitive, PrimitiveCategory
+
+__all__ = ["OpaquePrimitive"]
+
+
+class OpaquePrimitive(Primitive):
+    """Wrapper for operators outside the primitive algebra.
+
+    Parameters
+    ----------
+    op:
+        Original operator name (e.g. ``"TopK"``).
+    output_type:
+        Pre-computed output type (shape inference already ran at the operator
+        level, so the fission engine passes the known type through).
+    compute_fn:
+        Optional reference implementation for functional verification.
+    attrs:
+        Original operator attributes, kept for reporting.
+    """
+
+    category = PrimitiveCategory.OPAQUE
+
+    def __init__(
+        self,
+        op: str,
+        output_type: TensorType,
+        compute_fn: Callable[[Sequence[np.ndarray]], np.ndarray] | None = None,
+        **attrs,
+    ) -> None:
+        super().__init__(op, output_shape=tuple(output_type.shape), **attrs)
+        self._output_type = output_type
+        self._compute_fn = compute_fn
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        return self._output_type
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        if self._compute_fn is None:
+            raise NotImplementedError(
+                f"opaque primitive {self.op!r} has no reference implementation"
+            )
+        return self._compute_fn(inputs)
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        # Unknown internals; assume one pass over the input.
+        return input_types[0].num_elements if input_types else 0

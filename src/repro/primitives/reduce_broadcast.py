@@ -1,0 +1,171 @@
+"""Reduce and broadcast primitives.
+
+A *reduce* primitive aggregates a tensor along one or more dimensions with an
+associative operator (sum, mean, max); a *broadcast* primitive replicates a
+tensor along a dimension.  Pooling operators (MaxPool/AveragePool) are
+windowed reductions and belong to the same category (Table 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..ir.tensor_type import TensorType
+from .base import Primitive, PrimitiveCategory
+
+__all__ = ["ReducePrimitive", "BroadcastPrimitive", "WindowReducePrimitive", "REDUCE_OPS"]
+
+REDUCE_OPS = ("Sum", "Mean", "Max")
+
+
+def _normalize_axes(axes: Sequence[int], rank: int) -> tuple[int, ...]:
+    normalized = []
+    for axis in axes:
+        if axis < 0:
+            axis += rank
+        if not 0 <= axis < rank:
+            raise ValueError(f"axis {axis} out of range for rank {rank}")
+        normalized.append(axis)
+    return tuple(sorted(set(normalized)))
+
+
+class ReducePrimitive(Primitive):
+    """Aggregation along one or more axes.
+
+    Attributes
+    ----------
+    axes:
+        Axes to reduce over.
+    keepdims:
+        When true (the default used by fission rules), reduced axes are kept
+        as size-1 dimensions so that a following :class:`BroadcastPrimitive`
+        can expand them back.
+    """
+
+    category = PrimitiveCategory.REDUCE
+
+    def __init__(self, op: str = "Sum", axes: Sequence[int] = (-1,), keepdims: bool = True) -> None:
+        if op not in REDUCE_OPS:
+            raise ValueError(f"unknown reduce op {op!r}; known: {REDUCE_OPS}")
+        super().__init__(op, axes=tuple(axes), keepdims=bool(keepdims))
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        (x,) = input_types
+        axes = _normalize_axes(self.attr("axes"), x.rank)
+        shape = list(x.shape)
+        if self.attr("keepdims"):
+            for axis in axes:
+                shape[axis] = 1
+        else:
+            shape = [d for i, d in enumerate(shape) if i not in axes]
+        return x.with_shape(shape)
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        axes = _normalize_axes(self.attr("axes"), x.ndim)
+        keepdims = self.attr("keepdims")
+        if self.op == "Sum":
+            return np.sum(x, axis=axes, keepdims=keepdims)
+        if self.op == "Mean":
+            return np.mean(x, axis=axes, keepdims=keepdims)
+        return np.max(x, axis=axes, keepdims=keepdims)
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        # One accumulate per input element; Mean adds a divide per output element.
+        flops = input_types[0].num_elements
+        if self.op == "Mean":
+            flops += output_type.num_elements
+        return flops
+
+
+class BroadcastPrimitive(Primitive):
+    """Replicate a tensor along one axis.
+
+    The fission rules keep reduced dimensions (``keepdims=True``) so broadcast
+    always expands an existing size-1 axis to ``size`` elements, matching the
+    implicit broadcast performed by ONNX operators (§5.1, footnote 3).
+    """
+
+    category = PrimitiveCategory.BROADCAST
+
+    def __init__(self, axis: int, size: int) -> None:
+        super().__init__("Broadcast", axis=int(axis), size=int(size))
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        (x,) = input_types
+        axis = _normalize_axes((self.attr("axis"),), x.rank)[0]
+        if x.shape[axis] != 1:
+            raise ValueError(f"Broadcast: axis {axis} of {x.shape} must be 1")
+        shape = list(x.shape)
+        shape[axis] = self.attr("size")
+        return x.with_shape(shape)
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        axis = _normalize_axes((self.attr("axis"),), x.ndim)[0]
+        reps = [1] * x.ndim
+        reps[axis] = self.attr("size")
+        return np.tile(x, reps)
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        # Pure data replication: no arithmetic.
+        return 0
+
+
+class WindowReducePrimitive(Primitive):
+    """Windowed spatial reduction over NCHW tensors (max/average pooling)."""
+
+    category = PrimitiveCategory.REDUCE
+
+    def __init__(
+        self,
+        op: str = "Max",
+        kernel: Sequence[int] = (2, 2),
+        strides: Sequence[int] = (2, 2),
+        pads: Sequence[int] = (0, 0, 0, 0),
+    ) -> None:
+        if op not in ("Max", "Mean"):
+            raise ValueError(f"unknown window reduce op {op!r}")
+        super().__init__(op, kernel=tuple(kernel), strides=tuple(strides), pads=tuple(pads))
+
+    def infer_type(self, input_types: Sequence[TensorType]) -> TensorType:
+        (x,) = input_types
+        if x.rank != 4:
+            raise ValueError(f"window reduce expects NCHW input, got rank {x.rank}")
+        kh, kw = self.attr("kernel")
+        sh, sw = self.attr("strides")
+        pads = self.attr("pads")
+        n, c, h, w = x.shape
+        oh = (h + pads[0] + pads[2] - kh) // sh + 1
+        ow = (w + pads[1] + pads[3] - kw) // sw + 1
+        return x.with_shape((n, c, oh, ow))
+
+    def compute(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        kh, kw = self.attr("kernel")
+        sh, sw = self.attr("strides")
+        pads = self.attr("pads")
+        pad_value = -np.inf if self.op == "Max" else 0.0
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (pads[0], pads[2]), (pads[1], pads[3])),
+            constant_values=pad_value,
+        )
+        n, c, h, w = x.shape
+        oh = (h - kh) // sh + 1
+        ow = (w - kw) // sw + 1
+        out = np.empty((n, c, oh, ow), dtype=x.dtype)
+        for i in range(oh):
+            for j in range(ow):
+                window = x[:, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                if self.op == "Max":
+                    out[:, :, i, j] = window.max(axis=(2, 3))
+                else:
+                    out[:, :, i, j] = window.mean(axis=(2, 3))
+        return out
+
+    def flops(self, input_types: Sequence[TensorType], output_type: TensorType) -> int:
+        kh, kw = self.attr("kernel")
+        return output_type.num_elements * kh * kw

@@ -1,0 +1,41 @@
+"""Mapping between DNN operators and primitive categories (Table 1).
+
+The table is used in two places: tests assert that the fission rules respect
+it, and the DNNFusion-style baseline uses the categories as its operator
+classification.
+"""
+
+from __future__ import annotations
+
+from .base import PrimitiveCategory
+
+__all__ = ["REPRESENTATIVE_OPERATORS", "category_of_operator"]
+
+# Table 1 of the paper: representative operators of each primitive type,
+# extended with the operators that appear in this repo's model zoo.
+REPRESENTATIVE_OPERATORS: dict[PrimitiveCategory, tuple[str, ...]] = {
+    PrimitiveCategory.ELEMENTWISE: (
+        "Add", "Sub", "Mul", "Div", "Relu", "Sqrt", "Erf",
+        "Sigmoid", "Tanh", "Exp", "LeakyRelu", "Clip",
+    ),
+    PrimitiveCategory.REDUCE: (
+        "ReduceSum", "ReduceMean", "ReduceMax", "MaxPool", "AveragePool", "GlobalAveragePool",
+    ),
+    PrimitiveCategory.BROADCAST: ("Broadcast", "Expand"),
+    PrimitiveCategory.LAYOUT: (
+        "Transpose", "Split", "Concat", "Slice", "Pad", "Reshape", "Flatten",
+        "Squeeze", "Unsqueeze", "Resize",
+    ),
+    PrimitiveCategory.LINEAR: ("Conv", "ConvTranspose", "MatMul", "Gemm"),
+    PrimitiveCategory.OPAQUE: ("TopK",),
+}
+
+
+def category_of_operator(op_type: str) -> PrimitiveCategory | None:
+    """Primitive category a *simple* operator maps to, or ``None`` for
+    composite operators (Softmax, normalizations, Gelu, ...) that fission
+    expands into several primitives."""
+    for category, ops in REPRESENTATIVE_OPERATORS.items():
+        if op_type in ops:
+            return category
+    return None

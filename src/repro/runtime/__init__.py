@@ -1,0 +1,22 @@
+"""Runtime: reference execution, executables, and equivalence verification."""
+
+from .executable import Executable, KernelLaunch, ModelExecutable
+from .reference import ReferenceExecutor, execute_graph
+from .verification import (
+    VerificationResult,
+    verify_executable,
+    verify_model_executable,
+    verify_primitive_graph,
+)
+
+__all__ = [
+    "ReferenceExecutor",
+    "execute_graph",
+    "Executable",
+    "KernelLaunch",
+    "ModelExecutable",
+    "VerificationResult",
+    "verify_primitive_graph",
+    "verify_executable",
+    "verify_model_executable",
+]

@@ -1,0 +1,98 @@
+"""Functional equivalence checking.
+
+Korch's correctness argument is structural (fission rules and graph
+transformations are semantics-preserving, kernels partition the primitive
+graph); this reproduction additionally *checks* equivalence numerically: the
+orchestrated executable, the primitive graph, and the original operator graph
+must all agree on every graph output for the same (synthesized) inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..gpu.executor import PrimitiveGraphExecutor
+from ..ir.graph import Graph
+from ..primitives.graph import PrimitiveGraph
+from .executable import Executable, ModelExecutable
+from .reference import ReferenceExecutor
+
+__all__ = ["VerificationResult", "verify_primitive_graph", "verify_executable", "verify_model_executable"]
+
+_DEFAULT_TOLERANCE = 1e-4
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one equivalence check."""
+
+    equivalent: bool
+    max_abs_error: float
+    per_output_error: dict[str, float]
+    tolerance: float
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.equivalent
+
+
+def _compare(
+    reference: Mapping[str, np.ndarray],
+    candidate: Mapping[str, np.ndarray],
+    tolerance: float,
+) -> VerificationResult:
+    errors: dict[str, float] = {}
+    for name, expected in reference.items():
+        if name not in candidate:
+            errors[name] = float("inf")
+            continue
+        got = candidate[name]
+        if got.shape != expected.shape:
+            errors[name] = float("inf")
+            continue
+        errors[name] = float(np.max(np.abs(np.asarray(got) - np.asarray(expected)))) if expected.size else 0.0
+    worst = max(errors.values(), default=0.0)
+    return VerificationResult(worst <= tolerance, worst, errors, tolerance)
+
+
+def verify_primitive_graph(
+    graph: Graph,
+    pg: PrimitiveGraph,
+    feeds: Mapping[str, np.ndarray] | None = None,
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> VerificationResult:
+    """Check that operator fission (and any transformations) preserved semantics."""
+    reference = ReferenceExecutor(graph).run(feeds)
+    candidate = PrimitiveGraphExecutor(pg).run(feeds)
+    return _compare(reference, candidate, tolerance)
+
+
+def verify_executable(
+    graph: Graph,
+    executable: Executable,
+    feeds: Mapping[str, np.ndarray] | None = None,
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> VerificationResult:
+    """Check that an orchestrated executable computes the original model."""
+    reference = ReferenceExecutor(graph).run(feeds)
+    candidate = executable.run(feeds)
+    return _compare(reference, candidate, tolerance)
+
+
+def verify_model_executable(
+    graph: Graph,
+    executable: ModelExecutable,
+    feeds: Mapping[str, np.ndarray] | None = None,
+    tolerance: float = _DEFAULT_TOLERANCE,
+) -> VerificationResult:
+    """Check a partitioned model executable against the original graph.
+
+    Only the original graph's outputs are compared (partition boundary
+    tensors are implementation details).
+    """
+    reference = ReferenceExecutor(graph).run(feeds)
+    outputs = executable.run(feeds)
+    candidate = {name: outputs[name] for name in graph.outputs if name in outputs}
+    return _compare(reference, candidate, tolerance)

@@ -1,0 +1,61 @@
+"""Binary linear programming solver stack.
+
+The public entry point is :func:`solve_blp`, which picks the best available
+exact method: scipy's HiGHS MILP when present (the production path, standing
+in for the paper's PuLP), otherwise the bundled branch-and-bound solver, with
+the greedy heuristic as an explicit opt-in for quick approximate answers.
+"""
+
+from __future__ import annotations
+
+from .branch_and_bound import BranchAndBoundSolver, solve_branch_and_bound
+from .greedy import solve_greedy
+from .problem import BinaryLinearProgram, Constraint, SolveResult, SolveStatus
+from .scipy_backend import scipy_milp_available, solve_with_scipy
+from .simplex import LpResult, solve_lp
+
+__all__ = [
+    "BinaryLinearProgram",
+    "Constraint",
+    "SolveResult",
+    "SolveStatus",
+    "solve_blp",
+    "solve_with_scipy",
+    "scipy_milp_available",
+    "solve_branch_and_bound",
+    "BranchAndBoundSolver",
+    "solve_greedy",
+    "solve_lp",
+    "LpResult",
+]
+
+
+def solve_blp(
+    problem: BinaryLinearProgram,
+    method: str = "auto",
+    time_limit_s: float | None = None,
+    mip_rel_gap: float = 0.0,
+) -> SolveResult:
+    """Solve a binary linear program.
+
+    Parameters
+    ----------
+    problem:
+        The BLP to solve.
+    method:
+        ``"auto"`` (scipy MILP if available, else branch and bound),
+        ``"scipy"``, ``"branch-and-bound"``, or ``"greedy"``.
+    time_limit_s:
+        Optional wall-clock limit passed to the scipy backend.
+    mip_rel_gap:
+        Optional relative optimality gap for the scipy backend.
+    """
+    if method == "auto":
+        method = "scipy" if scipy_milp_available() else "branch-and-bound"
+    if method == "scipy":
+        return solve_with_scipy(problem, time_limit_s=time_limit_s, mip_rel_gap=mip_rel_gap)
+    if method == "branch-and-bound":
+        return solve_branch_and_bound(problem)
+    if method == "greedy":
+        return solve_greedy(problem)
+    raise ValueError(f"unknown solver method {method!r}")

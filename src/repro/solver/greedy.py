@@ -1,0 +1,93 @@
+"""Greedy feasibility heuristic for the orchestration BLP.
+
+Used to obtain an initial incumbent for branch and bound and as a last-resort
+fallback when the exact solvers are unavailable.  The heuristic exploits the
+structure of the kernel orchestration problem: selecting variables never
+*breaks* an already-satisfied ``>=`` constraint (all left-hand-side
+coefficients on other variables are non-negative there), so repeatedly
+repairing the most violated constraint with the cheapest helpful variable
+terminates with a feasible solution whenever one exists within the candidate
+set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problem import BinaryLinearProgram, SolveResult, SolveStatus
+
+__all__ = ["solve_greedy"]
+
+
+def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) -> SolveResult:
+    """Greedily construct a feasible 0/1 assignment.
+
+    Strategy: start from the all-zeros assignment, and while some constraint
+    is violated, pick the variable with the best (violation reduction / cost)
+    ratio among variables that help the most-violated constraint.  A final
+    pruning pass unsets variables whose removal keeps feasibility, in
+    descending cost order.
+    """
+    n = problem.num_variables
+    costs = problem.costs
+    x = np.zeros(n)
+    max_rounds = max_rounds or (4 * n + 16)
+
+    for _ in range(max_rounds):
+        violated = _most_violated(problem, x)
+        if violated is None:
+            break
+        constraint, shortfall = violated
+        candidates = [
+            (idx, coef) for idx, coef in constraint.coeffs if coef > 0 and x[idx] < 0.5
+        ]
+        if constraint.sense == "<=":
+            candidates = [
+                (idx, -coef) for idx, coef in constraint.coeffs if coef < 0 and x[idx] < 0.5
+            ]
+        if not candidates:
+            return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
+        best_idx = min(
+            candidates,
+            key=lambda item: (costs[item[0]] / min(item[1], shortfall), costs[item[0]]),
+        )[0]
+        x[best_idx] = 1.0
+    else:
+        if _most_violated(problem, x) is not None:
+            return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
+
+    if _most_violated(problem, x) is not None:
+        return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
+
+    # Pruning pass: drop selected variables that are not needed, most
+    # expensive first.
+    selected = sorted((i for i in range(n) if x[i] > 0.5), key=lambda i: -costs[i])
+    for index in selected:
+        x[index] = 0.0
+        if not problem.is_feasible(x):
+            x[index] = 1.0
+
+    values = [int(round(v)) for v in x]
+    return SolveResult(
+        SolveStatus.FEASIBLE, problem.objective(values), values, method="greedy"
+    )
+
+
+def _most_violated(problem: BinaryLinearProgram, x: np.ndarray):
+    """Return ``(constraint, shortfall)`` for the most violated constraint."""
+    worst = None
+    worst_shortfall = 1e-6
+    for constraint in problem.constraints:
+        value = constraint.evaluate(x)
+        if constraint.sense == ">=":
+            shortfall = constraint.rhs - value
+        elif constraint.sense == "<=":
+            shortfall = value - constraint.rhs
+        else:
+            shortfall = abs(value - constraint.rhs)
+        if shortfall > worst_shortfall:
+            worst = constraint
+            worst_shortfall = shortfall
+    if worst is None:
+        return None
+    return worst, worst_shortfall

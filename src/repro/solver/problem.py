@@ -1,0 +1,170 @@
+"""Binary linear program model.
+
+Korch formalizes kernel orchestration as a binary linear program (BLP):
+minimize the summed kernel latencies subject to the output and dependency
+constraints of §4.2.  The paper solves it with PuLP; this repo ships its own
+solver stack (:mod:`repro.solver`), and this module defines the problem
+container every solver backend consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Constraint", "BinaryLinearProgram", "SolveResult", "SolveStatus"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One linear constraint ``sum(coeffs[i] * x[i])  <sense>  rhs``."""
+
+    coeffs: tuple[tuple[int, float], ...]
+    sense: str
+    rhs: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in (">=", "<=", "=="):
+            raise ValueError(f"invalid constraint sense {self.sense!r}")
+
+    def evaluate(self, x: Sequence[float]) -> float:
+        """Left-hand-side value for an assignment ``x``."""
+        return float(sum(coef * x[idx] for idx, coef in self.coeffs))
+
+    def satisfied(self, x: Sequence[float], tol: float = 1e-6) -> bool:
+        value = self.evaluate(x)
+        if self.sense == ">=":
+            return value >= self.rhs - tol
+        if self.sense == "<=":
+            return value <= self.rhs + tol
+        return abs(value - self.rhs) <= tol
+
+
+class SolveStatus:
+    """Status constants shared by all solver backends."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of solving a :class:`BinaryLinearProgram`."""
+
+    status: str
+    objective: float
+    values: list[int]
+    method: str = ""
+    nodes_explored: int = 0
+    gap: float = 0.0
+
+    @property
+    def is_feasible(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def selected(self) -> list[int]:
+        """Indices of variables set to 1."""
+        return [i for i, v in enumerate(self.values) if v >= 0.5]
+
+
+class BinaryLinearProgram:
+    """Minimization problem over binary variables with linear constraints."""
+
+    def __init__(self, name: str = "blp") -> None:
+        self.name = name
+        self._costs: list[float] = []
+        self._names: list[str] = []
+        self.constraints: list[Constraint] = []
+
+    # ------------------------------------------------------------ variables
+    def add_variable(self, name: str, cost: float) -> int:
+        """Add a binary variable with objective coefficient ``cost``."""
+        self._names.append(name)
+        self._costs.append(float(cost))
+        return len(self._costs) - 1
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._costs)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def costs(self) -> np.ndarray:
+        return np.asarray(self._costs, dtype=float)
+
+    def variable_name(self, index: int) -> str:
+        return self._names[index]
+
+    # ---------------------------------------------------------- constraints
+    def add_constraint(
+        self,
+        coeffs: Mapping[int, float] | Sequence[tuple[int, float]],
+        sense: str,
+        rhs: float,
+        name: str = "",
+    ) -> Constraint:
+        """Add a constraint; coefficients may be a dict or (index, coef) pairs."""
+        if isinstance(coeffs, Mapping):
+            pairs = tuple(sorted(coeffs.items()))
+        else:
+            pairs = tuple(sorted(coeffs))
+        for index, _ in pairs:
+            if not 0 <= index < self.num_variables:
+                raise IndexError(f"constraint references unknown variable index {index}")
+        constraint = Constraint(pairs, sense, float(rhs), name)
+        self.constraints.append(constraint)
+        return constraint
+
+    # ------------------------------------------------------------ utilities
+    def objective(self, x: Sequence[float]) -> float:
+        """Objective value of an assignment."""
+        costs = self.costs
+        return float(sum(costs[i] * x[i] for i in range(self.num_variables)))
+
+    def is_feasible(self, x: Sequence[float], tol: float = 1e-6) -> bool:
+        """Whether ``x`` satisfies every constraint (ignores integrality)."""
+        return all(constraint.satisfied(x, tol) for constraint in self.constraints)
+
+    def to_matrices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Dense ``(c, A_ub, b_ub, A_eq, b_eq)`` with all inequalities as ≤.
+
+        ``>=`` constraints are negated into ``<=`` rows, which is the form
+        scipy's linprog/milp and the bundled simplex expect.
+        """
+        n = self.num_variables
+        c = self.costs
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constraint in self.constraints:
+            row = np.zeros(n)
+            for index, coef in constraint.coeffs:
+                row[index] = coef
+            if constraint.sense == "<=":
+                ub_rows.append(row)
+                ub_rhs.append(constraint.rhs)
+            elif constraint.sense == ">=":
+                ub_rows.append(-row)
+                ub_rhs.append(-constraint.rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(constraint.rhs)
+        a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, n))
+        a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, n))
+        return c, a_ub, np.asarray(ub_rhs), a_eq, np.asarray(eq_rhs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BinaryLinearProgram({self.name!r}, vars={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )

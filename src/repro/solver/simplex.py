@@ -1,0 +1,161 @@
+"""Dense two-phase simplex for LP relaxations.
+
+A compact, dependency-free LP solver for problems of the form::
+
+    minimize    c·x
+    subject to  A_ub·x <= b_ub,   A_eq·x == b_eq,   0 <= x <= 1
+
+It exists so the branch-and-bound solver can run without scipy and so the
+solver stack can be tested end-to-end from first principles.  The scipy/HiGHS
+backend remains the default for large instances (thousands of kernels); this
+implementation uses Bland's rule to avoid cycling and is intended for the
+small-to-medium LPs produced by per-subgraph orchestration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LpResult", "solve_lp"]
+
+_TOL = 1e-9
+
+
+@dataclass
+class LpResult:
+    """Result of one LP solve."""
+
+    status: str  # "optimal", "infeasible", or "unbounded"
+    objective: float
+    x: np.ndarray
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    upper_bounds: np.ndarray | None = None,
+    max_iterations: int = 20000,
+) -> LpResult:
+    """Solve the bounded LP with a two-phase tableau simplex.
+
+    Variable upper bounds (default 1.0) are encoded as explicit ``x_i <= u_i``
+    rows, which keeps the implementation simple at the cost of extra rows —
+    acceptable for the per-subgraph problem sizes this solver targets.
+    """
+    c = np.asarray(c, dtype=float)
+    n = c.size
+    a_ub = np.asarray(a_ub, dtype=float).reshape(-1, n) if a_ub is not None and np.size(a_ub) else np.zeros((0, n))
+    b_ub = np.asarray(b_ub, dtype=float).ravel() if b_ub is not None else np.zeros(0)
+    a_eq = np.asarray(a_eq, dtype=float).reshape(-1, n) if a_eq is not None and np.size(a_eq) else np.zeros((0, n))
+    b_eq = np.asarray(b_eq, dtype=float).ravel() if b_eq is not None else np.zeros(0)
+    if upper_bounds is None:
+        upper_bounds = np.ones(n)
+    upper_bounds = np.asarray(upper_bounds, dtype=float)
+
+    # Append upper-bound rows x_i <= u_i for finite bounds.
+    bound_rows = []
+    bound_rhs = []
+    for i, ub in enumerate(upper_bounds):
+        if np.isfinite(ub):
+            row = np.zeros(n)
+            row[i] = 1.0
+            bound_rows.append(row)
+            bound_rhs.append(ub)
+    if bound_rows:
+        a_ub = np.vstack([a_ub, np.vstack(bound_rows)])
+        b_ub = np.concatenate([b_ub, np.asarray(bound_rhs)])
+
+    num_ub, num_eq = a_ub.shape[0], a_eq.shape[0]
+    m = num_ub + num_eq
+
+    # Standard form: [A_ub | I_slack] x = b_ub, [A_eq | 0] x = b_eq.
+    a = np.zeros((m, n + num_ub))
+    b = np.concatenate([b_ub, b_eq])
+    a[:num_ub, :n] = a_ub
+    a[:num_ub, n : n + num_ub] = np.eye(num_ub)
+    a[num_ub:, :n] = a_eq
+
+    # Make every right-hand side non-negative.
+    negative = b < 0
+    a[negative] *= -1
+    b[negative] *= -1
+
+    total_vars = n + num_ub
+    # Phase 1: add one artificial per row, minimize their sum.
+    tableau = np.zeros((m + 1, total_vars + m + 1))
+    tableau[:m, :total_vars] = a
+    tableau[:m, total_vars : total_vars + m] = np.eye(m)
+    tableau[:m, -1] = b
+    basis = list(range(total_vars, total_vars + m))
+    # Phase-1 objective row: minimize sum of artificials.
+    tableau[m, total_vars : total_vars + m] = 1.0
+    for row in range(m):
+        tableau[m] -= tableau[row]
+
+    status = _iterate(tableau, basis, total_vars + m, max_iterations)
+    if status != "optimal" or tableau[m, -1] < -1e-6:
+        return LpResult("infeasible", float("inf"), np.zeros(n))
+
+    # Drive artificial variables out of the basis when possible.
+    for row, var in enumerate(basis):
+        if var >= total_vars:
+            pivot_col = next(
+                (j for j in range(total_vars) if abs(tableau[row, j]) > _TOL), None
+            )
+            if pivot_col is not None:
+                _pivot(tableau, basis, row, pivot_col)
+
+    # Phase 2: replace the objective row with the real costs.
+    tableau[m, :] = 0.0
+    tableau[m, :n] = c
+    for row, var in enumerate(basis):
+        if var < total_vars and abs(tableau[m, var]) > _TOL:
+            tableau[m] -= tableau[m, var] * tableau[row]
+    # Forbid artificial columns from re-entering.
+    tableau[:, total_vars : total_vars + m] = 0.0
+
+    status = _iterate(tableau, basis, total_vars, max_iterations)
+    if status == "unbounded":
+        return LpResult("unbounded", -float("inf"), np.zeros(n))
+
+    x = np.zeros(total_vars)
+    for row, var in enumerate(basis):
+        if var < total_vars:
+            x[var] = tableau[row, -1]
+    solution = x[:n]
+    return LpResult("optimal", float(c @ solution), solution)
+
+
+def _iterate(tableau: np.ndarray, basis: list[int], num_columns: int, max_iterations: int) -> str:
+    """Run simplex pivots (Bland's rule) until optimal or unbounded."""
+    m = tableau.shape[0] - 1
+    for _ in range(max_iterations):
+        objective_row = tableau[m, :num_columns]
+        entering = next((j for j in range(num_columns) if objective_row[j] < -_TOL), None)
+        if entering is None:
+            return "optimal"
+        ratios = []
+        for row in range(m):
+            coef = tableau[row, entering]
+            if coef > _TOL:
+                ratios.append((tableau[row, -1] / coef, basis[row], row))
+        if not ratios:
+            return "unbounded"
+        # Bland's rule: smallest ratio, ties broken by smallest basis variable.
+        _, _, leaving_row = min(ratios)
+        _pivot(tableau, basis, leaving_row, entering)
+    return "optimal"
+
+
+def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:
+    """Pivot the tableau so column ``col`` becomes basic in ``row``."""
+    tableau[row] /= tableau[row, col]
+    for other in range(tableau.shape[0]):
+        if other != row and abs(tableau[other, col]) > _TOL:
+            tableau[other] -= tableau[other, col] * tableau[row]
+    basis[row] = col

@@ -1,0 +1,28 @@
+"""Primitive-graph transformations and the cost-guided graph optimizer."""
+
+from .base import Transform, TransformSite, redirect_tensor, remove_dead_nodes
+from .matmul import MergeSharedInputMatMuls, ReduceSumToMatMul, SwapDivPastMatMul
+from .optimizer import (
+    GraphOptimizerConfig,
+    GraphOptimizerReport,
+    PrimitiveGraphOptimizer,
+    default_transforms,
+)
+from .simplify import ConstantLayoutFolding, IdentityElimination, TransposePairElimination
+
+__all__ = [
+    "Transform",
+    "TransformSite",
+    "redirect_tensor",
+    "remove_dead_nodes",
+    "IdentityElimination",
+    "TransposePairElimination",
+    "ConstantLayoutFolding",
+    "ReduceSumToMatMul",
+    "SwapDivPastMatMul",
+    "MergeSharedInputMatMuls",
+    "PrimitiveGraphOptimizer",
+    "GraphOptimizerConfig",
+    "GraphOptimizerReport",
+    "default_transforms",
+]

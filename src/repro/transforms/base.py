@@ -1,0 +1,103 @@
+"""Infrastructure for primitive-graph transformations.
+
+Korch's primitive graph optimizer reuses TASO-style graph substitutions: each
+transformation matches a small pattern in the primitive graph and rewrites it
+into a functionally equivalent one (§3).  A transformation here reports the
+*sites* where it applies and can rewrite one site at a time on a copy of the
+graph; the optimizer (:mod:`repro.transforms.optimizer`) decides which
+rewrites to keep based on a cost model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from ..primitives.graph import PrimitiveGraph
+
+__all__ = ["TransformSite", "Transform", "redirect_tensor", "remove_dead_nodes"]
+
+
+@dataclass(frozen=True)
+class TransformSite:
+    """One location where a transformation applies.
+
+    ``anchor`` is the name of the primitive node the match is keyed on;
+    ``payload`` carries transformation-specific match details.
+    """
+
+    transform: str
+    anchor: str
+    payload: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for name, value in self.payload:
+            if name == key:
+                return value
+        return default
+
+
+class Transform(abc.ABC):
+    """A semantics-preserving primitive-graph substitution."""
+
+    #: Short name used in reports.
+    name: str = "transform"
+
+    @abc.abstractmethod
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        """All sites in ``pg`` where this transformation applies."""
+
+    @abc.abstractmethod
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        """Return a new graph with the rewrite applied at ``site``.
+
+        Implementations must not mutate ``pg``; they work on ``pg.copy()``.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Transform {self.name}>"
+
+
+def redirect_tensor(pg: PrimitiveGraph, old: str, new: str) -> None:
+    """Point every consumer of ``old`` (and graph outputs) at ``new``."""
+    for node in pg.nodes:
+        node.inputs = [new if t == old else t for t in node.inputs]
+    pg.outputs = [new if t == old else t for t in pg.outputs]
+
+
+def replace_with(pg: PrimitiveGraph, old_node, new_tensor: str) -> None:
+    """Replace ``old_node``'s result with ``new_tensor`` everywhere.
+
+    Consumers are rewired, the node is removed, and — crucially for the
+    verification machinery — if the replaced tensor was a graph output the new
+    producer's result is renamed back to the original tensor name, so graph
+    output names stay stable across transformations.
+    """
+    old_name = old_node.output
+    was_output = old_name in pg.outputs
+    redirect_tensor(pg, old_name, new_tensor)
+    pg.remove_node(old_node)
+    if was_output:
+        producer = pg.producer(new_tensor)
+        if producer is not None:
+            pg.rename_output(producer, old_name)
+    remove_dead_nodes(pg)
+
+
+def remove_dead_nodes(pg: PrimitiveGraph) -> int:
+    """Remove primitives whose output is never consumed and is not a graph
+    output; returns the number of nodes removed."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(pg.nodes):
+            if node.output in pg.outputs:
+                continue
+            if pg.consumers(node.output):
+                continue
+            pg.remove_node(node)
+            removed += 1
+            changed = True
+    return removed

@@ -1,0 +1,200 @@
+"""MatMul-centric transformations (Figure 2b / Figure 9 of the paper).
+
+Three substitutions combine to fuse the reduction inside Softmax with a
+following MatMul:
+
+1. **Reduce→MatMul**: a last-axis ``ReduceSum`` is a matrix–vector product
+   with an all-ones vector, so it can be rewritten as a linear primitive.
+2. **Div/MatMul swap**: when the divisor is constant along the contraction
+   axis (a per-row normalizer, e.g. the softmax denominator), the elementwise
+   division can be moved past the MatMul: ``(A / s) @ C == (A @ C) / s``.
+3. **MatMul merge**: two MatMuls sharing their left operand are merged by
+   concatenating the right operands and slicing the result (the paper uses
+   Pad + Split; Concat + Slice is the same data movement with this repo's
+   primitive set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..primitives.elementwise import ElementwisePrimitive
+from ..primitives.graph import PrimitiveGraph
+from ..primitives.layout import LayoutPrimitive
+from ..primitives.linear import MatMulPrimitive
+from ..primitives.reduce_broadcast import BroadcastPrimitive, ReducePrimitive
+from .base import Transform, TransformSite, redirect_tensor, remove_dead_nodes, replace_with
+
+__all__ = ["ReduceSumToMatMul", "SwapDivPastMatMul", "MergeSharedInputMatMuls"]
+
+
+class ReduceSumToMatMul(Transform):
+    """Rewrite a last-axis ReduceSum as a MatMul with an all-ones vector."""
+
+    name = "reduce-sum-to-matmul"
+
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        sites = []
+        for node in pg.nodes:
+            prim = node.prim
+            if not isinstance(prim, ReducePrimitive) or prim.op != "Sum":
+                continue
+            if not prim.attr("keepdims"):
+                continue
+            input_type = pg.tensor_type(node.inputs[0])
+            axes = tuple(prim.attr("axes"))
+            if len(axes) != 1:
+                continue
+            axis = axes[0] if axes[0] >= 0 else axes[0] + input_type.rank
+            if axis != input_type.rank - 1 or input_type.rank < 2:
+                continue
+            sites.append(TransformSite(self.name, node.name))
+        return sites
+
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        result = pg.copy()
+        node = result.node(site.anchor)
+        input_name = node.inputs[0]
+        input_type = result.tensor_type(input_name)
+        k = input_type.shape[-1]
+        ones_name = result.unique_name(f"{node.name}_ones")
+        result.add_constant(ones_name, np.ones((k, 1), dtype=input_type.dtype.to_numpy()))
+        new_node = result.add_node(
+            MatMulPrimitive(), [input_name, ones_name], source_op=node.source_op,
+            name=result.unique_name(f"{node.name}_as_matmul"),
+        )
+        replace_with(result, node, new_node.output)
+        return result
+
+
+class SwapDivPastMatMul(Transform):
+    """Rewrite ``MatMul(Div(A, s), C)`` into ``Div(MatMul(A, C), s)``.
+
+    Legal when ``s`` does not vary along A's contraction (last) axis: either
+    its last dimension is 1, or it is produced by a Broadcast along that axis
+    (in which case the pre-broadcast tensor is used as the new divisor and the
+    Broadcast may become dead).
+    """
+
+    name = "swap-div-past-matmul"
+
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        sites = []
+        for node in pg.nodes:
+            if not isinstance(node.prim, MatMulPrimitive):
+                continue
+            div = pg.producer(node.inputs[0])
+            if div is None or not isinstance(div.prim, ElementwisePrimitive) or div.prim.op != "Div":
+                continue
+            a_name, s_name = div.inputs
+            a_type = pg.tensor_type(a_name)
+            divisor = self._row_constant_divisor(pg, s_name, a_type.rank)
+            if divisor is None:
+                continue
+            sites.append(
+                TransformSite(
+                    self.name,
+                    node.name,
+                    (("div", div.name), ("divisor", divisor), ("numerator", a_name)),
+                )
+            )
+        return sites
+
+    @staticmethod
+    def _row_constant_divisor(pg: PrimitiveGraph, s_name: str, rank: int) -> str | None:
+        """Divisor tensor that is constant along the last axis, or None."""
+        s_type = pg.tensor_type(s_name)
+        if s_type.rank == rank and s_type.shape[-1] == 1:
+            return s_name
+        producer = pg.producer(s_name)
+        if (
+            producer is not None
+            and isinstance(producer.prim, BroadcastPrimitive)
+            and int(producer.prim.attr("axis")) in (rank - 1, -1)
+        ):
+            return producer.inputs[0]
+        return None
+
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        result = pg.copy()
+        matmul = result.node(site.anchor)
+        numerator = site.get("numerator")
+        divisor = site.get("divisor")
+        rhs = matmul.inputs[1]
+        new_matmul = result.add_node(
+            MatMulPrimitive(), [numerator, rhs], source_op=matmul.source_op,
+            name=result.unique_name(f"{matmul.name}_swapped"),
+        )
+        new_div = result.add_node(
+            ElementwisePrimitive("Div"), [new_matmul.output, divisor],
+            source_op=matmul.source_op,
+            name=result.unique_name(f"{matmul.name}_postdiv"),
+        )
+        replace_with(result, matmul, new_div.output)
+        return result
+
+
+class MergeSharedInputMatMuls(Transform):
+    """Merge two MatMuls sharing the left operand via Concat + Slice."""
+
+    name = "merge-shared-input-matmuls"
+
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        sites = []
+        by_left: dict[str, list] = {}
+        for node in pg.nodes:
+            if isinstance(node.prim, MatMulPrimitive):
+                by_left.setdefault(node.inputs[0], []).append(node)
+        for left, nodes in by_left.items():
+            if len(nodes) < 2:
+                continue
+            # Merge pairs with identical right-operand shape prefixes (so the
+            # concatenation along the last axis is well-formed).
+            for i in range(len(nodes)):
+                for j in range(i + 1, len(nodes)):
+                    a, b = nodes[i], nodes[j]
+                    ta = pg.tensor_type(a.inputs[1])
+                    tb = pg.tensor_type(b.inputs[1])
+                    if ta.shape[:-1] != tb.shape[:-1]:
+                        continue
+                    sites.append(
+                        TransformSite(self.name, a.name, (("other", b.name), ("left", left)))
+                    )
+        return sites
+
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        result = pg.copy()
+        first = result.node(site.anchor)
+        second = result.node(site.get("other"))
+        left = site.get("left")
+        w1, w2 = first.inputs[1], second.inputs[1]
+        t1, t2 = result.tensor_type(w1), result.tensor_type(w2)
+        axis = t1.rank - 1
+        n1, n2 = t1.shape[-1], t2.shape[-1]
+
+        concat = result.add_node(
+            LayoutPrimitive("Concat", axis=axis), [w1, w2],
+            source_op=first.source_op,
+            name=result.unique_name(f"{first.name}_wconcat"),
+        )
+        merged = result.add_node(
+            MatMulPrimitive(), [left, concat.output],
+            source_op=first.source_op,
+            name=result.unique_name(f"{first.name}_merged"),
+        )
+        out_rank = result.tensor_type(merged.output).rank
+        slice1 = result.add_node(
+            LayoutPrimitive("Slice", starts=(0,), ends=(n1,), axes=(out_rank - 1,), steps=(1,)),
+            [merged.output],
+            source_op=first.source_op,
+            name=result.unique_name(f"{first.name}_part"),
+        )
+        slice2 = result.add_node(
+            LayoutPrimitive("Slice", starts=(n1,), ends=(n1 + n2,), axes=(out_rank - 1,), steps=(1,)),
+            [merged.output],
+            source_op=second.source_op,
+            name=result.unique_name(f"{second.name}_part"),
+        )
+        replace_with(result, first, slice1.output)
+        replace_with(result, second, slice2.output)
+        return result

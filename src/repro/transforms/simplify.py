@@ -1,0 +1,99 @@
+"""Always-beneficial cleanup transformations.
+
+These rewrites never increase cost — they remove work or move it to compile
+time — so the optimizer applies them exhaustively before and after the
+cost-guided substitutions:
+
+* identity elimination,
+* cancellation of inverse transpose pairs,
+* folding of layout primitives applied to compile-time constants.
+"""
+
+from __future__ import annotations
+
+from ..primitives.elementwise import ElementwisePrimitive
+from ..primitives.graph import PrimitiveGraph
+from ..primitives.layout import LayoutPrimitive
+from .base import Transform, TransformSite, redirect_tensor, remove_dead_nodes, replace_with
+
+__all__ = ["IdentityElimination", "TransposePairElimination", "ConstantLayoutFolding"]
+
+
+class IdentityElimination(Transform):
+    """Remove elementwise Identity primitives."""
+
+    name = "identity-elimination"
+
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        return [
+            TransformSite(self.name, node.name)
+            for node in pg.nodes
+            if isinstance(node.prim, ElementwisePrimitive) and node.prim.op == "Identity"
+        ]
+
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        result = pg.copy()
+        node = result.node(site.anchor)
+        source = node.inputs[0]
+        if node.output in result.outputs and result.producer(source) is None:
+            # Keep an explicit copy when the graph output would otherwise
+            # alias a graph input.
+            return result
+        replace_with(result, node, source)
+        return result
+
+
+class TransposePairElimination(Transform):
+    """Cancel ``Transpose(perm2) ∘ Transpose(perm1)`` when it is the identity."""
+
+    name = "transpose-pair-elimination"
+
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        sites = []
+        for node in pg.nodes:
+            if not (isinstance(node.prim, LayoutPrimitive) and node.prim.op == "Transpose"):
+                continue
+            producer = pg.producer(node.inputs[0])
+            if producer is None:
+                continue
+            if not (isinstance(producer.prim, LayoutPrimitive) and producer.prim.op == "Transpose"):
+                continue
+            outer = node.prim.attr("perm")
+            inner = producer.prim.attr("perm")
+            composed = tuple(inner[p] for p in outer)
+            if composed == tuple(range(len(composed))):
+                sites.append(
+                    TransformSite(self.name, node.name, (("producer", producer.name),))
+                )
+        return sites
+
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        result = pg.copy()
+        node = result.node(site.anchor)
+        producer = result.node(site.get("producer"))
+        replace_with(result, node, producer.inputs[0])
+        return result
+
+
+class ConstantLayoutFolding(Transform):
+    """Evaluate layout primitives whose input is a compile-time constant."""
+
+    name = "constant-layout-folding"
+
+    def find_sites(self, pg: PrimitiveGraph) -> list[TransformSite]:
+        sites = []
+        for node in pg.nodes:
+            if not isinstance(node.prim, LayoutPrimitive):
+                continue
+            if all(t in pg.constants for t in node.inputs):
+                sites.append(TransformSite(self.name, node.name))
+        return sites
+
+    def apply(self, pg: PrimitiveGraph, site: TransformSite) -> PrimitiveGraph:
+        result = pg.copy()
+        node = result.node(site.anchor)
+        value = node.prim.compute([result.constants[t] for t in node.inputs])
+        folded = result.unique_name(f"{node.output}_folded")
+        result.add_constant(folded, value)
+        replace_with(result, node, folded)
+        return result

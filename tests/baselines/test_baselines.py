@@ -1,0 +1,127 @@
+"""Fusion baselines: grouping policies, costing, and comparison with Korch."""
+
+import pytest
+
+from repro.baselines import (
+    DnnFusionBaseline,
+    GreedyFusionBaseline,
+    TensorRTFusionBaseline,
+    UnfusedBaseline,
+    baseline_suite,
+    mapping_class,
+)
+from repro.fission import FissionEngine
+from repro.ir import GraphBuilder
+from repro.models import build_segformer_decoder_subgraph
+from repro.orchestration import KernelOrchestrationOptimizer
+
+
+def _conv_bn_relu_graph():
+    b = GraphBuilder("cbr")
+    x = b.input("x", (1, 8, 16, 16))
+    y = b.conv2d(x, 16, 3, bias=False)
+    y = b.batch_norm(y)
+    y = b.relu(y)
+    y = b.conv2d(y, 16, 3, bias=False)
+    y = b.batch_norm(y)
+    y = b.relu(y)
+    b.output(y)
+    return b.build()
+
+
+class TestGrouping:
+    def test_unfused_one_group_per_operator(self, attention_graph, v100):
+        groups = UnfusedBaseline(v100).group_operators(attention_graph)
+        assert all(len(group) == 1 for group in groups)
+        assert len(groups) == attention_graph.num_nodes
+
+    def test_tensorrt_fuses_conv_bn_relu(self, v100):
+        graph = _conv_bn_relu_graph()
+        groups = TensorRTFusionBaseline(v100).group_operators(graph)
+        fused = [g for g in groups if len(g) == 3]
+        assert len(fused) == 2  # both conv+BN+ReLU patterns fused
+
+    def test_tensorrt_keeps_norms_separate(self, candy_block_graph, v100):
+        groups = TensorRTFusionBaseline(v100).group_operators(candy_block_graph)
+        by_op = {
+            candy_block_graph.node(name).op_type
+            for group in groups
+            for name in group
+            if len(group) == 1
+        }
+        assert "InstanceNormalization" in by_op  # Figure 12a: IN is its own kernel
+
+    def test_tvm_fuses_decoder_into_one_kernel(self, v100):
+        """Figure 11a: TVM fuses the whole Segformer decoder subgraph."""
+        graph = build_segformer_decoder_subgraph(batch=1)
+        groups = GreedyFusionBaseline(v100).group_operators(graph)
+        assert len(groups) == 1
+
+    def test_tvm_does_not_fuse_reduce_into_conv(self, candy_block_graph, v100):
+        groups = GreedyFusionBaseline(v100).group_operators(candy_block_graph)
+        for group in groups:
+            ops = [candy_block_graph.node(name).op_type for name in group]
+            if "Conv" in ops:
+                assert "InstanceNormalization" not in ops
+
+    def test_tvm_residual_pattern_is_acyclic(self, v100):
+        """Residual adds must not merge a group with its own ancestors."""
+        b = GraphBuilder("residual")
+        x = b.input("x", (1, 8, 8, 8))
+        y = b.relu(x)
+        z = b.conv2d(y, 8, 3)
+        z = b.relu(z)
+        out = b.add(y, z)
+        b.output(out)
+        graph = b.build()
+        baseline = GreedyFusionBaseline(v100)
+        strategy = baseline.run(graph)  # raises if the plan is cyclic
+        assert strategy.num_kernels >= 2
+
+    def test_groups_cover_everything(self, attention_graph, v100):
+        for baseline in baseline_suite(v100, include_dnnfusion=False):
+            groups = baseline.group_operators(attention_graph)
+            names = sorted(name for group in groups for name in group)
+            assert names == sorted(node.name for node in attention_graph.nodes)
+
+    def test_dnnfusion_mapping_classes(self, attention_graph, v100):
+        softmax = next(n for n in attention_graph.nodes if n.op_type == "Softmax")
+        matmul = next(n for n in attention_graph.nodes if n.op_type == "MatMul")
+        assert mapping_class(softmax) == "many-to-one"
+        assert mapping_class(matmul) == "many-to-many"
+        strategy = DnnFusionBaseline(v100).run(attention_graph)
+        assert strategy.num_kernels >= 2
+
+
+class TestBaselineCosting:
+    def test_strategies_are_valid_plans(self, candy_block_graph, v100):
+        pg, _ = FissionEngine().run(candy_block_graph)
+        for baseline in baseline_suite(v100):
+            strategy = baseline.run(candy_block_graph, pg)
+            assert strategy.total_latency_s > 0
+            materialized = set()
+            for kernel in strategy.kernels:
+                for tensor in kernel.external_inputs:
+                    assert pg.is_source_tensor(tensor) or tensor in materialized
+                materialized.update(kernel.outputs)
+
+    def test_fusion_beats_unfused(self, candy_block_graph, v100):
+        pg, _ = FissionEngine().run(candy_block_graph)
+        unfused = UnfusedBaseline(v100).run(candy_block_graph, pg)
+        tensorrt = TensorRTFusionBaseline(v100).run(candy_block_graph, pg)
+        assert tensorrt.total_latency_s < unfused.total_latency_s
+
+    def test_korch_at_least_as_good_as_baselines(self, attention_graph, v100):
+        """On the attention subgraph Korch must not lose to any baseline."""
+        pg, _ = FissionEngine().run(attention_graph)
+        korch = KernelOrchestrationOptimizer(v100).optimize(pg).strategy
+        for baseline in baseline_suite(v100):
+            strategy = baseline.run(attention_graph, pg)
+            assert korch.total_latency_s <= strategy.total_latency_s * 1.001
+
+    def test_eager_pays_framework_overhead(self, attention_graph, v100):
+        pg, _ = FissionEngine().run(attention_graph)
+        eager = UnfusedBaseline(v100).run(attention_graph, pg)
+        assert eager.num_kernels == attention_graph.num_nodes
+        # Every kernel pays at least launch + dispatcher overhead.
+        assert eager.total_latency_s > eager.num_kernels * v100.kernel_launch_s

@@ -1,0 +1,67 @@
+"""Shared fixtures: small graphs exercising every layer of the stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.ir import GraphBuilder
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return V100
+
+
+@pytest.fixture()
+def attention_graph():
+    """Small softmax self-attention subgraph (Figure 2a shape)."""
+    b = GraphBuilder("attention")
+    x = b.input("x", (1, 4, 32, 16))
+    w = b.param("w", (1, 4, 16, 32))
+    scores = b.matmul(x, w)
+    probs = b.softmax(scores, axis=-1)
+    v = b.param("v", (1, 4, 32, 16))
+    out = b.matmul(probs, v)
+    b.output(out)
+    return b.build()
+
+
+@pytest.fixture()
+def candy_block_graph():
+    """Conv → InstanceNorm → ReLU → Pad block (Figure 12 pattern)."""
+    b = GraphBuilder("candy_block")
+    x = b.input("x", (1, 8, 16, 16))
+    y = b.conv2d(x, 8, kernel=3)
+    y = b.instance_norm(y)
+    y = b.relu(y)
+    y = b.pad(y, (0, 0, 1, 1, 0, 0, 1, 1))
+    b.output(y)
+    return b.build()
+
+
+@pytest.fixture()
+def branchy_graph():
+    """Two elementwise branches joined by a concat (partition/fusion tests)."""
+    b = GraphBuilder("branchy")
+    x = b.input("x", (2, 8, 8))
+    left = b.relu(x)
+    left = b.exp(left)
+    right = b.sigmoid(x)
+    joined = b.concat([left, right], axis=1)
+    out = b.reduce_sum(joined, axes=(-1,), keepdims=True)
+    b.output(out)
+    return b.build()
+
+
+@pytest.fixture()
+def attention_pg(attention_graph):
+    pg, _ = FissionEngine().run(attention_graph)
+    return pg
+
+
+@pytest.fixture()
+def candy_block_pg(candy_block_graph):
+    pg, _ = FissionEngine().run(candy_block_graph)
+    return pg

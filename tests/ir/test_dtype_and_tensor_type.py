@@ -1,0 +1,105 @@
+"""Unit and property tests for DataType and TensorType."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import DataType, TensorType
+
+shapes = st.lists(st.integers(min_value=1, max_value=8), min_size=0, max_size=4).map(tuple)
+
+
+class TestDataType:
+    def test_itemsize(self):
+        assert DataType.FLOAT32.itemsize == 4
+        assert DataType.FLOAT16.itemsize == 2
+        assert DataType.TF32.itemsize == 4
+        assert DataType.INT64.itemsize == 8
+        assert DataType.BOOL.itemsize == 1
+
+    def test_is_floating(self):
+        assert DataType.FLOAT32.is_floating
+        assert DataType.TF32.is_floating
+        assert not DataType.INT32.is_floating
+
+    def test_numpy_roundtrip(self):
+        assert DataType.FLOAT32.to_numpy() == np.dtype("float32")
+        assert DataType.from_numpy(np.dtype("float32")) is DataType.FLOAT32
+        assert DataType.from_numpy(np.dtype("int64")) is DataType.INT64
+
+    def test_tf32_maps_to_float32_numpy(self):
+        assert DataType.TF32.to_numpy() == np.dtype("float32")
+
+    def test_from_numpy_unknown(self):
+        with pytest.raises(ValueError):
+            DataType.from_numpy(np.dtype("complex64"))
+
+
+class TestTensorType:
+    def test_basic_properties(self):
+        t = TensorType((2, 3, 4))
+        assert t.rank == 3
+        assert t.num_elements == 24
+        assert t.size_bytes == 96
+        assert t.dtype is DataType.FLOAT32
+
+    def test_scalar(self):
+        t = TensorType(())
+        assert t.rank == 0
+        assert t.num_elements == 1
+
+    def test_int_shape_coerced(self):
+        assert TensorType(5).shape == (5,)
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((2, -1))
+
+    def test_with_shape_and_dtype(self):
+        t = TensorType((2, 3))
+        assert t.with_shape((6,)).shape == (6,)
+        assert t.with_dtype(DataType.FLOAT16).size_bytes == 12
+
+    def test_squeeze_unsqueeze(self):
+        t = TensorType((2, 1, 3))
+        assert t.squeeze(1).shape == (2, 3)
+        assert t.unsqueeze(0).shape == (1, 2, 1, 3)
+        with pytest.raises(ValueError):
+            t.squeeze(0)
+
+    def test_reduce(self):
+        t = TensorType((2, 3, 4))
+        assert t.reduce(1).shape == (2, 4)
+        assert t.reduce(1, keepdims=True).shape == (2, 1, 4)
+        assert t.reduce(-1).shape == (2, 3)
+
+    def test_broadcast(self):
+        t = TensorType((2, 1, 4))
+        assert t.broadcast(0, 7).shape == (7, 2, 1, 4)
+
+    def test_transpose(self):
+        t = TensorType((2, 3, 4))
+        assert t.transpose((2, 0, 1)).shape == (4, 2, 3)
+        with pytest.raises(ValueError):
+            t.transpose((0, 0, 1))
+
+    def test_equality_and_hash(self):
+        assert TensorType((2, 3)) == TensorType((2, 3))
+        assert TensorType((2, 3)) != TensorType((2, 3), DataType.FLOAT16)
+        assert len({TensorType((2, 3)), TensorType((2, 3))}) == 1
+
+    def test_str(self):
+        assert str(TensorType((2, 3))) == "float32[2x3]"
+
+    @given(shapes)
+    def test_num_elements_matches_numpy(self, shape):
+        t = TensorType(shape)
+        assert t.num_elements == int(np.prod(shape)) if shape else 1
+
+    @given(shapes, st.integers(min_value=0, max_value=3))
+    def test_transpose_preserves_elements(self, shape, seed):
+        t = TensorType(shape)
+        rng = np.random.default_rng(seed)
+        perm = tuple(rng.permutation(len(shape)).tolist())
+        assert t.transpose(perm).num_elements == t.num_elements

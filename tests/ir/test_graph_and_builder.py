@@ -1,0 +1,220 @@
+"""Graph structure, builder, validation, serialization and shape inference."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    REGISTRY,
+    DataType,
+    Graph,
+    GraphBuilder,
+    GraphError,
+    Node,
+    OpKind,
+    TensorType,
+    broadcast_shapes,
+    graph_from_dict,
+    graph_to_dict,
+    infer_node_types,
+    validate_graph,
+)
+
+
+class TestRegistry:
+    def test_known_operators_present(self):
+        for name in ("Conv", "MatMul", "Softmax", "InstanceNormalization", "Concat", "Resize"):
+            assert name in REGISTRY
+
+    def test_kinds(self):
+        assert REGISTRY.get("Add").kind is OpKind.ELEMENTWISE
+        assert REGISTRY.get("Conv").kind is OpKind.COMPUTE
+        assert REGISTRY.get("Softmax").kind is OpKind.COMPOSITE
+        assert REGISTRY.get("Transpose").kind is OpKind.LAYOUT
+        assert REGISTRY.get("TopK").kind is OpKind.OPAQUE
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            REGISTRY.get("Add").validate_arity(3, 1)
+        REGISTRY.get("Concat").validate_arity(5, 1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError):
+            REGISTRY.get("NotAnOp")
+
+    def test_by_kind(self):
+        compute = [spec.name for spec in REGISTRY.by_kind(OpKind.COMPUTE)]
+        assert "MatMul" in compute and "Conv" in compute
+
+
+class TestBroadcast:
+    def test_basic(self):
+        assert broadcast_shapes((2, 3), (3,)) == (2, 3)
+        assert broadcast_shapes((2, 1, 4), (5, 1)) == (2, 5, 4)
+
+    def test_incompatible(self):
+        with pytest.raises(GraphError):
+            broadcast_shapes((2, 3), (4,))
+
+
+class TestBuilder:
+    def test_conv_shapes(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 32, 32))
+        y = b.conv2d(x, 16, kernel=3, stride=2)
+        assert b.shape(y) == (1, 16, 16, 16)
+
+    def test_pooling_and_reduce(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 4, 8, 8))
+        assert b.shape(b.max_pool(x, 2, 2)) == (1, 4, 4, 4)
+        assert b.shape(b.global_avg_pool(x)) == (1, 4, 1, 1)
+        assert b.shape(b.reduce_mean(x, axes=(1,), keepdims=False)) == (1, 8, 8)
+
+    def test_layout_ops(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 6, 4))
+        assert b.shape(b.transpose(x, (0, 2, 1))) == (2, 4, 6)
+        assert b.shape(b.reshape(x, (2, 24))) == (2, 24)
+        assert b.shape(b.pad(x, (0, 0, 1, 0, 0, 1))) == (2, 6, 6)
+        parts = b.split(x, 2, axis=1)
+        assert [b.shape(p) for p in parts] == [(2, 3, 4), (2, 3, 4)]
+        assert b.shape(b.concat(parts, axis=2)) == (2, 3, 8)
+        assert b.shape(b.slice(x, (1,), (5,), axes=(1,))) == (2, 4, 4)
+
+    def test_matmul_and_linear(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 5, 8))
+        y = b.linear(x, 12)
+        assert b.shape(y) == (2, 5, 12)
+        with pytest.raises(GraphError):
+            b.matmul(x, b.param("bad", (5, 4)))
+
+    def test_resize(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        assert b.shape(b.resize(x, 2.0)) == (1, 3, 16, 16)
+        assert b.shape(b.resize_to(x, (1, 3, 32, 32))) == (1, 3, 32, 32)
+
+    def test_build_requires_output(self):
+        b = GraphBuilder("g")
+        b.input("x", (1,))
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_graph_queries(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        y = b.relu(x)
+        z = b.exp(y)
+        b.output(z)
+        g = b.build()
+        relu = g.producer(y)
+        assert relu.op_type == "Relu"
+        assert [n.op_type for n in g.consumers(y)] == ["Exp"]
+        assert g.is_source_tensor(x)
+        order = [n.op_type for n in g.topological_order()]
+        assert order.index("Relu") < order.index("Exp")
+        assert g.stats()["num_nodes"] == 2
+        assert g.op_type_histogram() == {"Exp": 1, "Relu": 1}
+
+    def test_subgraph_tensors(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4,))
+        y = b.relu(x)
+        z = b.exp(y)
+        w = b.sigmoid(z)
+        b.output(w)
+        g = b.build()
+        nodes = [g.producer(y), g.producer(z)]
+        ins, outs = g.subgraph_tensors(nodes)
+        assert ins == {x}
+        assert outs == {z}
+
+
+class TestGraphErrors:
+    def test_duplicate_node_name(self):
+        g = Graph("g")
+        g.add_input("x", TensorType((2,)))
+        g.add_tensor("y", TensorType((2,)))
+        g.add_node(Node("n", "Relu", ["x"], ["y"]))
+        with pytest.raises(GraphError):
+            g.add_node(Node("n", "Relu", ["x"], ["y2"]))
+
+    def test_unknown_input_tensor(self):
+        g = Graph("g")
+        with pytest.raises(GraphError):
+            g.add_node(Node("n", "Relu", ["missing"], ["y"]))
+
+    def test_cycle_detection(self):
+        g = Graph("g")
+        g.add_tensor("a", TensorType((2,)))
+        g.add_tensor("b", TensorType((2,)))
+        g.add_node(Node("n1", "Relu", ["b"], ["a"]))
+        g.add_node(Node("n2", "Relu", ["a"], ["b"]))
+        with pytest.raises(GraphError):
+            g.topological_order()
+
+    def test_validation_catches_shape_mismatch(self):
+        g = Graph("g")
+        g.add_input("x", TensorType((2, 3)))
+        g.add_tensor("y", TensorType((9, 9)))
+        g.add_node(Node("n", "Relu", ["x"], ["y"]))
+        g.add_output("y")
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+    def test_output_without_producer(self):
+        g = Graph("g")
+        g.add_tensor("y", TensorType((2,)))
+        g.add_output("y")
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+
+class TestSerialization:
+    def test_roundtrip(self, attention_graph):
+        data = graph_to_dict(attention_graph)
+        restored = graph_from_dict(data)
+        validate_graph(restored)
+        assert restored.num_nodes == attention_graph.num_nodes
+        assert restored.inputs == attention_graph.inputs
+        assert restored.outputs == attention_graph.outputs
+        assert set(restored.params) == set(attention_graph.params)
+
+    def test_roundtrip_preserves_constants(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        c = b.constant("ones", np.ones((2, 2), dtype=np.float32))
+        b.output(b.add(x, c))
+        g = b.build()
+        restored = graph_from_dict(graph_to_dict(g))
+        np.testing.assert_allclose(restored.constants[c], np.ones((2, 2)))
+
+    def test_save_and_load(self, tmp_path, candy_block_graph):
+        from repro.ir import load_graph, save_graph
+
+        path = save_graph(candy_block_graph, tmp_path / "graph.json")
+        restored = load_graph(path)
+        assert restored.num_nodes == candy_block_graph.num_nodes
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"format_version": 99})
+
+
+class TestShapeInference:
+    def test_gemm_transpose_flags(self):
+        node = Node("n", "Gemm", ["a", "b"], ["c"], {"trans_a": True, "trans_b": True})
+        out = infer_node_types(node, [TensorType((8, 4)), TensorType((6, 8))])
+        assert out[0].shape == (4, 6)
+
+    def test_topk_outputs(self):
+        node = Node("n", "TopK", ["x"], ["v", "i"], {"k": 3, "axis": -1})
+        values, indices = infer_node_types(node, [TensorType((2, 10))])
+        assert values.shape == (2, 3)
+        assert indices.dtype is DataType.INT64
+
+    def test_unknown_op(self):
+        node = Node("n", "Bogus", ["x"], ["y"])
+        with pytest.raises(GraphError):
+            infer_node_types(node, [TensorType((2,))])

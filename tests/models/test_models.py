@@ -1,0 +1,81 @@
+"""Model zoo: the five workloads and the case-study subgraphs."""
+
+import pytest
+
+from repro.fission import FissionEngine
+from repro.ir import validate_graph
+from repro.models import (
+    MODEL_BUILDERS,
+    build_candy,
+    build_candy_block,
+    build_efficientvit_attention_block,
+    build_model,
+    build_segformer_attention_block,
+    build_segformer_decoder_subgraph,
+)
+
+
+class TestModelZoo:
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_models_build_and_validate(self, name):
+        graph = build_model(name)
+        validate_graph(graph)
+        assert graph.num_nodes > 50
+        assert graph.inputs and graph.outputs
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_models_fission(self, name):
+        graph = build_model(name)
+        pg, report = FissionEngine().run(graph)
+        assert report.expansion_ratio > 1.0
+        assert len(pg.nodes) > graph.num_nodes
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("resnet")
+
+    def test_candy_resolution_and_output_shape(self):
+        graph = build_candy(resolution=224)
+        out = graph.tensor_type(graph.outputs[0])
+        assert out.shape == (1, 3, 224, 224)
+
+    def test_model_input_resolutions_match_paper(self):
+        assert build_model("candy").tensor_type("image").shape[-1] == 224
+        assert build_model("yolov4").tensor_type("image").shape[-1] == 416
+        assert build_model("yolox").tensor_type("image").shape[-1] == 416
+        assert build_model("segformer").tensor_type("image").shape[-1] == 512
+        assert build_model("efficientvit").tensor_type("image").shape[-1] == 2048
+
+    def test_yolo_has_three_heads(self):
+        assert len(build_model("yolov4").outputs) == 3
+        assert len(build_model("yolox").outputs) == 3
+
+
+class TestCaseStudySubgraphs:
+    def test_candy_block_pattern(self):
+        graph = build_candy_block()
+        ops = graph.op_type_histogram()
+        assert ops == {"InstanceNormalization": 1, "Pad": 1, "Relu": 1}
+
+    def test_segformer_attention_pattern(self):
+        graph = build_segformer_attention_block()
+        ops = graph.op_type_histogram()
+        assert ops["MatMul"] == 2 and ops["Softmax"] == 1 and ops["Div"] == 1
+
+    def test_segformer_decoder_pattern(self):
+        graph = build_segformer_decoder_subgraph(batch=1)
+        ops = graph.op_type_histogram()
+        assert ops["Resize"] == 3 and ops["Concat"] == 1 and ops["Add"] == 4
+        batch16 = build_segformer_decoder_subgraph(batch=16)
+        assert batch16.tensor_type(batch16.outputs[0]).shape[0] == 16
+
+    def test_efficientvit_attention_has_extreme_gemm(self):
+        """The 16384-token / 16-dim linear attention of Figure 8."""
+        graph = build_efficientvit_attention_block()
+        pg, _ = FissionEngine().run(graph)
+        gemm_inputs = [
+            pg.tensor_type(n.inputs[0]).shape for n in pg.nodes if n.prim.op == "MatMul"
+        ]
+        assert any(shape[-2] // 16 >= 1024 or shape[-1] * 1024 <= shape[-2] for shape in gemm_inputs)
+        ops = {n.prim.op for n in pg.nodes}
+        assert {"Slice", "Relu", "Transpose", "MatMul", "Sum", "Add", "Div"} <= ops

@@ -1,0 +1,214 @@
+"""Execution states, convexity (Theorem 1), kernel identification, BLP, strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.ir import GraphBuilder, TensorType
+from repro.orchestration import (
+    KernelIdentifier,
+    KernelIdentifierConfig,
+    KernelOrchestrationOptimizer,
+    build_orchestration_blp,
+    convex_subgraphs_from_states,
+    enumerate_execution_states,
+    is_convex,
+    is_execution_state,
+    order_kernels,
+)
+from repro.primitives import ElementwisePrimitive, PrimitiveGraph
+from repro.solver import solve_blp
+
+
+def _random_dag_pg(seed: int, num_nodes: int) -> PrimitiveGraph:
+    """Random elementwise DAG used by the Theorem 1 property tests."""
+    import numpy.random as npr
+
+    rng = npr.default_rng(seed)
+    pg = PrimitiveGraph(f"random{seed}")
+    source = pg.add_input("x", TensorType((4,)))
+    tensors = [source]
+    for index in range(num_nodes):
+        arity = 2 if len(tensors) > 1 and rng.random() < 0.4 else 1
+        inputs = [tensors[int(i)] for i in rng.choice(len(tensors), size=arity, replace=False)]
+        op = "Add" if arity == 2 else "Relu"
+        node = pg.add_node(ElementwisePrimitive(op), inputs, name=f"n{index}")
+        tensors.append(node.output)
+    pg.add_output(tensors[-1])
+    return pg
+
+
+class TestExecutionStates:
+    def test_chain_states_linear_in_depth(self):
+        pg = _chain(4)
+        states = enumerate_execution_states(pg)
+        assert len(states) == 5  # empty + one per prefix
+        for state in states:
+            assert is_execution_state(pg, state)
+
+    def test_diamond_states(self, attention_pg):
+        states = enumerate_execution_states(attention_pg)
+        assert frozenset() in states
+        full = frozenset(n.name for n in attention_pg.nodes)
+        assert full in states
+        for state in states:
+            assert is_execution_state(pg=attention_pg, nodes=state)
+
+    def test_overflow_fallback_returns_prefixes(self):
+        pg = _wide(10)
+        states = enumerate_execution_states(pg, max_states=8)
+        assert len(states) == len(pg.nodes) + 1
+        for state in states:
+            assert is_execution_state(pg, state)
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=2, max_value=7))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem1_differences_are_convex(self, seed, size):
+        """Theorem 1 (⇒): a difference of two execution states is convex."""
+        pg = _random_dag_pg(seed, size)
+        states = enumerate_execution_states(pg)
+        for subset in convex_subgraphs_from_states(states, max_size=size):
+            assert is_convex(pg, subset)
+
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem1_convex_sets_are_differences(self, seed, size):
+        """Theorem 1 (⇐): every convex set appears as a state difference."""
+        import itertools
+
+        pg = _random_dag_pg(seed, size)
+        states = enumerate_execution_states(pg)
+        differences = convex_subgraphs_from_states(states)
+        names = [n.name for n in pg.nodes]
+        for r in range(1, min(3, len(names)) + 1):
+            for combo in itertools.combinations(names, r):
+                if is_convex(pg, combo):
+                    assert frozenset(combo) in differences
+
+
+def _chain(depth: int) -> PrimitiveGraph:
+    pg = PrimitiveGraph("chain")
+    tensor = pg.add_input("x", TensorType((8,)))
+    for index in range(depth):
+        tensor = pg.add_node(ElementwisePrimitive("Relu"), [tensor], name=f"n{index}").output
+    pg.add_output(tensor)
+    return pg
+
+
+def _wide(width: int) -> PrimitiveGraph:
+    pg = PrimitiveGraph("wide")
+    x = pg.add_input("x", TensorType((8,)))
+    for index in range(width):
+        node = pg.add_node(ElementwisePrimitive("Relu"), [x], name=f"n{index}")
+        pg.add_output(node.output)
+    return pg
+
+
+class TestKernelIdentifier:
+    def test_singletons_always_present(self, attention_pg, v100):
+        candidates, report = KernelIdentifier(v100).identify(attention_pg)
+        singleton_nodes = {next(iter(c.node_names)) for c in candidates if len(c.node_names) == 1}
+        assert singleton_nodes == {n.name for n in attention_pg.nodes}
+        assert report.num_candidates == len(candidates)
+
+    def test_max_kernel_size_pruning(self, attention_pg, v100):
+        config = KernelIdentifierConfig(max_kernel_size=1)
+        candidates, _ = KernelIdentifier(v100, config=config).identify(attention_pg)
+        assert all(len(c.node_names) == 1 for c in candidates)
+
+    def test_at_most_one_linear_per_kernel(self, attention_pg, v100):
+        candidates, _ = KernelIdentifier(v100).identify(attention_pg)
+        for candidate in candidates:
+            assert sum(1 for n in candidate.nodes if n.is_linear) <= 1
+
+    def test_candidates_are_convex(self, candy_block_pg, v100):
+        candidates, _ = KernelIdentifier(v100).identify(candy_block_pg)
+        for candidate in candidates:
+            assert is_convex(candy_block_pg, candidate.node_names)
+
+    def test_dominance_pruning_reduces_candidates(self, attention_pg, v100):
+        kept, _ = KernelIdentifier(v100).identify(attention_pg)
+        config = KernelIdentifierConfig(prune_dominated=False)
+        unpruned, report = KernelIdentifier(v100, config=config).identify(attention_pg)
+        assert len(kept) <= len(unpruned)
+
+    def test_latencies_positive(self, attention_pg, v100):
+        candidates, _ = KernelIdentifier(v100).identify(attention_pg)
+        assert all(c.latency_s > 0 for c in candidates)
+
+
+class TestOrchestration:
+    def test_blp_structure(self, attention_pg, v100):
+        candidates, _ = KernelIdentifier(v100).identify(attention_pg)
+        blp = build_orchestration_blp(attention_pg, candidates)
+        assert blp.problem.num_variables == len(candidates)
+        # One output constraint per produced graph output.
+        output_constraints = [c for c in blp.problem.constraints if c.name.startswith("out[")]
+        assert len(output_constraints) == len(attention_pg.outputs)
+
+    def test_optimal_strategy_beats_singletons(self, attention_pg, v100):
+        result = KernelOrchestrationOptimizer(v100).optimize(attention_pg)
+        strategy = result.strategy
+        singleton_total = sum(
+            c.latency_s for c in result.candidates
+            if len(c.node_names) == 1 and len(c.outputs) == 1
+        )
+        assert strategy.total_latency_s <= singleton_total + 1e-12
+        assert strategy.num_kernels < len(attention_pg.nodes)
+        assert strategy.solver_status in ("optimal", "feasible")
+
+    def test_strategy_covers_outputs_and_dependencies(self, candy_block_pg, v100):
+        strategy = KernelOrchestrationOptimizer(v100).optimize(candy_block_pg).strategy
+        materialized = {t for k in strategy.kernels for t in k.outputs}
+        for output in candy_block_pg.outputs:
+            assert output in materialized
+        seen: set[str] = set()
+        for kernel in strategy.kernels:  # already ordered
+            for tensor in kernel.external_inputs:
+                assert candy_block_pg.is_source_tensor(tensor) or tensor in seen
+            seen.update(kernel.outputs)
+
+    def test_execution_counts_and_source_ops(self, attention_pg, v100):
+        strategy = KernelOrchestrationOptimizer(v100).optimize(attention_pg).strategy
+        counts = strategy.execution_counts()
+        assert all(count >= 0 for count in counts.values())
+        executed = {name for name, count in counts.items() if count > 0}
+        needed = set()
+        for kernel in strategy.kernels:
+            needed |= kernel.node_names
+        assert executed == needed
+        softmax_kernels = strategy.kernels_executing_operator(
+            next(n.source_op for n in attention_pg.nodes if n.prim.op == "Exp")
+        )
+        assert softmax_kernels
+
+    def test_describe_mentions_all_kernels(self, attention_pg, v100):
+        strategy = KernelOrchestrationOptimizer(v100).optimize(attention_pg).strategy
+        text = strategy.describe()
+        assert f"{strategy.num_kernels} kernels" in text
+
+    def test_order_kernels_detects_missing_producer(self, attention_pg, v100):
+        candidates, _ = KernelIdentifier(v100).identify(attention_pg)
+        # Pick one non-source-reading kernel and pretend it is the whole plan.
+        dependent = next(
+            c for c in candidates
+            if any(not attention_pg.is_source_tensor(t) for t in c.external_inputs)
+        )
+        with pytest.raises(Exception):
+            order_kernels(attention_pg, [dependent])
+
+    def test_greedy_solver_end_to_end(self, candy_block_pg, v100):
+        optimizer = KernelOrchestrationOptimizer(v100, solver_method="greedy")
+        strategy = optimizer.optimize(candy_block_pg).strategy
+        exact = KernelOrchestrationOptimizer(v100, solver_method="scipy").optimize(candy_block_pg).strategy
+        assert strategy.total_latency_s >= exact.total_latency_s - 1e-12
+
+    def test_branch_and_bound_matches_scipy(self, candy_block_pg, v100):
+        config = KernelIdentifierConfig(max_kernel_size=4)
+        candidates, _ = KernelIdentifier(v100, config=config).identify(candy_block_pg)
+        blp = build_orchestration_blp(candy_block_pg, candidates)
+        scipy_result = solve_blp(blp.problem, method="scipy")
+        bnb_result = solve_blp(blp.problem, method="branch-and-bound")
+        assert bnb_result.objective == pytest.approx(scipy_result.objective, rel=1e-6)

@@ -1,0 +1,106 @@
+"""PrimitiveGraph structure: producers, topological order, subset I/O, copy."""
+
+import numpy as np
+import pytest
+
+from repro.ir import TensorType
+from repro.primitives import (
+    ElementwisePrimitive,
+    PrimitiveGraph,
+    PrimitiveGraphError,
+    ReducePrimitive,
+)
+
+
+def _chain_graph():
+    pg = PrimitiveGraph("chain")
+    x = pg.add_input("x", TensorType((4, 8)))
+    a = pg.add_node(ElementwisePrimitive("Exp"), [x], name="exp")
+    b = pg.add_node(ReducePrimitive("Sum", axes=(-1,)), [a.output], name="sum")
+    c = pg.add_node(ElementwisePrimitive("Div"), [a.output, b.output], name="div")
+    pg.add_output(c.output)
+    return pg, (a, b, c)
+
+
+class TestPrimitiveGraph:
+    def test_structure(self):
+        pg, (a, b, c) = _chain_graph()
+        assert pg.producer(a.output) is a
+        assert pg.consumers(a.output) == [b, c]
+        assert pg.predecessors(c) == [a, b]
+        assert pg.successors(a) == [b, c]
+        assert [n.name for n in pg.topological_order()] == ["exp", "sum", "div"]
+        pg.validate()
+
+    def test_output_type_inference(self):
+        pg, (a, b, c) = _chain_graph()
+        assert pg.tensor_type(b.output).shape == (4, 1)
+        assert pg.tensor_type(c.output).shape == (4, 8)
+
+    def test_subset_io(self):
+        pg, (a, b, c) = _chain_graph()
+        ins, outs = pg.subset_io([a, b])
+        assert ins == ["x"]
+        assert sorted(outs) == sorted([a.output, b.output])
+        ins, outs = pg.subset_io([c])
+        assert set(ins) == {a.output, b.output}
+        assert outs == [c.output]
+        ins, outs = pg.subset_io([a, b, c])
+        assert ins == ["x"] and outs == [c.output]
+
+    def test_ancestors_and_reachability(self):
+        pg, (a, b, c) = _chain_graph()
+        assert pg.ancestors(c) == {"exp", "sum"}
+        reach = pg.reachability()
+        assert reach["exp"] == {"sum", "div"}
+        assert reach["div"] == frozenset()
+
+    def test_duplicate_producer_rejected(self):
+        pg, (a, b, c) = _chain_graph()
+        with pytest.raises(PrimitiveGraphError):
+            pg.add_node(ElementwisePrimitive("Relu"), ["x"], output=a.output)
+
+    def test_unknown_input_rejected(self):
+        pg = PrimitiveGraph("g")
+        with pytest.raises(PrimitiveGraphError):
+            pg.add_node(ElementwisePrimitive("Relu"), ["missing"])
+
+    def test_copy_is_independent(self):
+        pg, (a, b, c) = _chain_graph()
+        clone = pg.copy()
+        clone.remove_node(clone.node("div"))
+        assert len(clone.nodes) == 2
+        assert len(pg.nodes) == 3
+        pg.validate()
+
+    def test_rename_output(self):
+        pg, (a, b, c) = _chain_graph()
+        pg.rename_output(c, "final")
+        assert pg.outputs == ["final"]
+        assert pg.producer("final") is c
+
+    def test_constants_and_params(self):
+        pg = PrimitiveGraph("g")
+        pg.add_input("x", TensorType((2, 2)))
+        pg.add_param("w", TensorType((2, 2)))
+        pg.add_constant("ones", np.ones((2, 2), dtype=np.float32))
+        assert pg.is_source_tensor("w") and pg.is_source_tensor("ones")
+        node = pg.add_node(ElementwisePrimitive("Add"), ["x", "ones"])
+        pg.add_output(node.output)
+        pg.validate()
+        assert pg.category_histogram() == {"elementwise": 1}
+        assert pg.stats()["num_primitives"] == 1
+
+    def test_reserved_names_avoid_collisions(self):
+        pg = PrimitiveGraph("g")
+        pg.reserve_names(["exp_0"])
+        assert pg.unique_name("exp") != "exp_0"
+
+    def test_cycle_detection(self):
+        pg = PrimitiveGraph("g")
+        pg.add_input("x", TensorType((2,)))
+        a = pg.add_node(ElementwisePrimitive("Relu"), ["x"], name="a")
+        # Manually create a cycle by rewiring inputs.
+        a.inputs = [a.output]
+        with pytest.raises(PrimitiveGraphError):
+            pg.topological_order()

@@ -1,0 +1,250 @@
+"""Semantics of each primitive category against numpy references."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+from scipy import special
+
+from repro.ir import TensorType
+from repro.primitives import (
+    ELEMENTWISE_OPS,
+    BroadcastPrimitive,
+    ConvPrimitive,
+    ConvTransposePrimitive,
+    ElementwisePrimitive,
+    LayoutPrimitive,
+    MatMulPrimitive,
+    OpaquePrimitive,
+    PrimitiveCategory,
+    ReducePrimitive,
+    WindowReducePrimitive,
+    category_of_operator,
+)
+
+small_arrays = arrays(
+    np.float32,
+    array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=5),
+    elements=st.floats(-2, 2, width=32),
+)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op,fn", [
+        ("Exp", np.exp), ("Sqrt", lambda x: np.sqrt(np.abs(x))), ("Relu", lambda x: np.maximum(x, 0)),
+        ("Sigmoid", special.expit), ("Tanh", np.tanh), ("Erf", special.erf), ("Neg", np.negative),
+    ])
+    def test_unary(self, op, fn):
+        prim = ElementwisePrimitive(op)
+        x = np.linspace(0.1, 2.0, 12, dtype=np.float32).reshape(3, 4)
+        expected = fn(x) if op != "Sqrt" else np.sqrt(x)
+        np.testing.assert_allclose(prim.compute([x]), expected, rtol=1e-6)
+
+    @pytest.mark.parametrize("op,fn", [
+        ("Add", np.add), ("Sub", np.subtract), ("Mul", np.multiply),
+        ("Div", np.divide), ("Maximum", np.maximum), ("Minimum", np.minimum),
+    ])
+    def test_binary(self, op, fn):
+        prim = ElementwisePrimitive(op)
+        a = np.arange(1, 13, dtype=np.float32).reshape(3, 4)
+        c = np.full((3, 4), 2.0, dtype=np.float32)
+        np.testing.assert_allclose(prim.compute([a, c]), fn(a, c))
+
+    def test_broadcasting_binary(self):
+        prim = ElementwisePrimitive("Add")
+        a = np.ones((2, 3, 4), dtype=np.float32)
+        bias = np.arange(4, dtype=np.float32)
+        out = prim.compute([a, bias])
+        assert out.shape == (2, 3, 4)
+        assert prim.infer_type([TensorType((2, 3, 4)), TensorType((4,))]).shape == (2, 3, 4)
+
+    def test_leaky_relu_and_clip_attrs(self):
+        x = np.array([-2.0, 3.0], dtype=np.float32)
+        np.testing.assert_allclose(
+            ElementwisePrimitive("LeakyRelu", alpha=0.2).compute([x]), [-0.4, 3.0]
+        )
+        np.testing.assert_allclose(
+            ElementwisePrimitive("Clip", min=0.0, max=1.0).compute([x]), [0.0, 1.0]
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ElementwisePrimitive("Conv")
+
+    def test_arity_and_flops(self):
+        add = ElementwisePrimitive("Add")
+        assert add.arity == 2
+        assert add.flops([TensorType((4,)), TensorType((4,))], TensorType((4,))) == 4
+        sig = ElementwisePrimitive("Sigmoid")
+        assert sig.arity == 1
+        assert sig.flops([TensorType((4,))], TensorType((4,))) == 8
+
+    def test_equality_and_hash(self):
+        assert ElementwisePrimitive("Add") == ElementwisePrimitive("Add")
+        assert ElementwisePrimitive("Clip", min=0.0, max=6.0) != ElementwisePrimitive("Clip", min=0.0, max=1.0)
+        assert hash(ElementwisePrimitive("Exp")) == hash(ElementwisePrimitive("Exp"))
+
+    @given(small_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_exp_matches_numpy(self, x):
+        np.testing.assert_allclose(ElementwisePrimitive("Exp").compute([x]), np.exp(x), rtol=1e-5)
+
+    def test_all_ops_listed(self):
+        assert "Add" in ELEMENTWISE_OPS and "Erf" in ELEMENTWISE_OPS
+
+
+class TestReduceBroadcast:
+    @pytest.mark.parametrize("op,fn", [("Sum", np.sum), ("Mean", np.mean), ("Max", np.max)])
+    def test_reduce(self, op, fn):
+        x = np.random.default_rng(0).normal(size=(2, 3, 4)).astype(np.float32)
+        prim = ReducePrimitive(op, axes=(-1,), keepdims=True)
+        np.testing.assert_allclose(prim.compute([x]), fn(x, axis=-1, keepdims=True), rtol=1e-6)
+        assert prim.infer_type([TensorType((2, 3, 4))]).shape == (2, 3, 1)
+
+    def test_reduce_no_keepdims(self):
+        prim = ReducePrimitive("Sum", axes=(0, 2), keepdims=False)
+        assert prim.infer_type([TensorType((2, 3, 4))]).shape == (3,)
+
+    def test_reduce_flops(self):
+        prim = ReducePrimitive("Mean", axes=(-1,))
+        assert prim.flops([TensorType((2, 8))], TensorType((2, 1))) == 18
+
+    def test_broadcast(self):
+        x = np.arange(6, dtype=np.float32).reshape(2, 3, 1)
+        prim = BroadcastPrimitive(axis=2, size=4)
+        out = prim.compute([x])
+        assert out.shape == (2, 3, 4)
+        np.testing.assert_allclose(out, np.broadcast_to(x, (2, 3, 4)))
+        assert prim.flops([TensorType((2, 3, 1))], TensorType((2, 3, 4))) == 0
+
+    def test_broadcast_requires_unit_axis(self):
+        with pytest.raises(ValueError):
+            BroadcastPrimitive(axis=1, size=4).infer_type([TensorType((2, 3))])
+
+    def test_window_reduce_matches_naive(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 6, 6)).astype(np.float32)
+        prim = WindowReducePrimitive("Max", kernel=(2, 2), strides=(2, 2))
+        out = prim.compute([x])
+        assert out.shape == (1, 2, 3, 3)
+        assert np.isclose(out[0, 0, 0, 0], x[0, 0, :2, :2].max())
+        assert prim.infer_type([TensorType((1, 2, 6, 6))]).shape == (1, 2, 3, 3)
+
+    def test_invalid_reduce_op(self):
+        with pytest.raises(ValueError):
+            ReducePrimitive("Prod")
+
+
+class TestLayout:
+    def test_transpose_reshape(self):
+        x = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        t = LayoutPrimitive("Transpose", perm=(2, 0, 1))
+        np.testing.assert_array_equal(t.compute([x]), x.transpose(2, 0, 1))
+        r = LayoutPrimitive("Reshape", shape=(6, 4))
+        np.testing.assert_array_equal(r.compute([x]), x.reshape(6, 4))
+
+    def test_slice_pad_concat(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        s = LayoutPrimitive("Slice", starts=(1,), ends=(3,), axes=(1,), steps=(1,))
+        np.testing.assert_array_equal(s.compute([x]), x[:, 1:3])
+        p = LayoutPrimitive("Pad", pads=(0, 1, 0, 1), value=0.0)
+        assert p.compute([x]).shape == (3, 6)
+        c = LayoutPrimitive("Concat", axis=0)
+        np.testing.assert_array_equal(c.compute([x, x]), np.concatenate([x, x], axis=0))
+        assert c.infer_type([TensorType((3, 4)), TensorType((3, 4))]).shape == (6, 4)
+
+    def test_resize_nearest(self):
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 2, 2)
+        prim = LayoutPrimitive("Resize", sizes=(1, 1, 4, 4), mode="nearest")
+        out = prim.compute([x])
+        assert out.shape == (1, 1, 4, 4)
+        assert out[0, 0, 0, 0] == x[0, 0, 0, 0]
+        assert out[0, 0, 3, 3] == x[0, 0, 1, 1]
+
+    def test_resize_bilinear_preserves_constant(self):
+        x = np.full((1, 1, 4, 4), 3.5, dtype=np.float32)
+        prim = LayoutPrimitive("Resize", sizes=(1, 1, 8, 8), mode="bilinear")
+        np.testing.assert_allclose(prim.compute([x]), 3.5, rtol=1e-6)
+
+    def test_zero_flops(self):
+        prim = LayoutPrimitive("Transpose", perm=(1, 0))
+        assert prim.flops([TensorType((2, 3))], TensorType((3, 2))) == 0
+        assert prim.category is PrimitiveCategory.LAYOUT
+
+    def test_bad_reshape(self):
+        with pytest.raises(ValueError):
+            LayoutPrimitive("Reshape", shape=(5, 5)).infer_type([TensorType((2, 3))])
+
+
+class TestLinear:
+    def test_matmul_batched(self):
+        a = np.random.default_rng(0).normal(size=(2, 3, 4)).astype(np.float32)
+        w = np.random.default_rng(1).normal(size=(4, 5)).astype(np.float32)
+        prim = MatMulPrimitive()
+        np.testing.assert_allclose(prim.compute([a, w]), a @ w, rtol=1e-5)
+        assert prim.infer_type([TensorType((2, 3, 4)), TensorType((4, 5))]).shape == (2, 3, 5)
+        assert prim.flops([TensorType((3, 4)), TensorType((4, 5))], TensorType((3, 5))) == 2 * 3 * 5 * 4
+        assert prim.gemm_dims([TensorType((2, 3, 4)), TensorType((2, 4, 5))]) == (2, 3, 5, 4)
+
+    def test_conv_against_scipy(self):
+        from scipy.signal import correlate
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 3, 9, 9)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        prim = ConvPrimitive(strides=(1, 1), pads=(1, 1, 1, 1))
+        out = prim.compute([x, w])
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros_like(out)
+        for o in range(4):
+            for c in range(3):
+                expected[0, o] += correlate(xp[0, c], w[o, c], mode="valid")
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+    def test_conv_stride_and_groups(self):
+        prim = ConvPrimitive(strides=(2, 2), pads=(1, 1, 1, 1), group=2)
+        out_type = prim.infer_type([TensorType((1, 4, 8, 8)), TensorType((6, 2, 3, 3))])
+        assert out_type.shape == (1, 6, 4, 4)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            ConvPrimitive().infer_type([TensorType((1, 4, 8, 8)), TensorType((6, 3, 3, 3))])
+
+    def test_conv_transpose_shape_and_value(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(1, 2, 4, 4)).astype(np.float32)
+        w = rng.normal(size=(2, 3, 3, 3)).astype(np.float32)
+        prim = ConvTransposePrimitive(strides=(2, 2), pads=(1, 1, 1, 1), output_padding=(1, 1))
+        out = prim.compute([x, w])
+        assert out.shape == (1, 3, 8, 8)
+        assert prim.infer_type([TensorType(x.shape), TensorType(w.shape)]).shape == (1, 3, 8, 8)
+
+    def test_linear_category(self):
+        assert MatMulPrimitive().is_linear
+        assert not MatMulPrimitive().is_memory_bound
+
+
+class TestOpaqueAndRegistry:
+    def test_opaque(self):
+        prim = OpaquePrimitive("TopK.values", TensorType((2, 3)), compute_fn=lambda xs: xs[0][:, :3])
+        assert prim.category is PrimitiveCategory.OPAQUE
+        assert prim.infer_type([TensorType((2, 10))]).shape == (2, 3)
+        out = prim.compute([np.arange(20).reshape(2, 10)])
+        assert out.shape == (2, 3)
+
+    def test_opaque_without_impl(self):
+        prim = OpaquePrimitive("Mystery", TensorType((1,)))
+        with pytest.raises(NotImplementedError):
+            prim.compute([np.zeros(1)])
+
+    def test_table1_categories(self):
+        assert category_of_operator("Relu") is PrimitiveCategory.ELEMENTWISE
+        assert category_of_operator("MaxPool") is PrimitiveCategory.REDUCE
+        assert category_of_operator("Transpose") is PrimitiveCategory.LAYOUT
+        assert category_of_operator("Conv") is PrimitiveCategory.LINEAR
+        assert category_of_operator("TopK") is PrimitiveCategory.OPAQUE
+        assert category_of_operator("Softmax") is None  # composite: fission expands it
+
+    def test_memory_bound_classification(self):
+        assert PrimitiveCategory.ELEMENTWISE.is_memory_bound
+        assert not PrimitiveCategory.LINEAR.is_memory_bound

@@ -1,0 +1,161 @@
+"""The 0/1 ILP solver stack: problem model, simplex, greedy, B&B, scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.solver import (
+    BinaryLinearProgram,
+    BranchAndBoundSolver,
+    SolveStatus,
+    solve_blp,
+    solve_branch_and_bound,
+    solve_greedy,
+    solve_lp,
+    solve_with_scipy,
+)
+
+
+def _cover_problem():
+    """Small weighted set-cover with a dependency-style constraint."""
+    p = BinaryLinearProgram("cover")
+    for i, cost in enumerate([3.0, 2.0, 4.0, 1.5, 2.5]):
+        p.add_variable(f"k{i}", cost)
+    p.add_constraint({0: 1, 1: 1}, ">=", 1)
+    p.add_constraint({1: 1, 2: 1}, ">=", 1)
+    p.add_constraint({2: 1, 3: 1, 4: 1}, ">=", 1)
+    p.add_constraint({0: 1, 1: 1, 3: -1}, ">=", 0)
+    return p
+
+
+class TestProblemModel:
+    def test_objective_and_feasibility(self):
+        p = _cover_problem()
+        assert p.num_variables == 5
+        assert p.num_constraints == 4
+        assert p.objective([0, 1, 0, 1, 0]) == pytest.approx(3.5)
+        assert p.is_feasible([0, 1, 0, 1, 0])
+        assert not p.is_feasible([0, 0, 0, 1, 0])
+
+    def test_constraint_senses(self):
+        p = BinaryLinearProgram()
+        p.add_variable("a", 1.0)
+        p.add_constraint({0: 1}, "<=", 0)
+        p.add_constraint({0: 1}, "==", 0)
+        assert p.is_feasible([0])
+        assert not p.is_feasible([1])
+        with pytest.raises(ValueError):
+            p.add_constraint({0: 1}, ">", 0)
+
+    def test_bad_variable_index(self):
+        p = BinaryLinearProgram()
+        p.add_variable("a", 1.0)
+        with pytest.raises(IndexError):
+            p.add_constraint({3: 1}, ">=", 1)
+
+    def test_to_matrices(self):
+        p = _cover_problem()
+        c, a_ub, b_ub, a_eq, b_eq = p.to_matrices()
+        assert c.shape == (5,)
+        assert a_ub.shape == (4, 5)
+        assert a_eq.shape == (0, 5)
+        # ">= rhs" rows are negated into "<= -rhs".
+        assert b_ub[0] == -1
+
+
+class TestSimplex:
+    def test_matches_scipy_on_cover_relaxation(self):
+        p = _cover_problem()
+        c, a_ub, b_ub, a_eq, b_eq = p.to_matrices()
+        mine = solve_lp(c, a_ub, b_ub, a_eq, b_eq)
+        reference = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, 1)] * 5, method="highs")
+        assert mine.status == "optimal"
+        assert mine.objective == pytest.approx(reference.fun, abs=1e-6)
+
+    def test_equality_constraints(self):
+        # min x0 + 2 x1  s.t. x0 + x1 == 1
+        result = solve_lp(np.array([1.0, 2.0]), np.zeros((0, 2)), np.zeros(0),
+                          np.array([[1.0, 1.0]]), np.array([1.0]))
+        assert result.status == "optimal"
+        assert result.objective == pytest.approx(1.0)
+        np.testing.assert_allclose(result.x, [1.0, 0.0], atol=1e-7)
+
+    def test_infeasible(self):
+        # x0 >= 2 with x0 <= 1 is infeasible.
+        result = solve_lp(np.array([1.0]), np.array([[-1.0]]), np.array([-2.0]))
+        assert result.status == "infeasible"
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_lps_match_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = rng.integers(2, 6), rng.integers(1, 5)
+        c = rng.uniform(0.1, 2.0, n)
+        a_ub = -rng.integers(0, 2, size=(m, n)).astype(float)
+        # Ensure each cover row has at least one variable.
+        for row in a_ub:
+            if not row.any():
+                row[rng.integers(0, n)] = -1.0
+        b_ub = -np.ones(m)
+        mine = solve_lp(c, a_ub, b_ub)
+        reference = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, 1)] * n, method="highs")
+        assert mine.status == "optimal" and reference.success
+        assert mine.objective == pytest.approx(reference.fun, abs=1e-6)
+
+
+class TestExactSolvers:
+    def test_all_methods_agree_on_cover(self):
+        p = _cover_problem()
+        results = {
+            "scipy": solve_with_scipy(p),
+            "bnb": solve_branch_and_bound(p),
+            "bnb-simplex": BranchAndBoundSolver(use_scipy_relaxation=False).solve(p),
+        }
+        for name, result in results.items():
+            assert result.is_feasible, name
+            assert result.objective == pytest.approx(3.5), name
+        greedy = solve_greedy(p)
+        assert greedy.is_feasible
+        assert greedy.objective >= 3.5 - 1e-9
+
+    def test_infeasible_problem(self):
+        p = BinaryLinearProgram()
+        p.add_variable("a", 1.0)
+        p.add_constraint({0: 1}, ">=", 2)
+        assert solve_with_scipy(p).status == SolveStatus.INFEASIBLE
+        assert solve_branch_and_bound(p).status == SolveStatus.INFEASIBLE
+        assert solve_greedy(p).status == SolveStatus.INFEASIBLE
+
+    def test_empty_problem(self):
+        p = BinaryLinearProgram()
+        assert solve_blp(p).status == SolveStatus.OPTIMAL
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve_blp(_cover_problem(), method="quantum")
+
+    def test_selected_helper(self):
+        result = solve_with_scipy(_cover_problem())
+        assert result.selected() == [i for i, v in enumerate(result.values) if v]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_branch_and_bound_matches_scipy_on_random_covers(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 8))
+        m = int(rng.integers(2, 6))
+        p = BinaryLinearProgram("random")
+        for i in range(n):
+            p.add_variable(f"x{i}", float(rng.uniform(0.5, 3.0)))
+        for _ in range(m):
+            members = rng.choice(n, size=rng.integers(1, n), replace=False)
+            p.add_constraint({int(i): 1.0 for i in members}, ">=", 1.0)
+        exact = solve_with_scipy(p)
+        bnb = solve_branch_and_bound(p)
+        assert bnb.is_feasible and exact.is_feasible
+        assert bnb.objective == pytest.approx(exact.objective, rel=1e-6)
+        greedy = solve_greedy(p)
+        assert greedy.is_feasible
+        assert greedy.objective >= exact.objective - 1e-9
