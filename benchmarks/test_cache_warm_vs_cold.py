@@ -1,0 +1,123 @@
+"""Warm vs. cold persistent-cache benchmark (the §6.5 amortization, durable).
+
+A cold ``optimize_model`` pays for candidate profiling and the per-partition
+BLP solves; a warm run against a populated cache replays the stored plan and
+answers every profile request from the cache.  Contract:
+
+* the warm run performs **zero** backend ``estimate`` calls,
+* it returns bit-identical strategies and latencies, and
+* it is at least **3x** faster end to end (in practice far more),
+* parallel partition orchestration changes none of the above.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.pipeline as pipeline_mod
+from repro.models import build_efficientvit_attention_block
+from repro.pipeline import KorchConfig, KorchPipeline
+
+from .conftest import case_study_config
+
+
+@pytest.fixture(autouse=True)
+def fresh_store_registry():
+    """Simulate separate processes: no shared in-memory cache tiers."""
+    pipeline_mod._STORES.clear()
+    pipeline_mod._PLAN_CACHES.clear()
+    yield
+    pipeline_mod._STORES.clear()
+    pipeline_mod._PLAN_CACHES.clear()
+
+
+def cached_config(cache_dir, **overrides) -> KorchConfig:
+    config = case_study_config("V100", max_kernel_size=10)
+    config.cache_dir = cache_dir
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def kernels_of(result):
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+def test_cache_warm_vs_cold(tmp_path, benchmark):
+    graph = build_efficientvit_attention_block()
+
+    t0 = time.perf_counter()
+    cold = KorchPipeline(cached_config(tmp_path)).optimize(graph)
+    cold_s = time.perf_counter() - t0
+    assert cold.summary()["plan_cache"] == "miss"
+    assert cold.cache.backend_estimate_calls > 0
+
+    # Fresh pipeline + cleared registries = a new serving process: the warm
+    # run must go through the on-disk plan + profile caches, not the memory
+    # tier.
+    pipeline_mod._STORES.clear()
+    pipeline_mod._PLAN_CACHES.clear()
+
+    t1 = time.perf_counter()
+    warm = KorchPipeline(cached_config(tmp_path)).optimize(graph)
+    warm_s = time.perf_counter() - t1
+
+    speedup = cold_s / warm_s
+    print(
+        f"\n[cache] cold {cold_s * 1e3:.0f} ms -> warm (disk replay) "
+        f"{warm_s * 1e3:.0f} ms ({speedup:.1f}x); warm estimate calls = "
+        f"{warm.cache.backend_estimate_calls}, profile hits = {warm.cache.profile_cache_hits}"
+    )
+
+    # Zero backend estimate calls for cached signatures.
+    assert warm.cache.backend_estimate_calls == 0
+    assert warm.summary()["plan_cache"] == "disk-hit"
+    assert warm.cache.partitions_replayed == len(warm.partitions)
+
+    # The in-process memory tier on top is faster still (for the report).
+    rerun = benchmark.pedantic(
+        lambda: KorchPipeline(cached_config(tmp_path)).optimize(graph),
+        rounds=1, iterations=1,
+    )
+    assert rerun.cache.backend_estimate_calls == 0
+
+    # Bit-identical results.
+    assert warm.latency_s == cold.latency_s
+    assert warm.num_kernels == cold.num_kernels
+    assert kernels_of(warm) == kernels_of(cold)
+
+    # >= 3x faster warm than cold.
+    assert speedup >= 3.0, f"warm run only {speedup:.2f}x faster than cold"
+
+
+def test_parallel_orchestration_matches_serial(tmp_path):
+    graph = build_efficientvit_attention_block()
+    serial = KorchPipeline(cached_config(tmp_path / "serial", num_workers=1)).optimize(graph)
+    parallel = KorchPipeline(cached_config(tmp_path / "parallel", num_workers=4)).optimize(graph)
+
+    assert parallel.cache.num_workers == min(4, len(parallel.partitions)) or parallel.cache.num_workers >= 1
+    assert parallel.latency_s == serial.latency_s
+    assert parallel.num_kernels == serial.num_kernels
+    assert kernels_of(parallel) == kernels_of(serial)
+
+
+def test_warm_memory_tier_in_process(tmp_path):
+    """Within one process, a repeated optimize() is answered from memory."""
+    graph = build_efficientvit_attention_block()
+    pipe = KorchPipeline(cached_config(tmp_path))
+    cold = pipe.optimize(graph)
+    t0 = time.perf_counter()
+    again = pipe.optimize(graph)
+    memory_s = time.perf_counter() - t0
+    assert again.summary()["plan_cache"] == "memory-hit"
+    assert again.latency_s == cold.latency_s
+    assert memory_s < 0.1

@@ -25,6 +25,11 @@ class KernelBackend(abc.ABC):
     #: Human-readable backend name used in reports ("cuBLAS", "TVM", ...).
     name: str = "backend"
 
+    #: Version of this backend's analytical latency model.  Bump whenever the
+    #: latency formula changes: the persistent profile cache keys on it, so a
+    #: bump invalidates profiles computed under the old formula.
+    MODEL_VERSION: int = 1
+
     @abc.abstractmethod
     def supports(self, features: KernelFeatures) -> bool:
         """Whether this backend can generate a kernel for the candidate."""

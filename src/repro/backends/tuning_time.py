@@ -9,6 +9,7 @@ per-kernel tuning costs reported by the backends with that deduplication.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -25,6 +26,9 @@ class TuningTimeReport:
     num_profiled: int = 0
     num_deduplicated: int = 0
     num_vendor_candidates: int = 0
+    #: Candidates answered by the persistent profile cache: their tuning cost
+    #: was paid by an earlier run (the §6.5 amortization made durable).
+    num_cache_hits: int = 0
     total_seconds: float = 0.0
     per_backend_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -48,22 +52,40 @@ class TuningTimeModel:
     def __init__(self) -> None:
         self._seen: set[tuple] = set()
         self.report = TuningTimeReport()
+        # One tuning model may be shared by every partition's profiler (that
+        # is what makes the dedup span the whole model, like the paper's TVM
+        # database) — including from concurrent partition workers.
+        self._lock = threading.Lock()
 
     def record(self, signature: tuple, features: KernelFeatures, backend_name: str, tuning_s: float) -> None:
         """Record one profiled candidate kernel."""
-        self.report.num_candidates += 1
-        if not features.is_memory_bound:
-            self.report.num_vendor_candidates += 1
-            tuning_s = max(tuning_s, self.VENDOR_PROFILE_SECONDS)
-        if signature in self._seen:
-            self.report.num_deduplicated += 1
-            return
-        self._seen.add(signature)
-        self.report.num_profiled += 1
-        self.report.total_seconds += tuning_s
-        self.report.per_backend_seconds[backend_name] = (
-            self.report.per_backend_seconds.get(backend_name, 0.0) + tuning_s
-        )
+        with self._lock:
+            self.report.num_candidates += 1
+            if not features.is_memory_bound:
+                self.report.num_vendor_candidates += 1
+                tuning_s = max(tuning_s, self.VENDOR_PROFILE_SECONDS)
+            if signature in self._seen:
+                self.report.num_deduplicated += 1
+                return
+            self._seen.add(signature)
+            self.report.num_profiled += 1
+            self.report.total_seconds += tuning_s
+            self.report.per_backend_seconds[backend_name] = (
+                self.report.per_backend_seconds.get(backend_name, 0.0) + tuning_s
+            )
+
+    def record_cache_hit(self, signature: tuple, features: KernelFeatures | None = None) -> None:
+        """Record a candidate answered by the persistent profile cache.
+
+        The kernel was tuned by some earlier run, so it contributes to the
+        candidate count but adds no tuning time to this run.
+        """
+        with self._lock:
+            self.report.num_candidates += 1
+            self.report.num_cache_hits += 1
+            if features is not None and not features.is_memory_bound:
+                self.report.num_vendor_candidates += 1
+            self._seen.add(signature)
 
     @staticmethod
     def merge(reports: Iterable[TuningTimeReport]) -> TuningTimeReport:
@@ -74,6 +96,7 @@ class TuningTimeModel:
             merged.num_profiled += report.num_profiled
             merged.num_deduplicated += report.num_deduplicated
             merged.num_vendor_candidates += report.num_vendor_candidates
+            merged.num_cache_hits += report.num_cache_hits
             merged.total_seconds += report.total_seconds
             for backend, seconds in report.per_backend_seconds.items():
                 merged.per_backend_seconds[backend] = (

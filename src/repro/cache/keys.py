@@ -1,0 +1,107 @@
+"""Content-addressed cache keys.
+
+Every cache entry is addressed by a SHA-256 digest of a *canonical JSON*
+rendering of its identity: the kernel's structural signature (for profile
+entries) or the full operator graph (for plan entries), always combined with
+the GPU specification and the backend set that produced the result.  Keys are
+pure functions of value — no filenames, counters or timestamps — so two
+processes that profile the same kernel on the same GPU with the same backends
+compute the same key, which is what makes the cache shareable across runs,
+models and machines (the paper's profile-database amortization, §6.5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "canonicalize",
+    "stable_hash",
+    "backend_fingerprint",
+    "gpu_fingerprint",
+    "profile_key",
+    "plan_key",
+]
+
+
+def canonicalize(value: Any) -> Any:
+    """Reduce ``value`` to JSON-representable types, deterministically.
+
+    Tuples and lists both become lists (kernel signatures use tuples purely
+    as immutable containers), sets are sorted, enums take their value, numpy
+    scalars/arrays take their Python equivalents and dataclasses their field
+    dicts.  Dict ordering is handled later by ``json.dumps(sort_keys=True)``.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, enum.Enum):
+        return canonicalize(value.value)
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [value.shape, str(value.dtype), value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return canonicalize(dataclasses.asdict(value))
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for cache keying")
+
+
+def stable_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``value``."""
+    payload = json.dumps(canonicalize(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def backend_fingerprint(backends: Iterable) -> list[str]:
+    """Order-independent identity of a backend set.
+
+    Backends are latency *models*; two instances of the same class are
+    interchangeable, so class name + display name identifies one — plus the
+    backend's ``MODEL_VERSION``, which a backend bumps whenever its latency
+    formula changes so persisted profiles computed under the old formula are
+    invalidated rather than silently replayed.
+    """
+    return sorted(
+        f"{type(b).__name__}:{b.name}:v{getattr(b, 'MODEL_VERSION', 1)}" for b in backends
+    )
+
+
+def gpu_fingerprint(spec) -> dict[str, Any]:
+    """Identity of a GPU spec: all of its (frozen dataclass) fields."""
+    return canonicalize(dataclasses.asdict(spec))
+
+
+def profile_key(signature: tuple, spec, backend_names: Sequence[str]) -> str:
+    """Cache key of one profiled kernel: structure + GPU + backend set."""
+    return stable_hash(
+        {
+            "kind": "kernel-profile",
+            "signature": signature,
+            "gpu": gpu_fingerprint(spec),
+            "backends": list(backend_names),
+        }
+    )
+
+
+def plan_key(graph_dict: dict, spec, backend_names: Sequence[str], config_fingerprint: dict) -> str:
+    """Cache key of one (graph, gpu, config) optimization plan."""
+    return stable_hash(
+        {
+            "kind": "orchestration-plan",
+            "graph": graph_dict,
+            "gpu": gpu_fingerprint(spec),
+            "backends": list(backend_names),
+            "config": config_fingerprint,
+        }
+    )

@@ -1,0 +1,156 @@
+"""Persistent plan cache: remembers the *outcome* of the whole pipeline.
+
+A plan records, for every partition of a model, exactly which kernels the BLP
+selected — each kernel as its primitive-node names, external inputs and
+output tensors — plus the solver metadata.  Keyed on the full (operator
+graph, GPU, backend set, config) identity, a stored plan lets a warm
+``optimize_model`` skip the two expensive pipeline stages entirely: candidate
+enumeration + profiling (Algorithm 1) and the per-partition BLP solve.  The
+warm run replays the stored selection against the deterministically
+re-derived primitive graph and re-prices each selected kernel through the
+(persistent) profile cache, reproducing the cold strategy bit for bit.
+
+Two tiers:
+
+* an in-process memory tier mapping plan key -> the full
+  :class:`~repro.pipeline.KorchResult`, for repeated ``optimize_model`` calls
+  in one process, and
+* the durable store tier holding the replayable JSON plan.
+
+Replay is strictly validated (node names, tensors and partition count must
+match the regenerated primitive graphs); any mismatch — a stale plan after a
+code change, a corrupted payload — falls back to the cold path for that
+partition and the plan is rewritten.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .store import CacheStore
+
+__all__ = ["KernelPlan", "PartitionPlan", "ModelPlan", "PlanCache"]
+
+_NAMESPACE = "orchestration-plans"
+#: Payload format version; bump when the plan encoding changes.
+_PAYLOAD_VERSION = 1
+
+
+@dataclass
+class KernelPlan:
+    """One selected kernel, by name — enough to rebuild it from the graph."""
+
+    node_names: list[str]
+    external_inputs: list[str]
+    outputs: list[str]
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "nodes": list(self.node_names),
+            "inputs": list(self.external_inputs),
+            "outputs": list(self.outputs),
+        }
+
+    @staticmethod
+    def from_payload(data: dict[str, Any]) -> "KernelPlan":
+        return KernelPlan(
+            node_names=[str(n) for n in data["nodes"]],
+            external_inputs=[str(t) for t in data["inputs"]],
+            outputs=[str(t) for t in data["outputs"]],
+        )
+
+
+@dataclass
+class PartitionPlan:
+    """The solved strategy of one partition, in execution order."""
+
+    kernels: list[KernelPlan]
+    objective_s: float
+    solver_status: str
+    solver_method: str
+    num_candidates: int = 0
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "kernels": [k.to_payload() for k in self.kernels],
+            "objective_s": self.objective_s,
+            "solver_status": self.solver_status,
+            "solver_method": self.solver_method,
+            "num_candidates": self.num_candidates,
+        }
+
+    @staticmethod
+    def from_payload(data: dict[str, Any]) -> "PartitionPlan":
+        return PartitionPlan(
+            kernels=[KernelPlan.from_payload(k) for k in data["kernels"]],
+            objective_s=float(data["objective_s"]),
+            solver_status=str(data["solver_status"]),
+            solver_method=str(data["solver_method"]),
+            num_candidates=int(data.get("num_candidates", 0)),
+        )
+
+
+@dataclass
+class ModelPlan:
+    """Per-partition plans for one (graph, gpu, config) triple."""
+
+    partitions: list[PartitionPlan] = field(default_factory=list)
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "v": _PAYLOAD_VERSION,
+            "partitions": [p.to_payload() for p in self.partitions],
+        }
+
+    @staticmethod
+    def from_payload(data: dict[str, Any]) -> "ModelPlan | None":
+        try:
+            if data.get("v") != _PAYLOAD_VERSION:
+                return None
+            return ModelPlan(
+                partitions=[PartitionPlan.from_payload(p) for p in data["partitions"]]
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+
+class PlanCache:
+    """Two-tier (memory + store) cache of model optimization plans."""
+
+    #: Memory-tier cap.  Full ``KorchResult`` objects are heavy (graphs,
+    #: strategies, executables), so unlike the store tier this is small;
+    #: evicted entries fall back to the disk-replay path.
+    MAX_MEMORY_RESULTS = 32
+
+    def __init__(self, store: CacheStore) -> None:
+        self.store = store
+        self._memory: dict[str, Any] = {}
+
+    # -------------------------------------------------------- memory tier
+    def get_result(self, key: str) -> Any | None:
+        """In-process tier: the full KorchResult of an earlier optimize()."""
+        result = self._memory.get(key)
+        if result is not None:
+            self._memory[key] = self._memory.pop(key)  # LRU touch
+        return result
+
+    def put_result(self, key: str, result: Any) -> None:
+        self._memory.pop(key, None)
+        self._memory[key] = result
+        while len(self._memory) > self.MAX_MEMORY_RESULTS:
+            self._memory.pop(next(iter(self._memory)))
+
+    # --------------------------------------------------------- store tier
+    def load(self, key: str) -> ModelPlan | None:
+        """Replayable plan from the durable store, or ``None``."""
+        payload = self.store.get_json(_NAMESPACE, key)
+        if not isinstance(payload, dict):
+            return None
+        return ModelPlan.from_payload(payload)
+
+    def save(self, key: str, plan: ModelPlan) -> None:
+        self.store.put_json(_NAMESPACE, key, plan.to_payload())
+
+    def __len__(self) -> int:
+        return self.store.count(_NAMESPACE)

@@ -1,0 +1,173 @@
+"""Persistent kernel-profile cache.
+
+Wraps a :class:`~repro.cache.store.CacheStore` namespace with the
+encode/decode logic for :class:`~repro.gpu.profiler.KernelProfile` objects,
+keyed by the profiler's structural kernel signature plus the GPU spec and
+backend set (:func:`repro.cache.keys.profile_key`).  "No backend supports
+this kernel" is a cacheable answer too — negative entries save the profiler
+from re-asking every backend about a kernel it already rejected.
+
+This is the durable version of the paper's TVM-database amortization (§6.5):
+structurally identical candidate kernels are profiled once *ever*, not once
+per process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..gpu.cost_model import CostBreakdown
+from ..gpu.features import ConvShape, GemmShape, KernelFeatures
+from ..gpu.profiler import KernelProfile
+from ..ir.dtype import DataType
+from .keys import backend_fingerprint, profile_key
+from .store import CacheStore
+
+__all__ = ["PersistentProfileCache", "encode_profile", "decode_profile"]
+
+_NAMESPACE = "kernel-profiles"
+#: Payload format version; bump when the encoded shape of a profile changes.
+_PAYLOAD_VERSION = 1
+
+
+# ---------------------------------------------------------------- encoding
+def encode_profile(profile: KernelProfile | None) -> dict[str, Any]:
+    """JSON-representable payload for a profile (or a negative result)."""
+    if profile is None:
+        return {"v": _PAYLOAD_VERSION, "supported": False}
+    features = profile.features
+    return {
+        "v": _PAYLOAD_VERSION,
+        "supported": True,
+        "latency_s": profile.latency_s,
+        "backend": profile.backend,
+        "breakdown": {
+            "latency_s": profile.breakdown.latency_s,
+            "launch_s": profile.breakdown.launch_s,
+            "memory_s": profile.breakdown.memory_s,
+            "compute_s": profile.breakdown.compute_s,
+            "traffic_bytes": profile.breakdown.traffic_bytes,
+            "flops": profile.breakdown.flops,
+            "bandwidth_efficiency": profile.breakdown.bandwidth_efficiency,
+            "compute_efficiency": profile.breakdown.compute_efficiency,
+        },
+        "features": {
+            "num_primitives": features.num_primitives,
+            "category_counts": dict(features.category_counts),
+            "input_bytes": features.input_bytes,
+            "output_bytes": features.output_bytes,
+            "flops": features.flops,
+            "linear_flops": features.linear_flops,
+            "multipass_bytes": features.multipass_bytes,
+            "output_elements": features.output_elements,
+            "num_outputs": features.num_outputs,
+            "branch_shapes": [list(shape) for shape in features.branch_shapes],
+            "resize_factors": list(features.resize_factors),
+            "gemms": [[g.batch, g.m, g.n, g.k] for g in features.gemms],
+            "convs": [
+                [c.batch, c.in_channels, c.out_channels, c.kernel_h, c.kernel_w,
+                 c.out_h, c.out_w, c.groups]
+                for c in features.convs
+            ],
+            "has_opaque": features.has_opaque,
+            "dtype": features.dtype.value,
+        },
+    }
+
+
+def decode_profile(payload: dict[str, Any]) -> tuple[bool, KernelProfile | None]:
+    """Rebuild ``(decodable, profile)`` from an :func:`encode_profile` payload.
+
+    Returns ``(False, None)`` for undecodable or version-mismatched payloads
+    (the caller treats that as a cache miss), and ``(True, None)`` for a
+    cached negative result.
+    """
+    try:
+        if payload.get("v") != _PAYLOAD_VERSION:
+            return False, None
+        if not payload["supported"]:
+            return True, None
+        f = payload["features"]
+        features = KernelFeatures(
+            num_primitives=int(f["num_primitives"]),
+            category_counts={str(k): int(v) for k, v in f["category_counts"].items()},
+            input_bytes=int(f["input_bytes"]),
+            output_bytes=int(f["output_bytes"]),
+            flops=int(f["flops"]),
+            linear_flops=int(f["linear_flops"]),
+            multipass_bytes=int(f["multipass_bytes"]),
+            output_elements=int(f["output_elements"]),
+            num_outputs=int(f["num_outputs"]),
+            branch_shapes=tuple(tuple(int(d) for d in shape) for shape in f["branch_shapes"]),
+            resize_factors=tuple(float(x) for x in f["resize_factors"]),
+            gemms=tuple(GemmShape(*(int(d) for d in g)) for g in f["gemms"]),
+            convs=tuple(ConvShape(*(int(d) for d in c)) for c in f["convs"]),
+            has_opaque=bool(f["has_opaque"]),
+            dtype=DataType(f["dtype"]),
+        )
+        b = payload["breakdown"]
+        breakdown = CostBreakdown(
+            latency_s=float(b["latency_s"]),
+            launch_s=float(b["launch_s"]),
+            memory_s=float(b["memory_s"]),
+            compute_s=float(b["compute_s"]),
+            traffic_bytes=int(b["traffic_bytes"]),
+            flops=int(b["flops"]),
+            bandwidth_efficiency=float(b["bandwidth_efficiency"]),
+            compute_efficiency=float(b["compute_efficiency"]),
+        )
+        profile = KernelProfile(
+            latency_s=float(payload["latency_s"]),
+            backend=str(payload["backend"]),
+            breakdown=breakdown,
+            features=features,
+        )
+        return True, profile
+    except (KeyError, TypeError, ValueError):
+        return False, None
+
+
+# ------------------------------------------------------------------- cache
+class PersistentProfileCache:
+    """Profile cache bound to one (store, GPU spec, backend set) context.
+
+    Entries carry a ``tuned`` flag: whether the run that wrote the entry
+    charged the kernel's tuning cost to a tuning-time report.  Profilers that
+    deliberately bypass tuning accounting (the graph optimizer's cost proxy,
+    the segmentation-cover probes) write ``tuned=False``; when a
+    tuning-authoritative profiler later hits such an entry it records the
+    real tuning cost and promotes the entry, so a cold run produces the same
+    Table 2 numbers with or without a cache directory.
+    """
+
+    def __init__(self, store: CacheStore, spec, backends: Sequence) -> None:
+        self.store = store
+        self.spec = spec
+        self.backend_names = backend_fingerprint(backends)
+
+    def for_backends(self, backends: Sequence) -> "PersistentProfileCache":
+        """Sibling cache over the same store keyed by another backend set
+        (used for the identifier's framework-fallback profiler)."""
+        return PersistentProfileCache(self.store, self.spec, backends)
+
+    def key(self, signature: tuple) -> str:
+        return profile_key(signature, self.spec, self.backend_names)
+
+    def get(self, signature: tuple) -> tuple[bool, KernelProfile | None, bool]:
+        """``(hit, profile, tuned)`` for a signature; a hit may carry ``None``
+        (cached "unsupported", always considered tuned)."""
+        payload = self.store.get_json(_NAMESPACE, self.key(signature))
+        if not isinstance(payload, dict):
+            return False, None, False
+        ok, profile = decode_profile(payload)
+        if not ok:
+            return False, None, False
+        return True, profile, bool(payload.get("tuned", True))
+
+    def put(self, signature: tuple, profile: KernelProfile | None, tuned: bool = True) -> None:
+        payload = encode_profile(profile)
+        payload["tuned"] = bool(tuned) or profile is None
+        self.store.put_json(_NAMESPACE, self.key(signature), payload)
+
+    def __len__(self) -> int:
+        return self.store.count(_NAMESPACE)

@@ -1,0 +1,334 @@
+"""Persistent key-value store backing the profile and plan caches.
+
+A single SQLite file (stdlib ``sqlite3``) holds every cache namespace; SQLite
+gives atomic writes, cheap point lookups and safe concurrent access from the
+pipeline's worker threads for free.  The store is deliberately paranoid:
+
+* **Versioning** — a ``meta`` table records the schema version; opening a
+  store written by an incompatible version discards the stale contents and
+  starts fresh instead of failing.
+* **Corruption tolerance** — any ``sqlite3`` error (truncated file, garbage
+  bytes, concurrent clobbering) degrades the store to an in-memory dict for
+  the rest of the process.  A broken cache must never break an optimization
+  run; the worst case is re-profiling.
+* **Eviction** — each namespace is capped at ``max_entries`` and trimmed in
+  least-recently-used order, so a long-lived profile database cannot grow
+  without bound.
+
+Payloads are JSON strings; interpretation belongs to the caller
+(:mod:`repro.cache.profile_cache`, :mod:`repro.cache.plan_cache`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["CacheStats", "CacheStore", "SCHEMA_VERSION", "DEFAULT_DB_NAME"]
+
+SCHEMA_VERSION = 1
+DEFAULT_DB_NAME = "korch_cache.sqlite"
+
+#: Fraction of a full namespace evicted in one trim, so eviction cost is
+#: amortized instead of paid on every put at the cap.
+_EVICTION_BATCH_FRACTION = 0.10
+
+#: Recency resolution of the LRU clock.  A read refreshes an entry's
+#: ``last_used_at`` only when it is older than this, so the warm-run hot
+#: path does plain SELECTs instead of one write transaction per lookup —
+#: eviction order only needs coarse recency, not microsecond accuracy.
+_LRU_TOUCH_INTERVAL_S = 300.0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one store (shared by all its namespaces)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "errors": self.errors,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.writes += other.writes
+        self.evictions += other.evictions
+        self.errors += other.errors
+
+
+@dataclass
+class _MemoryFallback:
+    """In-memory stand-in used after the SQLite file proves unusable."""
+
+    entries: dict[tuple[str, str], str] = field(default_factory=dict)
+
+
+class CacheStore:
+    """Namespaced, versioned, LRU-capped persistent key-value store."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None,
+        max_entries: int = 200_000,
+    ) -> None:
+        """Open (or create) the store at ``path``.
+
+        ``path`` may be a directory (the default database file name is used
+        inside it) or a file path; ``None`` keeps the store purely in memory,
+        which is how the pipeline runs when no cache directory is configured.
+        """
+        self.max_entries = max(1, int(max_entries))
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._fallback: _MemoryFallback | None = None
+        self._conn: sqlite3.Connection | None = None
+        self.path: Path | None = None
+
+        if path is None:
+            self._fallback = _MemoryFallback()
+            return
+
+        path = Path(path)
+        if path.suffix != ".sqlite":
+            path = path / DEFAULT_DB_NAME
+        self.path = path
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = self._open(path)
+        except (sqlite3.Error, OSError, ValueError):
+            self.stats.errors += 1
+            self._degrade()
+
+    # ----------------------------------------------------------------- setup
+    def _open(self, path: Path) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(path), check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " namespace TEXT NOT NULL,"
+            " key TEXT NOT NULL,"
+            " payload TEXT NOT NULL,"
+            " created_at REAL NOT NULL,"
+            " last_used_at REAL NOT NULL,"
+            " PRIMARY KEY (namespace, key))"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_entries_lru ON entries (namespace, last_used_at)"
+        )
+        row = conn.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        elif row[0] != str(SCHEMA_VERSION):
+            # Incompatible on-disk format: discard rather than misinterpret.
+            conn.execute("DELETE FROM entries")
+            conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        return conn
+
+    def _degrade(self) -> None:
+        """Switch to the in-memory fallback after a storage failure."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if self._fallback is None:
+            self._fallback = _MemoryFallback()
+
+    @property
+    def persistent(self) -> bool:
+        """Whether entries are actually reaching disk."""
+        return self._conn is not None
+
+    # ------------------------------------------------------------------- api
+    def get(self, namespace: str, key: str) -> str | None:
+        """Payload stored under ``(namespace, key)``, or ``None``."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    row = self._conn.execute(
+                        "SELECT payload, last_used_at FROM entries WHERE namespace = ? AND key = ?",
+                        (namespace, key),
+                    ).fetchone()
+                    if row is not None:
+                        now = time.time()
+                        if now - float(row[1]) > _LRU_TOUCH_INTERVAL_S:
+                            self._conn.execute(
+                                "UPDATE entries SET last_used_at = ? WHERE namespace = ? AND key = ?",
+                                (now, namespace, key),
+                            )
+                            self._conn.commit()
+                        self.stats.hits += 1
+                        return row[0]
+                    self.stats.misses += 1
+                    return None
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            payload = self._fallback.entries.get((namespace, key))
+            if payload is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return payload
+
+    def put(self, namespace: str, key: str, payload: str) -> None:
+        """Store ``payload`` under ``(namespace, key)``, evicting if full."""
+        now = time.time()
+        with self._lock:
+            self.stats.writes += 1
+            if self._conn is not None:
+                try:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO entries "
+                        "(namespace, key, payload, created_at, last_used_at) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (namespace, key, payload, now, now),
+                    )
+                    self._evict_locked(namespace)
+                    self._conn.commit()
+                    return
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            self._fallback.entries[(namespace, key)] = payload
+            self._evict_fallback_locked(namespace)
+
+    def get_json(self, namespace: str, key: str) -> object | None:
+        """Like :meth:`get` but decodes JSON; undecodable payloads are treated
+        as missing (a corrupted entry must not be fatal)."""
+        payload = self.get(namespace, key)
+        if payload is None:
+            return None
+        try:
+            return json.loads(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.errors += 1
+            return None
+
+    def put_json(self, namespace: str, key: str, value: object) -> None:
+        self.put(namespace, key, json.dumps(value, sort_keys=True, separators=(",", ":")))
+
+    def count(self, namespace: str | None = None) -> int:
+        """Number of entries (in one namespace, or in total)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    if namespace is None:
+                        row = self._conn.execute("SELECT COUNT(*) FROM entries").fetchone()
+                    else:
+                        row = self._conn.execute(
+                            "SELECT COUNT(*) FROM entries WHERE namespace = ?", (namespace,)
+                        ).fetchone()
+                    return int(row[0])
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            if namespace is None:
+                return len(self._fallback.entries)
+            return sum(1 for ns, _ in self._fallback.entries if ns == namespace)
+
+    def clear(self, namespace: str | None = None) -> None:
+        """Drop entries (of one namespace, or all)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    if namespace is None:
+                        self._conn.execute("DELETE FROM entries")
+                    else:
+                        self._conn.execute("DELETE FROM entries WHERE namespace = ?", (namespace,))
+                    self._conn.commit()
+                    return
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            if namespace is None:
+                self._fallback.entries.clear()
+            else:
+                for ns_key in [k for k in self._fallback.entries if k[0] == namespace]:
+                    del self._fallback.entries[ns_key]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.commit()
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+                if self._fallback is None:
+                    self._fallback = _MemoryFallback()
+
+    # -------------------------------------------------------------- eviction
+    def _evict_locked(self, namespace: str) -> None:
+        assert self._conn is not None
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM entries WHERE namespace = ?", (namespace,)
+        ).fetchone()
+        count = int(row[0])
+        if count <= self.max_entries:
+            return
+        batch = max(count - self.max_entries, int(self.max_entries * _EVICTION_BATCH_FRACTION))
+        self._conn.execute(
+            "DELETE FROM entries WHERE rowid IN ("
+            " SELECT rowid FROM entries WHERE namespace = ?"
+            " ORDER BY last_used_at ASC LIMIT ?)",
+            (namespace, batch),
+        )
+        self.stats.evictions += batch
+
+    def _evict_fallback_locked(self, namespace: str) -> None:
+        assert self._fallback is not None
+        keys = [k for k in self._fallback.entries if k[0] == namespace]
+        overflow = len(keys) - self.max_entries
+        if overflow <= 0:
+            return
+        # Dicts iterate in insertion order, so the front is the oldest.
+        for ns_key in keys[:overflow]:
+            del self._fallback.entries[ns_key]
+        self.stats.evictions += overflow
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = str(self.path) if self.persistent else "memory"
+        return f"CacheStore({where}, entries={self.count()})"

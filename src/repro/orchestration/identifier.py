@@ -49,6 +49,14 @@ class KernelIdentifierConfig:
     #: kernel's I/O tensors, so replacing a dominated kernel by its dominator
     #: never affects feasibility and cannot increase the objective.
     prune_dominated: bool = True
+    #: Maximum primitives per kernel for the segmentation-cover fallback (the
+    #: DP over the topological order that guards time-limited BLP solves).
+    #: Larger than ``max_kernel_size`` on purpose: vendor libraries fuse long
+    #: operator chains into one kernel, and the fallback must be able to
+    #: express those covers without paying the exponential enumeration cost.
+    cover_max_kernel_size: int = 16
+    #: Enable the segmentation-cover fallback in the orchestration optimizer.
+    enable_segment_cover: bool = True
 
 
 @dataclass
@@ -77,11 +85,52 @@ class KernelIdentifier:
         backends: Sequence[KernelBackend] | None = None,
         config: KernelIdentifierConfig | None = None,
         profiler: KernelProfiler | None = None,
+        persistent_cache=None,
+        tuning_model=None,
     ) -> None:
         self.spec = spec
         self.config = config or KernelIdentifierConfig()
-        self.profiler = profiler or KernelProfiler(spec, backends)
-        self._fallback_profiler = KernelProfiler(spec, [FrameworkEagerBackend()], self.profiler.tuning_model)
+        self.profiler = profiler or KernelProfiler(
+            spec, backends, tuning_model, persistent_cache=persistent_cache
+        )
+        fallback_backends = [FrameworkEagerBackend()]
+        fallback_cache = (
+            persistent_cache.for_backends(fallback_backends) if persistent_cache is not None else None
+        )
+        self._fallback_profiler = KernelProfiler(
+            spec, fallback_backends, self.profiler.tuning_model, persistent_cache=fallback_cache
+        )
+
+    @property
+    def profiler_stats(self):
+        """Merged cache/estimate statistics of both profilers."""
+        from ..gpu.profiler import ProfilerStats
+
+        merged = ProfilerStats()
+        merged.merge(self.profiler.stats)
+        merged.merge(self._fallback_profiler.stats)
+        return merged
+
+    def build_kernel(
+        self,
+        pg: PrimitiveGraph,
+        node_names: Sequence[str],
+        outputs: Sequence[str],
+        index: int,
+    ) -> CandidateKernel | None:
+        """Profile one *specific* kernel (used when replaying a cached plan).
+
+        Unlike :meth:`identify`, no enumeration happens: the caller already
+        knows the node set and output set.  Returns ``None`` when the node
+        names do not exist in ``pg`` or no backend supports the kernel —
+        replay treats that as a stale plan.
+        """
+        nodes_by_name = {node.name: node for node in pg.nodes}
+        if any(name not in nodes_by_name for name in node_names):
+            return None
+        if any(pg.producer(tensor) is None for tensor in outputs):
+            return None
+        return self._profile_candidate(pg, frozenset(node_names), list(outputs), nodes_by_name, index)
 
     # ------------------------------------------------------------------ api
     def identify(self, pg: PrimitiveGraph) -> tuple[list[CandidateKernel], KernelIdentifierReport]:

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..backends import KernelBackend
+from ..backends import FrameworkEagerBackend, KernelBackend, TuningTimeModel
+from ..gpu.profiler import KernelProfiler
 from ..gpu.specs import GpuSpec
 from ..primitives.graph import PrimitiveGraph
 from ..solver import SolveResult, solve_blp
@@ -48,12 +49,108 @@ class KernelOrchestrationOptimizer:
         solver_method: str = "auto",
         solver_time_limit_s: float | None = 1000.0,
         solver_mip_rel_gap: float = 0.0,
+        persistent_cache=None,
+        tuning_model=None,
     ) -> None:
         self.spec = spec
-        self.identifier = KernelIdentifier(spec, backends=backends, config=identifier_config)
+        self.identifier = KernelIdentifier(
+            spec,
+            backends=backends,
+            config=identifier_config,
+            persistent_cache=persistent_cache,
+            tuning_model=tuning_model,
+        )
         self.solver_method = solver_method
         self.solver_time_limit_s = solver_time_limit_s
         self.solver_mip_rel_gap = solver_mip_rel_gap
+        self._probe_profiler_lazy: KernelProfiler | None = None
+        self._probe_fallback_lazy: KernelProfiler | None = None
+
+    @property
+    def _probe_profiler(self) -> KernelProfiler:
+        """Tuning-neutral profiler for segmentation-cover probes.
+
+        Probes are analytic pre-screening; they must not inflate the Table 2
+        tuning-time accounting, so they record into a throwaway tuning model.
+        The persistent cache (if any) is still shared — probe answers are
+        reusable real profiles.
+        """
+        if self._probe_profiler_lazy is None:
+            self._probe_profiler_lazy = KernelProfiler(
+                self.spec,
+                self.identifier.profiler.backends,
+                TuningTimeModel(),
+                persistent_cache=self.identifier.profiler.persistent_cache,
+                tuning_authoritative=False,
+            )
+        return self._probe_profiler_lazy
+
+    @property
+    def _probe_fallback(self) -> KernelProfiler:
+        if self._probe_fallback_lazy is None:
+            self._probe_fallback_lazy = KernelProfiler(
+                self.spec, [FrameworkEagerBackend()], TuningTimeModel(),
+                tuning_authoritative=False,
+            )
+        return self._probe_fallback_lazy
+
+    @property
+    def profiler_stats(self):
+        """Cache/estimate statistics of every profiler this optimizer used."""
+        stats = self.identifier.profiler_stats
+        if self._probe_profiler_lazy is not None:
+            stats.merge(self._probe_profiler_lazy.stats)
+        if self._probe_fallback_lazy is not None:
+            stats.merge(self._probe_fallback_lazy.stats)
+        return stats
+
+    def replay(self, pg: PrimitiveGraph, plan) -> OrchestrationResult | None:
+        """Rebuild a previously-solved strategy without enumerating or solving.
+
+        ``plan`` is a :class:`repro.cache.PartitionPlan` (duck-typed): an
+        ordered list of kernels given by node names and output tensors.  Each
+        kernel is re-priced through the profiler — against a warm persistent
+        profile cache this touches no backend — and validated against the
+        regenerated primitive graph; any mismatch (stale or corrupted plan)
+        returns ``None`` so the caller falls back to the cold path.
+        """
+        if not pg.nodes:
+            if plan.kernels:
+                return None
+            strategy = OrchestrationStrategy(pg, [], 0.0, "optimal", "empty")
+            return OrchestrationResult(
+                strategy, [], KernelIdentifierReport(), SolveResult("optimal", 0.0, []),
+                extra={"replayed": True},
+            )
+
+        kernels: list[CandidateKernel] = []
+        covered: set[str] = set()
+        for index, kernel_plan in enumerate(plan.kernels):
+            kernel = self.identifier.build_kernel(
+                pg, kernel_plan.node_names, kernel_plan.outputs, index
+            )
+            if kernel is None or kernel.external_inputs != list(kernel_plan.external_inputs):
+                return None
+            kernels.append(kernel)
+            covered.update(kernel.node_names)
+        # Every primitive must still be executed by some kernel; a plan from
+        # an older graph shape could otherwise silently drop work.
+        if covered != {node.name for node in pg.nodes}:
+            return None
+
+        strategy = OrchestrationStrategy(
+            pg=pg,
+            kernels=kernels,
+            objective_s=plan.objective_s,
+            solver_status=plan.solver_status,
+            solver_method=plan.solver_method,
+            metadata={"num_candidates": plan.num_candidates, "replayed": True},
+        )
+        solve = SolveResult(plan.solver_status, plan.objective_s, [], method=plan.solver_method)
+        return OrchestrationResult(
+            strategy, kernels, KernelIdentifierReport(num_candidates=len(kernels)),
+            solve, extra={"replayed": True},
+        )
 
     def optimize(self, pg: PrimitiveGraph) -> OrchestrationResult:
         """Return the minimum-latency kernel orchestration strategy for ``pg``."""
@@ -95,4 +192,99 @@ class KernelOrchestrationOptimizer:
                 "num_execution_states": report.num_execution_states,
             },
         )
+
+        # Segmentation-cover guard: a time- or gap-limited MILP incumbent can
+        # be far from optimal on large subgraphs, and the enumerated candidate
+        # space is capped at ``max_kernel_size`` while vendor libraries fuse
+        # far longer chains.  The DP cover below is cheap, feasible by
+        # construction, and allowed larger kernels — keep whichever strategy
+        # is faster.
+        if self.identifier.config.enable_segment_cover:
+            cover = self._segmentation_cover(pg)
+            if cover is not None and cover.total_latency_s < strategy.total_latency_s:
+                cover.metadata.update(strategy.metadata)
+                cover.metadata["segment_cover"] = True
+                strategy = cover
         return OrchestrationResult(strategy, candidates, report, result)
+
+    # -------------------------------------------------------- segment cover
+    def _segmentation_cover(self, pg: PrimitiveGraph) -> OrchestrationStrategy | None:
+        """Optimal contiguous segmentation of the topological order.
+
+        Dynamic program: split the topological node order into consecutive
+        runs, where each convex run that some backend can generate becomes one
+        kernel materializing exactly its externally-required tensors.  This is
+        the orchestration the rule-based systems of Figure 6 approximate with
+        greedy chain fusion — computed here with optimal cut points.  Every
+        singleton is admissible (with the framework fallback), so the DP
+        always yields a feasible full cover.
+        """
+        order = pg.topological_order()
+        n = len(order)
+        if n == 0:
+            return None
+        width = max(1, self.identifier.config.cover_max_kernel_size)
+        reach = pg.reachability()
+        inf = float("inf")
+
+        best = [inf] * (n + 1)
+        best[0] = 0.0
+        choice: list = [None] * (n + 1)
+        for j in range(n):
+            for i in range(max(0, j - width + 1), j + 1):
+                if best[i] == inf:
+                    continue
+                segment = order[i : j + 1]
+                if not self._is_convex(segment, reach):
+                    continue
+                external_inputs, outputs = pg.subset_io(segment)
+                if not outputs:
+                    continue
+                profile = self._probe_profiler.profile(pg, segment, external_inputs, outputs)
+                if profile is None and len(segment) == 1:
+                    profile = self._probe_fallback.profile(pg, segment, external_inputs, outputs)
+                if profile is None:
+                    continue
+                cost = best[i] + profile.latency_s
+                if cost < best[j + 1]:
+                    best[j + 1] = cost
+                    choice[j + 1] = (i, segment, outputs)
+
+        if best[n] == inf:
+            return None
+        segments: list[tuple[list, list[str]]] = []
+        position = n
+        while position > 0:
+            start, segment, outputs = choice[position]
+            segments.append((segment, outputs))
+            position = start
+        segments.reverse()
+
+        # Only the *chosen* segments become real kernels (and are charged
+        # tuning time through the identifier's profiler); the DP probes above
+        # are analytic cost-model screening.
+        kernels: list[CandidateKernel] = []
+        for index, (segment, outputs) in enumerate(segments):
+            kernel = self.identifier.build_kernel(
+                pg, [node.name for node in segment], outputs, index
+            )
+            if kernel is None:  # pragma: no cover - probe accepted it above
+                return None
+            kernels.append(kernel)
+        return OrchestrationStrategy(
+            pg=pg,
+            kernels=kernels,
+            objective_s=best[n],
+            solver_status="heuristic",
+            solver_method="segment-cover",
+            metadata={},
+        )
+
+    @staticmethod
+    def _is_convex(segment, reach) -> bool:
+        """No path between two segment members leaves the segment (Def. 2)."""
+        names = {node.name for node in segment}
+        outside_descendants = set()
+        for node in segment:
+            outside_descendants.update(reach[node.name] - names)
+        return not any(reach[z] & names for z in outside_descendants)

@@ -9,7 +9,6 @@ kernel orchestration optimizer.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -76,7 +75,7 @@ class PrimitiveGraph:
         self.params: dict[str, TensorType] = {}
         self.constants: dict[str, np.ndarray] = {}
         self._producer: dict[str, PrimitiveNode] = {}
-        self._counter = itertools.count()
+        self._next_id = 0
         self._reserved: set[str] = set()
 
     # ------------------------------------------------------------------ build
@@ -89,7 +88,8 @@ class PrimitiveGraph:
     def unique_name(self, prefix: str) -> str:
         """Generate a fresh tensor/node name."""
         while True:
-            candidate = f"{prefix}_{next(self._counter)}"
+            candidate = f"{prefix}_{self._next_id}"
+            self._next_id += 1
             if candidate not in self.tensors and candidate not in self._reserved:
                 return candidate
 
@@ -342,6 +342,12 @@ class PrimitiveGraph:
         clone.outputs = list(self.outputs)
         clone.params = dict(self.params)
         clone.constants = dict(self.constants)
+        # Name-generation state must survive the copy: transforms generate
+        # fresh names on copies, and a reset counter could mint a *node* name
+        # that collides with an existing node (node names are not tensors, so
+        # unique_name alone cannot detect the clash).
+        clone._next_id = self._next_id
+        clone._reserved = set(self._reserved)
         for node in self.nodes:
             copied = PrimitiveNode(node.name, node.prim, list(node.inputs), node.output, node.source_op)
             clone.nodes.append(copied)

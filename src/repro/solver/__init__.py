@@ -53,9 +53,31 @@ def solve_blp(
     if method == "auto":
         method = "scipy" if scipy_milp_available() else "branch-and-bound"
     if method == "scipy":
-        return solve_with_scipy(problem, time_limit_s=time_limit_s, mip_rel_gap=mip_rel_gap)
+        result = solve_with_scipy(problem, time_limit_s=time_limit_s, mip_rel_gap=mip_rel_gap)
+        return _greedy_backstop(problem, result)
     if method == "branch-and-bound":
         return solve_branch_and_bound(problem)
     if method == "greedy":
         return solve_greedy(problem)
     raise ValueError(f"unknown solver method {method!r}")
+
+
+def _greedy_backstop(problem: BinaryLinearProgram, result: SolveResult) -> SolveResult:
+    """Guard a time/gap-limited exact solve with the greedy heuristic.
+
+    Under a wall-clock limit a MILP solver may stop at an arbitrarily bad
+    incumbent (observed: gap 0.999 on large orchestration subgraphs).  The
+    greedy cover is cheap to compute, so whenever the exact solve came back
+    without a proven optimum — infeasible-by-timeout or merely "feasible" —
+    take the better of the two answers.
+    """
+    if result.status == SolveStatus.OPTIMAL:
+        return result
+    greedy = solve_greedy(problem)
+    if not greedy.is_feasible:
+        return result
+    if not result.is_feasible or greedy.objective < result.objective:
+        greedy.method = f"{result.method}+greedy-backstop" if result.method else "greedy-backstop"
+        greedy.gap = result.gap
+        return greedy
+    return result

@@ -34,10 +34,16 @@ def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) ->
     max_rounds = max_rounds or (4 * n + 16)
 
     for _ in range(max_rounds):
-        violated = _most_violated(problem, x)
-        if violated is None:
+        violated = _violated_constraints(problem, x)
+        if not violated:
             break
-        constraint, shortfall = violated
+        # Cost-effectiveness selection (the classic set-cover greedy): among
+        # the variables that help the most-violated constraint, prefer the one
+        # whose cost is amortized over *all* currently-violated constraints it
+        # helps.  Repairing one constraint at a time with the locally cheapest
+        # variable degenerates into covers of many tiny kernels, each dragging
+        # in fresh dependency constraints.
+        constraint, shortfall = max(violated, key=lambda item: item[1])
         candidates = [
             (idx, coef) for idx, coef in constraint.coeffs if coef > 0 and x[idx] < 0.5
         ]
@@ -47,16 +53,20 @@ def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) ->
             ]
         if not candidates:
             return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
+        helped = _help_counts(violated, {idx for idx, _ in candidates})
         best_idx = min(
             candidates,
-            key=lambda item: (costs[item[0]] / min(item[1], shortfall), costs[item[0]]),
+            key=lambda item: (
+                costs[item[0]] / max(1, helped.get(item[0], 0)),
+                costs[item[0]],
+            ),
         )[0]
         x[best_idx] = 1.0
     else:
-        if _most_violated(problem, x) is not None:
+        if _violated_constraints(problem, x):
             return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
 
-    if _most_violated(problem, x) is not None:
+    if _violated_constraints(problem, x):
         return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
 
     # Pruning pass: drop selected variables that are not needed, most
@@ -73,10 +83,9 @@ def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) ->
     )
 
 
-def _most_violated(problem: BinaryLinearProgram, x: np.ndarray):
-    """Return ``(constraint, shortfall)`` for the most violated constraint."""
-    worst = None
-    worst_shortfall = 1e-6
+def _violated_constraints(problem: BinaryLinearProgram, x: np.ndarray):
+    """Every violated constraint with its shortfall."""
+    violated = []
     for constraint in problem.constraints:
         value = constraint.evaluate(x)
         if constraint.sense == ">=":
@@ -85,9 +94,19 @@ def _most_violated(problem: BinaryLinearProgram, x: np.ndarray):
             shortfall = value - constraint.rhs
         else:
             shortfall = abs(value - constraint.rhs)
-        if shortfall > worst_shortfall:
-            worst = constraint
-            worst_shortfall = shortfall
-    if worst is None:
-        return None
-    return worst, worst_shortfall
+        if shortfall > 1e-6:
+            violated.append((constraint, shortfall))
+    return violated
+
+
+def _help_counts(violated, candidate_indices: set[int]) -> dict[int, int]:
+    """How many violated constraints each candidate variable would help."""
+    counts: dict[int, int] = {}
+    for constraint, _ in violated:
+        for idx, coef in constraint.coeffs:
+            if idx not in candidate_indices:
+                continue
+            helps = coef > 0 if constraint.sense == ">=" else coef < 0
+            if helps:
+                counts[idx] = counts.get(idx, 0) + 1
+    return counts

@@ -125,9 +125,13 @@ class SwapDivPastMatMul(Transform):
             MatMulPrimitive(), [numerator, rhs], source_op=matmul.source_op,
             name=result.unique_name(f"{matmul.name}_swapped"),
         )
+        # The moved division is still the *original* operator's normalization
+        # (e.g. softmax's div), so it keeps that operator's attribution — this
+        # is what lets the §6.4 case study observe softmax primitives spread
+        # across several kernels after the swap.
         new_div = result.add_node(
             ElementwisePrimitive("Div"), [new_matmul.output, divisor],
-            source_op=matmul.source_op,
+            source_op=result.node(site.get("div")).source_op,
             name=result.unique_name(f"{matmul.name}_postdiv"),
         )
         replace_with(result, matmul, new_div.output)
@@ -195,6 +199,19 @@ class MergeSharedInputMatMuls(Transform):
             source_op=second.source_op,
             name=result.unique_name(f"{second.name}_part"),
         )
-        replace_with(result, first, slice1.output)
-        replace_with(result, second, slice2.output)
+        # Rewire both MatMuls before any dead-node sweep: replace_with() prunes
+        # unconsumed nodes, and slice2 has no consumers until the second
+        # MatMul's readers are redirected, so a replace_with() for the first
+        # MatMul would delete it and leave dangling tensor references.
+        out1, out2 = first.output, second.output
+        was_output1, was_output2 = out1 in result.outputs, out2 in result.outputs
+        redirect_tensor(result, out1, slice1.output)
+        result.remove_node(first)
+        redirect_tensor(result, out2, slice2.output)
+        result.remove_node(second)
+        if was_output1:
+            result.rename_output(slice1, out1)
+        if was_output2:
+            result.rename_output(slice2, out2)
+        remove_dead_nodes(result)
         return result

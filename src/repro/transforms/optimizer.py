@@ -74,11 +74,17 @@ class PrimitiveGraphOptimizer:
         spec: GpuSpec,
         transforms: Sequence[Transform] | None = None,
         config: GraphOptimizerConfig | None = None,
+        profiler: KernelProfiler | None = None,
     ) -> None:
         self.spec = spec
         self.transforms = list(transforms or default_transforms())
         self.config = config or GraphOptimizerConfig()
-        self._profiler = KernelProfiler(spec)
+        self._profiler = profiler if profiler is not None else KernelProfiler(spec)
+
+    @property
+    def profiler(self) -> KernelProfiler:
+        """The singleton-cost profiler (exposed for cache statistics)."""
+        return self._profiler
 
     # ------------------------------------------------------------------ api
     def optimize(self, pg: PrimitiveGraph) -> tuple[PrimitiveGraph, GraphOptimizerReport]:

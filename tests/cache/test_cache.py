@@ -1,0 +1,304 @@
+"""Correctness tests for the persistent profile/plan cache.
+
+The contract under test:
+
+* a warm-cache run returns *bit-identical* strategies and latencies to the
+  cold run that populated the cache, with zero backend estimate calls;
+* corrupted or version-mismatched cache files are ignored, never fatal;
+* eviction keeps the store bounded;
+* parallel partition orchestration produces results identical to serial.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+import repro.pipeline as pipeline_mod
+from repro.cache import (
+    CacheStore,
+    PersistentProfileCache,
+    backend_fingerprint,
+    decode_profile,
+    encode_profile,
+    plan_key,
+    profile_key,
+    stable_hash,
+)
+from repro.cache.store import SCHEMA_VERSION
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.gpu.profiler import KernelProfiler
+from repro.ir import GraphBuilder
+from repro.ir.serialization import graph_to_dict
+from repro.pipeline import KorchConfig, KorchPipeline
+
+
+def plan_key_of(pipe, graph):
+    return plan_key(
+        graph_to_dict(graph),
+        pipe.spec,
+        backend_fingerprint(pipe.backends),
+        pipe.config.fingerprint(),
+    )
+
+
+@pytest.fixture(autouse=True)
+def isolated_store_registry():
+    """Each test sees fresh process-level store/plan-cache registries."""
+    stores, plans = dict(pipeline_mod._STORES), dict(pipeline_mod._PLAN_CACHES)
+    pipeline_mod._STORES.clear()
+    pipeline_mod._PLAN_CACHES.clear()
+    yield
+    pipeline_mod._STORES.clear()
+    pipeline_mod._PLAN_CACHES.clear()
+    pipeline_mod._STORES.update(stores)
+    pipeline_mod._PLAN_CACHES.update(plans)
+
+
+def small_attention_graph():
+    b = GraphBuilder("cache_attention")
+    x = b.input("x", (1, 2, 16, 8))
+    w = b.param("w", (1, 2, 8, 16))
+    v = b.param("v", (1, 2, 16, 8))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    """Everything that defines the chosen strategies, for exact comparison."""
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+# ------------------------------------------------------------------- store
+class TestCacheStore:
+    def test_roundtrip_and_persistence(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "k1", "payload-1")
+        assert store.get("ns", "k1") == "payload-1"
+        assert store.get("ns", "missing") is None
+        store.close()
+        reopened = CacheStore(tmp_path)
+        assert reopened.get("ns", "k1") == "payload-1"
+
+    def test_namespaces_are_disjoint(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("a", "k", "va")
+        store.put("b", "k", "vb")
+        assert store.get("a", "k") == "va"
+        assert store.get("b", "k") == "vb"
+        store.clear("a")
+        assert store.get("a", "k") is None
+        assert store.get("b", "k") == "vb"
+
+    def test_corrupted_file_is_not_fatal(self, tmp_path):
+        path = tmp_path / "korch_cache.sqlite"
+        path.write_bytes(b"this is definitely not a sqlite database" * 10)
+        store = CacheStore(tmp_path)
+        # Degraded to memory: still a working cache for this process.
+        store.put("ns", "k", "v")
+        assert store.get("ns", "k") == "v"
+        assert store.stats.errors >= 1
+
+    def test_version_mismatch_discards_entries(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "k", "v")
+        store.close()
+        conn = sqlite3.connect(tmp_path / "korch_cache.sqlite")
+        conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        reopened = CacheStore(tmp_path)
+        assert reopened.get("ns", "k") is None  # stale contents dropped
+        reopened.put("ns", "k2", "v2")  # and the store still works
+        assert reopened.get("ns", "k2") == "v2"
+
+    def test_lru_eviction_bounds_entries(self, tmp_path):
+        store = CacheStore(tmp_path, max_entries=10)
+        for i in range(30):
+            store.put("ns", f"k{i}", f"v{i}")
+        assert store.count("ns") <= 10
+        assert store.stats.evictions >= 20
+        # The most recent entry survives.
+        assert store.get("ns", "k29") == "v29"
+
+    def test_undecodable_json_payload_is_a_miss(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("ns", "k", "{not valid json")
+        assert store.get_json("ns", "k") is None
+
+
+# ------------------------------------------------------------------- keys
+class TestKeys:
+    def test_stable_hash_is_order_insensitive_for_dicts(self):
+        assert stable_hash({"a": 1, "b": (2, 3)}) == stable_hash({"b": [2, 3], "a": 1})
+
+    def test_profile_key_depends_on_gpu_and_backends(self):
+        from repro.gpu import A100
+
+        sig = (("prim", (1, 2)),)
+        k1 = profile_key(sig, V100, ["B1"])
+        assert k1 == profile_key(sig, V100, ["B1"])
+        assert k1 != profile_key(sig, A100, ["B1"])
+        assert k1 != profile_key(sig, V100, ["B2"])
+        assert k1 != profile_key((("prim", (1, 3)),), V100, ["B1"])
+
+
+# ----------------------------------------------------------- profile cache
+class TestProfileCache:
+    def profile_one(self, profiler):
+        graph = small_attention_graph()
+        pg, _ = FissionEngine().run(graph)
+        node = pg.nodes[0]
+        external_inputs, _ = pg.subset_io([node])
+        return profiler.profile(pg, [node], external_inputs, [node.output])
+
+    def test_encode_decode_roundtrip(self, tmp_path):
+        profiler = KernelProfiler(V100)
+        profile = self.profile_one(profiler)
+        assert profile is not None
+        ok, decoded = decode_profile(encode_profile(profile))
+        assert ok and decoded == profile
+
+    def test_negative_result_roundtrip(self):
+        ok, decoded = decode_profile(encode_profile(None))
+        assert ok and decoded is None
+
+    def test_version_mismatched_payload_is_a_miss(self):
+        payload = encode_profile(None)
+        payload["v"] = 999
+        ok, decoded = decode_profile(payload)
+        assert not ok and decoded is None
+
+    def test_persistent_hit_skips_backend_estimates(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cold = KernelProfiler(V100)
+        cold.persistent_cache = PersistentProfileCache(store, V100, cold.backends)
+        p1 = self.profile_one(cold)
+        assert cold.stats.misses == 1 and cold.stats.backend_estimate_calls > 0
+
+        warm = KernelProfiler(V100)
+        warm.persistent_cache = PersistentProfileCache(store, V100, warm.backends)
+        p2 = self.profile_one(warm)
+        assert warm.stats.persistent_hits == 1
+        assert warm.stats.backend_estimate_calls == 0
+        assert p2 == p1
+        assert p2.latency_s == p1.latency_s  # bit-identical through JSON
+
+
+# --------------------------------------------------------------- pipeline
+class TestPipelineCache:
+    def test_warm_run_is_bit_identical_with_zero_estimates(self, tmp_path):
+        graph = small_attention_graph()
+        cold = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert cold.summary()["plan_cache"] == "miss"
+        assert cold.cache.backend_estimate_calls > 0
+
+        # New pipeline + cleared registries simulates a new process.
+        pipeline_mod._STORES.clear()
+        pipeline_mod._PLAN_CACHES.clear()
+        warm = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert warm.summary()["plan_cache"] == "disk-hit"
+        assert warm.cache.partitions_replayed == len(warm.partitions)
+        assert warm.cache.backend_estimate_calls == 0
+        assert warm.latency_s == cold.latency_s
+        assert strategy_fingerprint(warm) == strategy_fingerprint(cold)
+
+    def test_memory_tier_returns_stored_result(self, tmp_path):
+        graph = small_attention_graph()
+        pipe = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path))
+        first = pipe.optimize(graph)
+        second = pipe.optimize(graph)
+        assert second.summary()["plan_cache"] == "memory-hit"
+        assert second.latency_s == first.latency_s
+
+    def test_corrupted_plan_payload_falls_back_to_cold(self, tmp_path):
+        graph = small_attention_graph()
+        pipe = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path))
+        cold = pipe.optimize(graph)
+        key = plan_key_of(pipe, graph)
+        pipe.store.put("orchestration-plans", key, "{broken json")
+
+        pipeline_mod._STORES.clear()
+        pipeline_mod._PLAN_CACHES.clear()
+        rerun = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert rerun.summary()["plan_cache"] == "miss"  # fell back, not fatal
+        assert rerun.latency_s == cold.latency_s
+
+    def test_stale_plan_shape_falls_back_to_cold(self, tmp_path):
+        graph = small_attention_graph()
+        pipe = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path))
+        cold = pipe.optimize(graph)
+        key = plan_key_of(pipe, graph)
+        stored = pipe.plan_cache.load(key)
+        # Sabotage: reference a node that does not exist in the graph.
+        stored.partitions[0].kernels[0].node_names = ["no_such_node"]
+        pipe.plan_cache.save(key, stored)
+
+        pipeline_mod._STORES.clear()
+        pipeline_mod._PLAN_CACHES.clear()
+        rerun = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert rerun.cache.partitions_replayed < len(rerun.partitions)
+        assert rerun.latency_s == cold.latency_s
+
+    def test_different_config_misses_plan_cache(self, tmp_path):
+        graph = small_attention_graph()
+        KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        pipeline_mod._STORES.clear()
+        pipeline_mod._PLAN_CACHES.clear()
+        other = KorchPipeline(
+            KorchConfig(gpu="V100", cache_dir=tmp_path, solver_mip_rel_gap=0.0)
+        ).optimize(graph)
+        assert other.summary()["plan_cache"] == "miss"
+
+    def test_no_cache_dir_keeps_cache_off(self):
+        graph = small_attention_graph()
+        result = KorchPipeline(KorchConfig(gpu="V100")).optimize(graph)
+        assert result.summary()["plan_cache"] == "off"
+        assert result.cache.store is None
+
+
+# --------------------------------------------------------------- parallel
+class TestParallelOrchestration:
+    def multi_partition_graph(self):
+        """Long elementwise chain that splits into several partitions."""
+        b = GraphBuilder("chain")
+        x = b.input("x", (2, 8, 8))
+        y = x
+        for i in range(24):
+            y = b.relu(b.add(y, x) if i % 3 == 0 else y)
+        b.output(b.reduce_sum(y, axes=(-1,), keepdims=True))
+        return b.build()
+
+    def test_parallel_results_identical_to_serial(self):
+        graph = self.multi_partition_graph()
+        serial = KorchPipeline(KorchConfig(gpu="V100", num_workers=1)).optimize(graph)
+        parallel = KorchPipeline(KorchConfig(gpu="V100", num_workers=4)).optimize(graph)
+        assert len(serial.partitions) > 1, "test graph must span several partitions"
+        assert parallel.cache.num_workers > 1
+        assert parallel.latency_s == serial.latency_s
+        assert strategy_fingerprint(parallel) == strategy_fingerprint(serial)
+        assert [p.partition.node_names for p in parallel.partitions] == [
+            p.partition.node_names for p in serial.partitions
+        ]
+
+    def test_parallel_with_cache_matches_serial_cold(self, tmp_path):
+        graph = self.multi_partition_graph()
+        serial = KorchPipeline(KorchConfig(gpu="V100")).optimize(graph)
+        parallel = KorchPipeline(
+            KorchConfig(gpu="V100", cache_dir=tmp_path, num_workers=0)  # 0 = all cores
+        ).optimize(graph)
+        assert parallel.latency_s == serial.latency_s
+        assert strategy_fingerprint(parallel) == strategy_fingerprint(serial)

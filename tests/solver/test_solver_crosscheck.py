@@ -1,0 +1,145 @@
+"""Cross-checks between the solver backends on small enumerable BLPs.
+
+On problems small enough to brute-force, the solver stack must obey the
+textbook ordering for minimization:
+
+    LP relaxation (simplex)  <=  exact optimum (scipy MILP == branch&bound
+                                 == brute force)  <=  greedy heuristic
+
+and ``solve_blp(method="auto")`` must return the exact optimum — i.e. match
+the best exact method available.  Objective ties are compared within a small
+float tolerance.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BinaryLinearProgram,
+    scipy_milp_available,
+    solve_blp,
+    solve_branch_and_bound,
+    solve_greedy,
+    solve_lp,
+    solve_with_scipy,
+)
+
+TOL = 1e-7
+
+
+def brute_force(problem: BinaryLinearProgram) -> tuple[float, list[int]]:
+    """Exact optimum by enumerating every binary assignment."""
+    best_obj, best_x = float("inf"), None
+    for bits in itertools.product((0, 1), repeat=problem.num_variables):
+        x = list(bits)
+        if problem.is_feasible(x):
+            obj = problem.objective(x)
+            if obj < best_obj:
+                best_obj, best_x = obj, x
+    assert best_x is not None, "test problem must be feasible"
+    return best_obj, best_x
+
+
+def lp_relaxation_objective(problem: BinaryLinearProgram) -> float:
+    c, a_ub, b_ub, a_eq, b_eq = problem.to_matrices()
+    result = solve_lp(c, a_ub, b_ub, a_eq, b_eq)
+    assert result.status == "optimal"
+    return result.objective
+
+
+def cover_problem(seed: int, num_items: int = 5, num_sets: int = 7) -> BinaryLinearProgram:
+    """Randomized set-cover-style BLP shaped like the orchestration problem:
+    minimize summed kernel costs subject to every primitive being covered."""
+    rng = np.random.default_rng(seed)
+    problem = BinaryLinearProgram(f"cover_{seed}")
+    memberships = []
+    for j in range(num_sets):
+        cost = float(rng.uniform(1.0, 10.0))
+        problem.add_variable(f"k{j}", cost)
+        size = int(rng.integers(1, num_items + 1))
+        members = set(rng.choice(num_items, size=size, replace=False).tolist())
+        memberships.append(members)
+    # Guarantee feasibility: one singleton set per item.
+    for i in range(num_items):
+        problem.add_variable(f"single{i}", float(rng.uniform(5.0, 15.0)))
+        memberships.append({i})
+    for i in range(num_items):
+        coeffs = {j: 1.0 for j, members in enumerate(memberships) if i in members}
+        problem.add_constraint(coeffs, ">=", 1.0, name=f"cover_{i}")
+    return problem
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_exact_methods_match_brute_force(seed):
+    problem = cover_problem(seed)
+    optimum, _ = brute_force(problem)
+
+    bnb = solve_branch_and_bound(problem)
+    assert bnb.is_feasible
+    assert bnb.objective == pytest.approx(optimum, abs=TOL)
+    assert problem.is_feasible(bnb.values)
+
+    if scipy_milp_available():
+        milp = solve_with_scipy(problem)
+        assert milp.is_feasible
+        assert milp.objective == pytest.approx(optimum, abs=TOL)
+        assert problem.is_feasible(milp.values)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_objective_ordering_greedy_exact_relaxation(seed):
+    """greedy >= exact >= LP relaxation (minimization)."""
+    problem = cover_problem(seed)
+    optimum, _ = brute_force(problem)
+
+    greedy = solve_greedy(problem)
+    assert greedy.is_feasible
+    assert problem.is_feasible(greedy.values)
+    assert greedy.objective >= optimum - TOL
+
+    relaxed = lp_relaxation_objective(problem)
+    assert relaxed <= optimum + TOL
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_auto_matches_best_exact_method(seed):
+    problem = cover_problem(seed)
+    auto = solve_blp(problem, method="auto")
+    assert auto.is_feasible
+
+    exact_objectives = [solve_branch_and_bound(problem).objective]
+    if scipy_milp_available():
+        exact_objectives.append(solve_with_scipy(problem).objective)
+    best_exact = min(exact_objectives)
+    assert auto.objective == pytest.approx(best_exact, abs=TOL)
+
+    expected_method = "scipy" if scipy_milp_available() else "branch-and-bound"
+    assert expected_method in auto.method
+
+
+def test_relaxation_tight_on_integral_problem():
+    """With disjoint sets the LP relaxation is integral: all three agree."""
+    problem = BinaryLinearProgram("disjoint")
+    for j, cost in enumerate([3.0, 1.0, 2.0]):
+        problem.add_variable(f"k{j}", cost)
+        problem.add_constraint({j: 1.0}, ">=", 1.0)
+    optimum, _ = brute_force(problem)
+    assert optimum == pytest.approx(6.0)
+    assert lp_relaxation_objective(problem) == pytest.approx(optimum)
+    assert solve_branch_and_bound(problem).objective == pytest.approx(optimum)
+    assert solve_greedy(problem).objective == pytest.approx(optimum)
+
+
+def test_infeasible_problem_reported():
+    problem = BinaryLinearProgram("infeasible")
+    problem.add_variable("a", 1.0)
+    problem.add_constraint({0: 1.0}, ">=", 2.0)  # needs a >= 2, but a <= 1
+    for solve in (solve_branch_and_bound, solve_greedy):
+        result = solve(problem)
+        assert not result.is_feasible
+    if scipy_milp_available():
+        assert not solve_with_scipy(problem).is_feasible

@@ -1,0 +1,154 @@
+"""Regression tests for the MatMul-centric substitutions (Figure 2b).
+
+The seed bug: ``MergeSharedInputMatMuls.apply`` called ``replace_with`` for
+the first MatMul before the second MatMul's consumers were rewired, and the
+embedded dead-node sweep deleted the second Slice — leaving consumers
+pointing at a producer-less tensor (``..._part_N_out_M``) that
+``PrimitiveGraph.validate`` rejects.  These tests validate the rewritten
+graph directly and check numerical equivalence against the operator-level
+reference executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.ir import GraphBuilder
+from repro.runtime.verification import verify_primitive_graph
+from repro.transforms.matmul import MergeSharedInputMatMuls, SwapDivPastMatMul
+from repro.transforms.optimizer import PrimitiveGraphOptimizer
+
+
+def shared_left_matmul_graph():
+    """Two MatMuls sharing their left operand, combined downstream.
+
+    This is the EfficientViT attention shape that exposed the bug: both
+    MatMul results stay *internal* tensors (consumed by Div/Add), so neither
+    replacement goes through the graph-output renaming path, and the second
+    Slice is momentarily dead during the rewrite.
+    """
+    b = GraphBuilder("shared_left")
+    x = b.input("x", (1, 2, 8, 4))
+    w1 = b.param("w1", (1, 2, 4, 6))
+    w2 = b.param("w2", (1, 2, 4, 6))
+    a = b.relu(x)
+    m1 = b.matmul(a, w1)
+    m2 = b.matmul(a, w2)
+    eps = b.constant("eps", np.full((1,), 0.5, dtype=np.float32))
+    denom = b.add(m2, eps)
+    out = b.div(m1, denom)
+    b.output(out)
+    return b.build()
+
+
+def feeds_for(graph, seed=0):
+    rng = np.random.default_rng(seed)
+    feeds = {}
+    for name in list(graph.inputs) + list(graph.params):
+        ttype = graph.tensor_type(name)
+        feeds[name] = rng.standard_normal(ttype.shape).astype(np.float32)
+    return feeds
+
+
+class TestMergeSharedInputMatMuls:
+    def test_rewritten_graph_validates(self):
+        graph = shared_left_matmul_graph()
+        pg, _ = FissionEngine().run(graph)
+        transform = MergeSharedInputMatMuls()
+        sites = transform.find_sites(pg)
+        assert sites, "expected a merge site for matmuls sharing their left operand"
+        for site in sites:
+            rewritten = transform.apply(pg, site)
+            rewritten.validate()  # seed: PrimitiveGraphError (producer-less input)
+
+    def test_merge_emits_concat_matmul_slices(self):
+        graph = shared_left_matmul_graph()
+        pg, _ = FissionEngine().run(graph)
+        transform = MergeSharedInputMatMuls()
+        rewritten = transform.apply(pg, transform.find_sites(pg)[0])
+        ops = [node.prim.op for node in rewritten.nodes]
+        assert ops.count("MatMul") == 1  # the two originals were merged
+        assert ops.count("Concat") == 1
+        assert ops.count("Slice") == 2
+
+    def test_merge_preserves_semantics(self):
+        graph = shared_left_matmul_graph()
+        pg, _ = FissionEngine().run(graph)
+        transform = MergeSharedInputMatMuls()
+        rewritten = transform.apply(pg, transform.find_sites(pg)[0])
+        result = verify_primitive_graph(graph, rewritten, feeds=feeds_for(graph))
+        assert result.equivalent, f"max error {result.max_abs_error}"
+
+    def test_merge_with_graph_outputs(self):
+        """Both MatMul results as graph outputs exercises the renaming path."""
+        b = GraphBuilder("shared_left_outputs")
+        x = b.input("x", (2, 8, 4))
+        w1 = b.param("w1", (2, 4, 6))
+        w2 = b.param("w2", (2, 4, 6))
+        m1 = b.matmul(x, w1)
+        m2 = b.matmul(x, w2)
+        b.output(m1, m2)
+        graph = b.build()
+        pg, _ = FissionEngine().run(graph)
+        transform = MergeSharedInputMatMuls()
+        rewritten = transform.apply(pg, transform.find_sites(pg)[0])
+        rewritten.validate()
+        assert rewritten.outputs == pg.outputs  # output names survive rewrites
+        result = verify_primitive_graph(graph, rewritten, feeds=feeds_for(graph))
+        assert result.equivalent, f"max error {result.max_abs_error}"
+
+
+class TestSwapDivPastMatMul:
+    def test_moved_div_keeps_original_attribution(self):
+        """The swapped division is still softmax's normalization (§6.4)."""
+        b = GraphBuilder("softmax_matmul")
+        x = b.input("x", (1, 2, 8, 8))
+        v = b.param("v", (1, 2, 8, 4))
+        probs = b.softmax(x, axis=-1)
+        out = b.matmul(probs, v)
+        b.output(out)
+        graph = b.build()
+        pg, _ = FissionEngine().run(graph)
+        softmax_op = next(n.name for n in graph.nodes if n.op_type == "Softmax")
+
+        transform = SwapDivPastMatMul()
+        sites = transform.find_sites(pg)
+        assert sites
+        rewritten = transform.apply(pg, sites[0])
+        rewritten.validate()
+        moved_div = next(
+            node for node in rewritten.nodes
+            if node.prim.op == "Div" and node.name.endswith(tuple("0123456789"))
+            and "postdiv" in node.name
+        )
+        assert moved_div.source_op == softmax_op
+        result = verify_primitive_graph(graph, rewritten, feeds=feeds_for(graph))
+        assert result.equivalent, f"max error {result.max_abs_error}"
+
+
+def test_optimizer_handles_efficientvit_attention_partition():
+    """End-to-end: the beam search over the shape that crashed the seed."""
+    from repro.models import build_efficientvit_attention_block
+    from repro.partition import GraphPartitioner
+
+    graph = build_efficientvit_attention_block()
+    optimizer = PrimitiveGraphOptimizer(V100)
+    for partition in GraphPartitioner().partition(graph):
+        pg, _ = FissionEngine().run(partition.graph)
+        optimized, report = optimizer.optimize(pg)
+        optimized.validate()
+        assert report.final_cost_s <= report.initial_cost_s
+
+
+def test_copy_preserves_name_generation_state():
+    """unique_name on a copy must not regenerate names already in use."""
+    graph = shared_left_matmul_graph()
+    pg, _ = FissionEngine().run(graph)
+    names = {node.name for node in pg.nodes} | set(pg.tensors)
+    clone = pg.copy()
+    fresh = [clone.unique_name("matmul") for _ in range(50)]
+    assert not (set(fresh) & names)
+    assert len(set(fresh)) == len(fresh)
