@@ -12,11 +12,13 @@ minutes; EXPERIMENTS.md records the effect of these settings.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import pytest
 
 from repro.baselines import baseline_suite
+from repro.engine import KorchEngine
 from repro.fission import FissionEngine
 from repro.gpu import get_gpu
 from repro.models import build_model
@@ -26,6 +28,16 @@ from repro.pipeline import KorchConfig, KorchPipeline
 
 MODELS = ("candy", "efficientvit", "yolox", "yolov4", "segformer")
 GPUS = ("V100", "A100")
+
+#: Opt-in persistent cache shared by the whole benchmark session: when this
+#: environment variable names a directory, every benchmark configuration
+#: stores profiles and plans there, so repeated sweeps (locally or in CI,
+#: with the directory preserved between runs) replay instead of re-profiling.
+BENCH_CACHE_ENV = "KORCH_BENCH_CACHE_DIR"
+
+
+def bench_cache_dir() -> str | None:
+    return os.environ.get(BENCH_CACHE_ENV) or None
 
 
 def benchmark_config(gpu: str, max_kernel_size: int = 8) -> KorchConfig:
@@ -37,6 +49,7 @@ def benchmark_config(gpu: str, max_kernel_size: int = 8) -> KorchConfig:
         identifier=KernelIdentifierConfig(max_kernel_size=max_kernel_size),
         solver_time_limit_s=2.0,
         solver_mip_rel_gap=0.10,
+        cache_dir=bench_cache_dir(),
     )
 
 
@@ -46,6 +59,7 @@ def case_study_config(gpu: str, max_kernel_size: int = 20) -> KorchConfig:
         gpu=gpu,
         partition=PartitionConfig(max_operators=24, hard_limit=28),
         identifier=KernelIdentifierConfig(max_kernel_size=max_kernel_size),
+        cache_dir=bench_cache_dir(),
     )
 
 
@@ -68,10 +82,29 @@ class ModelEvaluation:
 
 
 class EvaluationCache:
-    """Lazily evaluates and caches (model, gpu) pairs for the whole session."""
+    """Lazily evaluates and caches (model, gpu) pairs for the whole session.
+
+    One long-lived :class:`KorchEngine` per GPU serves every model of the
+    sweep, so the whole session shares its stores and worker pool.  Durable
+    sharing (profiles and plans persisted across sessions) is opt-in via
+    ``KORCH_BENCH_CACHE_DIR``; without it each engine keeps the original
+    per-model isolation so the reproduced figures are byte-for-byte those of
+    a fresh pipeline.
+    """
 
     def __init__(self) -> None:
         self._cache: dict[tuple[str, str], ModelEvaluation] = {}
+        self._engines: dict[str, KorchEngine] = {}
+
+    def engine(self, gpu: str) -> KorchEngine:
+        if gpu not in self._engines:
+            self._engines[gpu] = KorchEngine(
+                benchmark_config(gpu), share_profiles=bench_cache_dir() is not None
+            )
+        return self._engines[gpu]
+
+    def engine_stats(self) -> dict[str, dict]:
+        return {gpu: engine.stats.as_dict() for gpu, engine in self._engines.items()}
 
     def get(self, model: str, gpu: str) -> ModelEvaluation:
         key = (model, gpu)
@@ -79,11 +112,10 @@ class EvaluationCache:
             self._cache[key] = self._evaluate(model, gpu)
         return self._cache[key]
 
-    @staticmethod
-    def _evaluate(model: str, gpu: str) -> ModelEvaluation:
+    def _evaluate(self, model: str, gpu: str) -> ModelEvaluation:
         graph = build_model(model)
         spec = get_gpu(gpu)
-        result = KorchPipeline(benchmark_config(gpu)).optimize(graph)
+        result = self.engine(gpu).optimize(graph)
         pg, _ = FissionEngine().run(graph)
         evaluation = ModelEvaluation(
             model=model,
@@ -101,6 +133,46 @@ class EvaluationCache:
         return evaluation
 
 
+#: The session's EvaluationCache, kept here so ``pytest_sessionfinish`` can
+#: report its engines' statistics (fixtures are out of reach in the hook).
+_SESSION_EVALUATION: EvaluationCache | None = None
+
+
 @pytest.fixture(scope="session")
 def evaluation() -> EvaluationCache:
-    return EvaluationCache()
+    global _SESSION_EVALUATION
+    _SESSION_EVALUATION = EvaluationCache()
+    return _SESSION_EVALUATION
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Report aggregate cache/engine statistics when sharing is enabled."""
+    cache_dir = bench_cache_dir()
+    if cache_dir is None:
+        return
+    from repro.engine.registry import open_stores
+
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    write = reporter.write_line if reporter is not None else print
+    for directory, store in open_stores().items():
+        stats = store.stats
+        write(
+            f"[{BENCH_CACHE_ENV}] {directory}: {store.count()} entries, "
+            f"hits={stats.hits} misses={stats.misses} writes={stats.writes} "
+            f"hit_rate={stats.hit_rate:.2%}"
+        )
+    if _SESSION_EVALUATION is not None:
+        for gpu, stats in _SESSION_EVALUATION.engine_stats().items():
+            interesting = {
+                k: v
+                for k, v in stats.items()
+                if k
+                in (
+                    "models_optimized",
+                    "partitions_replayed",
+                    "plan_disk_hits",
+                    "cross_model_profile_reuses",
+                    "profiler_backend_estimate_calls",
+                )
+            }
+            write(f"[{BENCH_CACHE_ENV}] engine[{gpu}]: {interesting}")

@@ -1,0 +1,66 @@
+"""Multi-model serving with the long-lived KorchEngine.
+
+A serving deployment optimizes many models against the same GPU fleet; most
+of them share structure (attention blocks, conv stacks), so profiling each
+model in isolation re-pays the dominant cost over and over.  ``KorchEngine``
+owns the backends, profile caches and worker pool for its whole lifetime:
+
+* ``optimize_many`` interleaves partitions from different models onto one
+  pool and answers shared kernels from warm profiles,
+* ``engine.stats`` reports the cross-model amortization,
+* with ``cache_dir`` set, everything also persists across processes.
+
+Run:  PYTHONPATH=src python examples/multi_model_serving.py
+"""
+
+from repro import KorchConfig, KorchEngine
+from repro.models import (
+    build_efficientvit_attention_block,
+    build_segformer_attention_block,
+)
+
+
+def main() -> None:
+    models = [
+        build_efficientvit_attention_block(),
+        build_segformer_attention_block(),
+    ]
+
+    with KorchEngine(KorchConfig(gpu="V100")) as engine:
+        results = engine.optimize_many(models, max_concurrency=4)
+
+        print("=== optimize_many ===")
+        for result in results:
+            summary = result.summary()
+            print(
+                f"{summary['model']:<28} {summary['latency_ms']:8.4f} ms  "
+                f"{summary['num_kernels']:3d} kernels  "
+                f"estimates={summary['backend_estimate_calls']}"
+            )
+            stage_line = "  ".join(
+                f"{name.split('_', 1)[1][:-2]}={value * 1e3:.1f}ms"
+                for name, value in summary.items()
+                if name.startswith("stage_")
+            )
+            print(f"{'':<28} stages: {stage_line}")
+
+        # A third model structurally identical to the first (think: the same
+        # architecture fine-tuned under a new name): every kernel is answered
+        # from the engine's warm profiles — zero backend estimates.
+        twin = build_efficientvit_attention_block()
+        twin.name = "efficientvit_attention_v2"
+        repeat = engine.optimize(twin)
+        print("\n=== warm twin (same structure, new model) ===")
+        print(
+            f"backend estimate calls: {repeat.cache.backend_estimate_calls}, "
+            f"profile cache hits: {repeat.cache.profile_cache_hits}, "
+            f"cross-model reuses so far: {engine.stats.cross_model_profile_reuses}"
+        )
+
+        print("\n=== engine stats ===")
+        for key, value in engine.stats.as_dict().items():
+            print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

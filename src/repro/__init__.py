@@ -21,6 +21,7 @@ from .ir import DataType, Graph, GraphBuilder, Node, TensorType
 from .fission import FissionEngine, apply_operator_fission
 from .gpu import A100, H100, P100, V100, GpuSpec, get_gpu
 from .orchestration import KernelOrchestrationOptimizer, OrchestrationStrategy
+from .engine import EngineStats, KorchEngine
 from .pipeline import KorchConfig, KorchPipeline, KorchResult, optimize_model
 from .primitives import Primitive, PrimitiveCategory, PrimitiveGraph
 
@@ -48,6 +49,8 @@ __all__ = [
     "OrchestrationStrategy",
     "KorchConfig",
     "KorchPipeline",
+    "KorchEngine",
+    "EngineStats",
     "KorchResult",
     "optimize_model",
 ]

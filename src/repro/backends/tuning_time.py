@@ -36,6 +36,36 @@ class TuningTimeReport:
     def total_hours(self) -> float:
         return self.total_seconds / 3600.0
 
+    def as_payload(self) -> dict:
+        """JSON-representable rendering (stored alongside cached plans, so a
+        replayed run reports the cold run's Table 2 statistics)."""
+        return {
+            "num_candidates": self.num_candidates,
+            "num_profiled": self.num_profiled,
+            "num_deduplicated": self.num_deduplicated,
+            "num_vendor_candidates": self.num_vendor_candidates,
+            "num_cache_hits": self.num_cache_hits,
+            "total_seconds": self.total_seconds,
+            "per_backend_seconds": dict(self.per_backend_seconds),
+        }
+
+    @staticmethod
+    def from_payload(data: dict) -> "TuningTimeReport | None":
+        try:
+            return TuningTimeReport(
+                num_candidates=int(data["num_candidates"]),
+                num_profiled=int(data["num_profiled"]),
+                num_deduplicated=int(data["num_deduplicated"]),
+                num_vendor_candidates=int(data["num_vendor_candidates"]),
+                num_cache_hits=int(data["num_cache_hits"]),
+                total_seconds=float(data["total_seconds"]),
+                per_backend_seconds={
+                    str(k): float(v) for k, v in data["per_backend_seconds"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
 
 class TuningTimeModel:
     """Accumulates tuning time across candidate kernels with deduplication.

@@ -96,20 +96,39 @@ class ModelPlan:
     """Per-partition plans for one (graph, gpu, config) triple."""
 
     partitions: list[PartitionPlan] = field(default_factory=list)
+    #: The cold run's model-level tuning report
+    #: (:meth:`repro.backends.TuningTimeReport.as_payload`), so a fully
+    #: replayed run reports the same Table 2 statistics as the run that
+    #: computed the plan.  ``None`` on plans stored before this field existed.
+    tuning: dict[str, Any] | None = None
+    #: Backend fingerprint the plan was computed under.  Redundant with the
+    #: *key* (which embeds it), but recorded in the payload so maintenance
+    #: tooling can recognize plans whose keys became unreachable after a
+    #: backend ``MODEL_VERSION`` bump (``python -m repro.cache gc``).
+    backends: list[str] | None = None
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "v": _PAYLOAD_VERSION,
             "partitions": [p.to_payload() for p in self.partitions],
         }
+        if self.tuning is not None:
+            payload["tuning"] = self.tuning
+        if self.backends is not None:
+            payload["backends"] = list(self.backends)
+        return payload
 
     @staticmethod
     def from_payload(data: dict[str, Any]) -> "ModelPlan | None":
         try:
             if data.get("v") != _PAYLOAD_VERSION:
                 return None
+            tuning = data.get("tuning")
+            backends = data.get("backends")
             return ModelPlan(
-                partitions=[PartitionPlan.from_payload(p) for p in data["partitions"]]
+                partitions=[PartitionPlan.from_payload(p) for p in data["partitions"]],
+                tuning=tuning if isinstance(tuning, dict) else None,
+                backends=[str(b) for b in backends] if isinstance(backends, list) else None,
             )
         except (KeyError, TypeError, ValueError):
             return None

@@ -153,10 +153,13 @@ class PersistentProfileCache:
     def key(self, signature: tuple) -> str:
         return profile_key(signature, self.spec, self.backend_names)
 
-    def get(self, signature: tuple) -> tuple[bool, KernelProfile | None, bool]:
+    def get(
+        self, signature: tuple, key: str | None = None
+    ) -> tuple[bool, KernelProfile | None, bool]:
         """``(hit, profile, tuned)`` for a signature; a hit may carry ``None``
-        (cached "unsupported", always considered tuned)."""
-        payload = self.store.get_json(_NAMESPACE, self.key(signature))
+        (cached "unsupported", always considered tuned).  Pass ``key`` when
+        the caller already computed :meth:`key` to avoid re-hashing."""
+        payload = self.store.get_json(_NAMESPACE, key or self.key(signature))
         if not isinstance(payload, dict):
             return False, None, False
         ok, profile = decode_profile(payload)
@@ -164,10 +167,21 @@ class PersistentProfileCache:
             return False, None, False
         return True, profile, bool(payload.get("tuned", True))
 
-    def put(self, signature: tuple, profile: KernelProfile | None, tuned: bool = True) -> None:
+    def put(
+        self,
+        signature: tuple,
+        profile: KernelProfile | None,
+        tuned: bool = True,
+        key: str | None = None,
+    ) -> None:
         payload = encode_profile(profile)
         payload["tuned"] = bool(tuned) or profile is None
-        self.store.put_json(_NAMESPACE, self.key(signature), payload)
+        # The backend set is already part of the *key*; recording it in the
+        # payload as well lets maintenance tooling (``python -m repro.cache
+        # gc``) recognize entries written under outdated backend
+        # MODEL_VERSIONs without being able to invert the hash.
+        payload["backends"] = list(self.backend_names)
+        self.store.put_json(_NAMESPACE, key or self.key(signature), payload)
 
     def __len__(self) -> int:
         return self.store.count(_NAMESPACE)

@@ -267,6 +267,91 @@ class CacheStore:
                 return len(self._fallback.entries)
             return sum(1 for ns, _ in self._fallback.entries if ns == namespace)
 
+    def namespaces(self) -> list[str]:
+        """Sorted list of namespaces with at least one entry."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    rows = self._conn.execute(
+                        "SELECT DISTINCT namespace FROM entries ORDER BY namespace"
+                    ).fetchall()
+                    return [row[0] for row in rows]
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            return sorted({ns for ns, _ in self._fallback.entries})
+
+    def items(self, namespace: str) -> list[tuple[str, str]]:
+        """All ``(key, payload)`` pairs of one namespace (maintenance scans)."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    rows = self._conn.execute(
+                        "SELECT key, payload FROM entries WHERE namespace = ?", (namespace,)
+                    ).fetchall()
+                    return [(row[0], row[1]) for row in rows]
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            return [
+                (key, payload)
+                for (ns, key), payload in self._fallback.entries.items()
+                if ns == namespace
+            ]
+
+    def delete(self, namespace: str, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    cursor = self._conn.execute(
+                        "DELETE FROM entries WHERE namespace = ? AND key = ?", (namespace, key)
+                    )
+                    self._conn.commit()
+                    return cursor.rowcount > 0
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            return self._fallback.entries.pop((namespace, key), None) is not None
+
+    def trim(self, namespace: str, keep: int) -> int:
+        """Drop the least-recently-used tail of a namespace beyond ``keep``
+        entries; returns how many entries were removed."""
+        keep = max(0, int(keep))
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    row = self._conn.execute(
+                        "SELECT COUNT(*) FROM entries WHERE namespace = ?", (namespace,)
+                    ).fetchone()
+                    overflow = int(row[0]) - keep
+                    if overflow <= 0:
+                        return 0
+                    self._conn.execute(
+                        "DELETE FROM entries WHERE rowid IN ("
+                        " SELECT rowid FROM entries WHERE namespace = ?"
+                        " ORDER BY last_used_at ASC LIMIT ?)",
+                        (namespace, overflow),
+                    )
+                    self._conn.commit()
+                    self.stats.evictions += overflow
+                    return overflow
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            keys = [k for k in self._fallback.entries if k[0] == namespace]
+            overflow = len(keys) - keep
+            if overflow <= 0:
+                return 0
+            for ns_key in keys[:overflow]:
+                del self._fallback.entries[ns_key]
+            self.stats.evictions += overflow
+            return overflow
+
     def clear(self, namespace: str | None = None) -> None:
         """Drop entries (of one namespace, or all)."""
         with self._lock:

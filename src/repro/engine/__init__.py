@@ -1,0 +1,54 @@
+"""The staged Korch engine (Figure 1, decomposed).
+
+The monolithic pipeline is split into composable stages with a uniform
+``run(ctx) -> ctx`` contract (:mod:`~repro.engine.stages`), threaded over a
+per-partition :class:`~repro.engine.context.StageContext`, and driven by a
+long-lived :class:`~repro.engine.engine.KorchEngine` that owns the backends,
+profiler caches, persistent store and worker pool across many models —
+including :meth:`~repro.engine.engine.KorchEngine.optimize_many`, which
+interleaves partitions from different models onto the shared pool and reuses
+warm profiles across models.
+
+:mod:`repro.pipeline` keeps the old ``KorchPipeline``/``optimize_model``
+API as thin wrappers over a short-lived engine.
+"""
+
+from .config import KorchConfig
+from .context import StageContext
+from .engine import EngineStats, KorchEngine
+from .registry import MAX_OPEN_STORES, open_stores, shared_store
+from .result import STAGE_ORDER, CacheReport, KorchResult, PartitionResult
+from .stages import (
+    DEFAULT_STAGES,
+    AssembleStage,
+    FissionStage,
+    GraphOptStage,
+    IdentifyStage,
+    ProfileStage,
+    SolveStage,
+    Stage,
+    run_stages,
+)
+
+__all__ = [
+    "KorchConfig",
+    "StageContext",
+    "EngineStats",
+    "KorchEngine",
+    "CacheReport",
+    "KorchResult",
+    "PartitionResult",
+    "STAGE_ORDER",
+    "Stage",
+    "FissionStage",
+    "GraphOptStage",
+    "IdentifyStage",
+    "ProfileStage",
+    "SolveStage",
+    "AssembleStage",
+    "DEFAULT_STAGES",
+    "run_stages",
+    "shared_store",
+    "open_stores",
+    "MAX_OPEN_STORES",
+]

@@ -1,0 +1,77 @@
+"""Configuration of the Korch engine (and of the compatibility pipeline).
+
+``KorchConfig`` describes *what* to optimize for — GPU, partitioning limits,
+identifier pruning, solver settings — plus the orthogonal execution knobs
+(cache directory, worker count) that change how fast an answer is computed
+but never what the answer is.  ``fingerprint()`` captures exactly the
+result-determining subset, which is what plan-cache keys are built from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..gpu.specs import GpuSpec, get_gpu
+from ..orchestration import KernelIdentifierConfig
+from ..partition import PartitionConfig
+from ..transforms import GraphOptimizerConfig
+
+__all__ = ["KorchConfig"]
+
+
+@dataclass
+class KorchConfig:
+    """Configuration of the full pipeline."""
+
+    gpu: str | GpuSpec = "V100"
+    enable_graph_optimizer: bool = True
+    enable_tensorrt_backend: bool = False
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    identifier: KernelIdentifierConfig = field(default_factory=KernelIdentifierConfig)
+    graph_optimizer: GraphOptimizerConfig = field(default_factory=GraphOptimizerConfig)
+    solver_method: str = "auto"
+    solver_time_limit_s: float = 1000.0
+    #: Relative optimality gap accepted per subgraph BLP (0 = prove optimal).
+    #: The default trades <2% of modeled latency for a large solver speedup.
+    solver_mip_rel_gap: float = 0.02
+    #: Directory of the persistent profile/plan cache; ``None`` disables
+    #: persistence (profiles are still memoized per process, as before).
+    cache_dir: str | Path | None = None
+    #: Store whole-model plans (in addition to kernel profiles) so repeated
+    #: (graph, gpu, config) runs skip enumeration + solving.  Only effective
+    #: with ``cache_dir`` set.
+    enable_plan_cache: bool = True
+    #: Concurrent partition-optimization workers; 1 = serial (the default),
+    #: 0 = one worker per CPU.  Results are independent of the worker count.
+    num_workers: int = 1
+    #: Per-namespace entry cap of the persistent cache (LRU-evicted).
+    cache_max_entries: int = 200_000
+
+    def resolve_gpu(self) -> GpuSpec:
+        return self.gpu if isinstance(self.gpu, GpuSpec) else get_gpu(self.gpu)
+
+    def resolve_num_workers(self, num_tasks: int) -> int:
+        import os
+
+        workers = self.num_workers if self.num_workers > 0 else (os.cpu_count() or 1)
+        return max(1, min(workers, num_tasks))
+
+    def fingerprint(self) -> dict:
+        """The part of the config that determines optimization *results*.
+
+        Cache and parallelism knobs are deliberately excluded: a plan
+        computed serially without a cache is byte-identical to one computed
+        by 8 workers with one, so they must share cache keys.
+        """
+        return {
+            "enable_graph_optimizer": self.enable_graph_optimizer,
+            "enable_tensorrt_backend": self.enable_tensorrt_backend,
+            "partition": dataclasses.asdict(self.partition),
+            "identifier": dataclasses.asdict(self.identifier),
+            "graph_optimizer": dataclasses.asdict(self.graph_optimizer),
+            "solver_method": self.solver_method,
+            "solver_time_limit_s": self.solver_time_limit_s,
+            "solver_mip_rel_gap": self.solver_mip_rel_gap,
+        }

@@ -1,0 +1,68 @@
+"""Per-partition stage context.
+
+A :class:`StageContext` is the single mutable value threaded through the
+engine's stages (``run(ctx) -> ctx``).  It starts with the partition and the
+collaborators the engine built for it (fission engine, orchestration
+optimizer, optional graph optimizer, optional stored plan) and accumulates
+every intermediate artifact — primitive graph, candidate specs, profiled
+candidates, orchestration, executable — plus per-stage wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ..fission import FissionEngine, FissionReport
+from ..gpu.specs import GpuSpec
+from ..orchestration import (
+    CandidateKernel,
+    CandidateSpec,
+    KernelIdentifierReport,
+    KernelOrchestrationOptimizer,
+    OrchestrationResult,
+)
+from ..partition import Partition
+from ..primitives.graph import PrimitiveGraph
+from ..runtime.executable import Executable
+from ..transforms import GraphOptimizerReport, PrimitiveGraphOptimizer
+from .config import KorchConfig
+from .result import PartitionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import PartitionPlan
+
+__all__ = ["StageContext"]
+
+
+@dataclass
+class StageContext:
+    """State carried through the stage pipeline for one partition."""
+
+    # --- inputs (set by the engine before the first stage runs)
+    partition: Partition
+    config: KorchConfig
+    spec: GpuSpec
+    fission: FissionEngine
+    optimizer: KernelOrchestrationOptimizer
+    graph_optimizer: PrimitiveGraphOptimizer | None = None
+    #: Stored plan to replay (skips identify/profile/solve when valid).
+    plan: "PartitionPlan | None" = None
+
+    # --- artifacts (filled in by successive stages)
+    pg: PrimitiveGraph | None = None
+    fission_report: FissionReport | None = None
+    optimizer_report: GraphOptimizerReport | None = None
+    candidate_specs: Sequence[CandidateSpec] | None = None
+    identifier_report: KernelIdentifierReport | None = None
+    candidates: list[CandidateKernel] | None = None
+    orchestration: OrchestrationResult | None = None
+    executable: Executable | None = None
+    result: PartitionResult | None = None
+
+    #: Wall-clock seconds per stage name, recorded by ``run_stages``.
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def replayed(self) -> bool:
+        return bool(self.orchestration is not None and self.orchestration.extra.get("replayed"))

@@ -1,0 +1,552 @@
+"""The long-lived Korch engine: many models, one set of shared state.
+
+``KorchPipeline`` builds backends, profiler caches and a worker pool from
+scratch for every model — fine for reproducing figures, wrong for a serving
+system that amortizes tuning across requests.  :class:`KorchEngine` owns that
+state for its whole lifetime:
+
+* the **backend set** and GPU spec,
+* the **persistent cache store** (or a private in-memory store when no
+  ``cache_dir`` is configured, so profiles still flow between models),
+* the **profile caches** feeding every partition's :class:`KernelProfiler`,
+* **one worker pool**, onto which ``optimize_many`` interleaves partitions
+  from different models.
+
+``optimize(graph)`` runs one model through the staged flow
+(:mod:`repro.engine.stages`); ``optimize_many([graphs], max_concurrency=...)``
+schedules the union of all models' partitions onto the shared pool.  Results
+are bit-identical to serial per-model runs — profiles are deterministic and
+the solver sees identical inputs — while structurally identical kernels
+appearing in *different* models are profiled once, surfaced as
+``EngineStats.cross_model_profile_reuses``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..backends import (
+    KernelBackend,
+    TuningTimeModel,
+    TuningTimeReport,
+    default_korch_backends,
+)
+from ..cache import (
+    CacheStore,
+    KernelPlan,
+    ModelPlan,
+    PartitionPlan,
+    PersistentProfileCache,
+    PlanCache,
+    backend_fingerprint,
+    plan_key,
+)
+from ..fission import FissionEngine
+from ..gpu.profiler import KernelProfiler, ProfilerStats
+from ..ir.graph import Graph
+from ..ir.serialization import graph_to_dict
+from ..orchestration import KernelOrchestrationOptimizer
+from ..partition import GraphPartitioner, Partition
+from ..runtime.executable import ModelExecutable
+from ..transforms import PrimitiveGraphOptimizer
+from .config import KorchConfig
+from .context import StageContext
+from .registry import shared_store
+from .result import CacheReport, KorchResult, PartitionResult
+from .stages import DEFAULT_STAGES, Stage, run_stages
+
+__all__ = ["EngineStats", "KorchEngine"]
+
+#: Upper bound on reuse-tracking bookkeeping; correctness is unaffected when
+#: it trips, only the reuse counter stops attributing very old entries.
+_MAX_TRACKED_OWNERS = 1_000_000
+
+
+@dataclass
+class EngineStats:
+    """Lifetime statistics of one :class:`KorchEngine`."""
+
+    #: Models served (including plan-cache memory hits).
+    models_optimized: int = 0
+    #: Partition optimization tasks executed (not answered from memory).
+    partitions_optimized: int = 0
+    #: Partitions replayed from a stored plan instead of re-solved.
+    partitions_replayed: int = 0
+    #: ``optimize`` calls answered entirely from the in-process result tier.
+    plan_memory_hits: int = 0
+    #: Models whose every partition replayed from the durable plan store.
+    plan_disk_hits: int = 0
+    #: Profile-cache hits on entries first written while optimizing a
+    #: *different* model on this engine — the cross-model amortization.
+    cross_model_profile_reuses: int = 0
+    #: Merged profiler statistics across every model the engine optimized.
+    profiler: ProfilerStats = field(default_factory=ProfilerStats)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "models_optimized": self.models_optimized,
+            "partitions_optimized": self.partitions_optimized,
+            "partitions_replayed": self.partitions_replayed,
+            "plan_memory_hits": self.plan_memory_hits,
+            "plan_disk_hits": self.plan_disk_hits,
+            "cross_model_profile_reuses": self.cross_model_profile_reuses,
+            **{f"profiler_{k}": v for k, v in self.profiler.as_dict().items()},
+        }
+
+
+class _ReuseTrackingCache:
+    """Profile-cache wrapper attributing each entry to the engine run that
+    first wrote it, so hits from a *different* run count as cross-model
+    reuses.  Duck-types :class:`PersistentProfileCache` for the profiler."""
+
+    def __init__(self, inner: PersistentProfileCache, engine: "KorchEngine", run_id: int) -> None:
+        self._inner = inner
+        self._engine = engine
+        self._run_id = run_id
+
+    def key(self, signature: tuple) -> str:
+        return self._inner.key(signature)
+
+    def get(self, signature: tuple):
+        key = self._inner.key(signature)
+        hit, profile, tuned = self._inner.get(signature, key=key)
+        if hit:
+            self._engine._note_profile_hit(key, self._run_id)
+        return hit, profile, tuned
+
+    def put(self, signature: tuple, profile, tuned: bool = True) -> None:
+        key = self._inner.key(signature)
+        self._engine._note_profile_write(key, self._run_id)
+        self._inner.put(signature, profile, tuned=tuned, key=key)
+
+    def for_backends(self, backends: Sequence) -> "_ReuseTrackingCache":
+        return _ReuseTrackingCache(
+            self._inner.for_backends(backends), self._engine, self._run_id
+        )
+
+
+@dataclass
+class _ModelRun:
+    """Book-keeping for one model inside ``optimize_many``."""
+
+    graph: Graph
+    run_id: int
+    plan_cache_key: str | None = None
+    stored_plan: ModelPlan | None = None
+    partitions: list[Partition] = field(default_factory=list)
+    tuning_model: TuningTimeModel = field(default_factory=TuningTimeModel)
+    tasks: list[Callable[[], tuple[PartitionResult, ProfilerStats]]] = field(default_factory=list)
+    outcomes: list[tuple[PartitionResult, ProfilerStats]] = field(default_factory=list)
+    result: KorchResult | None = None
+    #: An earlier run in the same ``optimize_many`` call with the same plan
+    #: key; this run copies its result instead of re-optimizing.
+    duplicate_of: "_ModelRun | None" = None
+
+
+class KorchEngine:
+    """Long-lived, multi-model optimization engine over the staged flow.
+
+    Use as a context manager (or call :meth:`close`) to release the worker
+    pool and any privately-owned store::
+
+        with KorchEngine(KorchConfig(gpu="A100")) as engine:
+            results = engine.optimize_many([model_a, model_b], max_concurrency=4)
+
+    ``share_profiles=False`` restores the per-model isolation of the old
+    pipeline when no ``cache_dir`` is configured (used by the compatibility
+    wrapper so existing behavior is preserved exactly).
+    """
+
+    #: Lifetime worker-pool size; per-call concurrency is bounded separately.
+    _POOL_SIZE_CAP = 32
+
+    def __init__(
+        self,
+        config: KorchConfig | None = None,
+        backends: Sequence[KernelBackend] | None = None,
+        share_profiles: bool = True,
+    ) -> None:
+        self.config = config or KorchConfig()
+        self.spec = self.config.resolve_gpu()
+        self.backends = list(
+            backends
+            if backends is not None
+            else default_korch_backends(self.config.enable_tensorrt_backend)
+        )
+        self.partitioner = GraphPartitioner(self.config.partition)
+        self.fission = FissionEngine()
+        self.stats = EngineStats()
+
+        self._lock = threading.Lock()
+        # Pool management has its own lock: replacing the pool must never
+        # contend with the stats lock that in-flight partition tasks take.
+        self._pool_lock = threading.Lock()
+        self._profile_owners: dict[str, int] = {}
+        self._run_ids = itertools.count()
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_size = 0
+        self._owns_store = False
+        self._closed = False
+
+        self.store: CacheStore | None = None
+        self.plan_cache: PlanCache | None = None
+        self.profile_cache: PersistentProfileCache | None = None
+        self._graph_opt_cache: PersistentProfileCache | None = None
+        if self.config.cache_dir is not None:
+            self.store, plan_cache = shared_store(
+                self.config.cache_dir, self.config.cache_max_entries
+            )
+            if self.config.enable_plan_cache:
+                self.plan_cache = plan_cache
+        elif share_profiles:
+            # No durable directory: still share profiles (and plans) across
+            # this engine's lifetime through a private in-memory store.
+            self.store = CacheStore(None, max_entries=self.config.cache_max_entries)
+            self._owns_store = True
+            if self.config.enable_plan_cache:
+                self.plan_cache = PlanCache(self.store)
+        if self.store is not None:
+            self.profile_cache = PersistentProfileCache(self.store, self.spec, self.backends)
+            # The graph optimizer profiles singleton kernels with the default
+            # backend set; give it a cache context keyed on that set.
+            self._graph_opt_cache = PersistentProfileCache(
+                self.store, self.spec, default_korch_backends()
+            )
+
+    # ------------------------------------------------------------------ api
+    def optimize(self, graph: Graph) -> KorchResult:
+        """Optimize one model end to end (serial unless ``num_workers`` > 1)."""
+        return self.optimize_many([graph])[0]
+
+    def optimize_many(
+        self, graphs: Sequence[Graph], max_concurrency: int | None = None
+    ) -> list[KorchResult]:
+        """Optimize several models, interleaving their partitions on the pool.
+
+        ``max_concurrency`` bounds concurrently-running partition tasks
+        across *all* models (``None`` defers to ``config.num_workers``,
+        0 = one per CPU).  Results are returned in input order and are
+        bit-identical to optimizing each graph by itself.
+        """
+        if self._closed:
+            raise RuntimeError("KorchEngine is closed")
+        runs: list[_ModelRun] = []
+        primary_by_key: dict[str, _ModelRun] = {}
+        for graph in graphs:
+            run = self._prepare(graph)
+            if run.result is None and run.plan_cache_key is not None:
+                primary = primary_by_key.get(run.plan_cache_key)
+                if primary is not None:
+                    # Identical graph earlier in this batch: optimize once,
+                    # fan the result out (the serial equivalent would have
+                    # answered the repeat from the memory tier).
+                    run.duplicate_of = primary
+                    run.tasks = []
+                else:
+                    primary_by_key[run.plan_cache_key] = run
+            runs.append(run)
+
+        pending = [run for run in runs if run.result is None and run.duplicate_of is None]
+        tasks = [task for run in pending for task in run.tasks]
+        workers = self._resolve_workers(max_concurrency, len(tasks))
+        if tasks:
+            outcomes = self._run_tasks(tasks, workers)
+            cursor = 0
+            for run in pending:
+                run.outcomes = outcomes[cursor : cursor + len(run.tasks)]
+                cursor += len(run.tasks)
+        for run in pending:
+            run.result = self._assemble(run, workers)
+        for run in runs:
+            if run.result is None and run.duplicate_of is not None:
+                with self._lock:
+                    self.stats.plan_memory_hits += 1
+                run.result = dataclasses.replace(
+                    run.duplicate_of.result,
+                    cache=dataclasses.replace(
+                        run.duplicate_of.result.cache, plan_cache="memory-hit"
+                    ),
+                )
+        return [run.result for run in runs]
+
+    def close(self) -> None:
+        """Release the worker pool and any privately-owned store."""
+        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "KorchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ model prep
+    def _prepare(self, graph: Graph) -> _ModelRun:
+        run = _ModelRun(graph=graph, run_id=next(self._run_ids))
+        with self._lock:
+            self.stats.models_optimized += 1
+
+        if self.plan_cache is not None:
+            run.plan_cache_key = plan_key(
+                graph_to_dict(graph),
+                self.spec,
+                backend_fingerprint(self.backends),
+                self.config.fingerprint(),
+            )
+            memoized = self.plan_cache.get_result(run.plan_cache_key)
+            if memoized is not None:
+                with self._lock:
+                    self.stats.plan_memory_hits += 1
+                run.result = dataclasses.replace(
+                    memoized,
+                    cache=dataclasses.replace(memoized.cache, plan_cache="memory-hit"),
+                )
+                return run
+            run.stored_plan = self.plan_cache.load(run.plan_cache_key)
+
+        run.partitions = self.partitioner.partition(graph)
+        if run.stored_plan is not None and len(run.stored_plan.partitions) != len(run.partitions):
+            run.stored_plan = None  # stale partitioning; re-optimize from scratch
+
+        # One tuning-time model per model run: structurally identical kernels
+        # appearing in *different* partitions are tuned once, which is how
+        # the paper's TVM database amortizes Table 2's tuning hours.
+        plans = (
+            run.stored_plan.partitions
+            if run.stored_plan is not None
+            else [None] * len(run.partitions)
+        )
+        run.tasks = [
+            (lambda p=partition, pl=plan, r=run: self._optimize_partition(p, pl, r))
+            for partition, plan in zip(run.partitions, plans)
+        ]
+        return run
+
+    # ------------------------------------------------------------ partitions
+    def _optimize_partition(
+        self, partition: Partition, plan: PartitionPlan | None, run: _ModelRun
+    ) -> tuple[PartitionResult, ProfilerStats]:
+        """Run the staged flow for one partition.
+
+        Self-contained (fresh orchestration optimizer per call) so partitions
+        from any model can run on concurrent pool workers; shared state is
+        limited to the thread-safe caches.
+        """
+        profile_cache = (
+            _ReuseTrackingCache(self.profile_cache, self, run.run_id)
+            if self.profile_cache is not None
+            else None
+        )
+        optimizer = KernelOrchestrationOptimizer(
+            self.spec,
+            backends=self.backends,
+            identifier_config=self.config.identifier,
+            solver_method=self.config.solver_method,
+            solver_time_limit_s=self.config.solver_time_limit_s,
+            solver_mip_rel_gap=self.config.solver_mip_rel_gap,
+            persistent_cache=profile_cache,
+            tuning_model=run.tuning_model,
+        )
+        graph_optimizer = None
+        if self.config.enable_graph_optimizer:
+            # Fresh graph optimizer per partition task: its cost-proxy
+            # profiler is not tuning-authoritative, and a fresh instance
+            # keeps concurrent workers from sharing mutable profiler state.
+            graph_opt_cache = (
+                _ReuseTrackingCache(self._graph_opt_cache, self, run.run_id)
+                if self._graph_opt_cache is not None
+                else None
+            )
+            profiler = KernelProfiler(
+                self.spec,
+                persistent_cache=graph_opt_cache,
+                tuning_authoritative=False,
+            )
+            graph_optimizer = PrimitiveGraphOptimizer(
+                self.spec, config=self.config.graph_optimizer, profiler=profiler
+            )
+
+        ctx = StageContext(
+            partition=partition,
+            config=self.config,
+            spec=self.spec,
+            fission=self.fission,
+            optimizer=optimizer,
+            graph_optimizer=graph_optimizer,
+            plan=plan,
+        )
+        ctx = run_stages(ctx, self.stages())
+        stats = optimizer.profiler_stats
+        if graph_optimizer is not None:
+            stats.merge(graph_optimizer.profiler.stats)
+        return ctx.result, stats
+
+    def stages(self) -> Sequence[Stage]:
+        """The stage sequence; override to instrument or replace stages."""
+        return DEFAULT_STAGES
+
+    # -------------------------------------------------------------- assembly
+    def _assemble(self, run: _ModelRun, num_workers: int) -> KorchResult:
+        results = [outcome[0] for outcome in run.outcomes]
+        cache = self._cache_report(run, results, num_workers)
+        model_executable = ModelExecutable(run.graph.name, [r.executable for r in results])
+
+        # A fully-replayed run never profiled the non-selected candidates, so
+        # its own tuning model is nearly empty; report the cold run's stored
+        # statistics instead, keeping Table 2 numbers stable warm or cold.
+        tuning = run.tuning_model.report
+        if cache.partitions_replayed == len(results) and run.stored_plan is not None:
+            stored_tuning = (
+                TuningTimeReport.from_payload(run.stored_plan.tuning)
+                if run.stored_plan.tuning is not None
+                else None
+            )
+            if stored_tuning is not None:
+                tuning = stored_tuning
+
+        result = KorchResult(
+            graph=run.graph,
+            spec=self.spec,
+            partitions=results,
+            executable=model_executable,
+            tuning=tuning,
+            cache=cache,
+        )
+        if run.plan_cache_key is not None:
+            if cache.partitions_replayed < len(results):
+                # Cold or partially-replayed run: (re)store the full plan.
+                plan = self._plan_of(results)
+                plan.backends = backend_fingerprint(self.backends)
+                if cache.partitions_replayed == 0:
+                    plan.tuning = run.tuning_model.report.as_payload()
+                elif run.stored_plan is not None:
+                    # Partial replay: this run's report is incomplete; keep
+                    # whatever full-run report the stored plan carried.
+                    plan.tuning = run.stored_plan.tuning
+                self.plan_cache.save(run.plan_cache_key, plan)
+            self.plan_cache.put_result(run.plan_cache_key, result)
+        with self._lock:
+            self.stats.partitions_optimized += len(results)
+            self.stats.partitions_replayed += cache.partitions_replayed
+            if cache.plan_cache == "disk-hit":
+                self.stats.plan_disk_hits += 1
+            self.stats.profiler.merge(cache.profiler)
+        return result
+
+    def _cache_report(
+        self, run: _ModelRun, results: list[PartitionResult], num_workers: int
+    ) -> CacheReport:
+        profiler = ProfilerStats()
+        for _, stats in run.outcomes:
+            profiler.merge(stats)
+        replayed = sum(1 for r in results if r.replayed)
+        if self.plan_cache is None:
+            status = "off"
+        elif replayed == len(results) and (run.stored_plan is not None or not results):
+            status = "disk-hit"
+        else:
+            status = "miss"
+        return CacheReport(
+            plan_cache=status,
+            partitions_replayed=replayed,
+            profiler=profiler,
+            store=self.store.stats if self.store is not None else None,
+            num_workers=num_workers,
+        )
+
+    @staticmethod
+    def _plan_of(results: list[PartitionResult]) -> ModelPlan:
+        """Serialize the solved strategies into a replayable plan."""
+        partitions = []
+        for result in results:
+            strategy = result.orchestration.strategy
+            kernels = [
+                KernelPlan(
+                    node_names=sorted(kernel.node_names),
+                    external_inputs=list(kernel.external_inputs),
+                    outputs=list(kernel.outputs),
+                )
+                for kernel in strategy.kernels
+            ]
+            partitions.append(
+                PartitionPlan(
+                    kernels=kernels,
+                    objective_s=strategy.objective_s,
+                    solver_status=strategy.solver_status,
+                    solver_method=strategy.solver_method,
+                    num_candidates=result.orchestration.num_candidates,
+                )
+            )
+        return ModelPlan(partitions=partitions)
+
+    # ------------------------------------------------------------- scheduling
+    def _resolve_workers(self, max_concurrency: int | None, num_tasks: int) -> int:
+        if max_concurrency is None:
+            return self.config.resolve_num_workers(num_tasks)
+        workers = max_concurrency if max_concurrency > 0 else (os.cpu_count() or 1)
+        return max(1, min(workers, num_tasks))
+
+    def _run_tasks(self, tasks: Sequence[Callable], workers: int) -> list:
+        if workers <= 1 or len(tasks) <= 1:
+            return [task() for task in tasks]
+        # Gate concurrency to this call's budget: the lifetime pool may be
+        # larger than ``workers`` after a bigger earlier request.  (When it
+        # is not, the semaphore simply never blocks.)
+        semaphore = threading.Semaphore(workers)
+
+        def gated(task):
+            with semaphore:
+                return task()
+
+        # Submit under the pool lock so a concurrent grow (which shuts the
+        # old executor down) can never interleave with submission.
+        with self._pool_lock:
+            pool = self._grow_pool_locked(workers)
+            futures = [pool.submit(gated, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _grow_pool_locked(self, workers: int) -> ThreadPoolExecutor:
+        """The lifetime worker pool, grown to the largest request so far.
+        Caller must hold ``_pool_lock``.
+
+        Sized by what callers actually ask for (never above
+        ``_POOL_SIZE_CAP``), so an engine serving ``num_workers=2`` holds two
+        threads, not a fixed-size pool.  Growing replaces the executor with a
+        bigger one; the old pool is shut down *without* waiting, and since
+        every submission happens under ``_pool_lock``, its already-submitted
+        work still completes and nobody can be about to submit to it.
+        Shrinking never happens — smaller requests are semaphore-gated.
+        """
+        size = min(self._POOL_SIZE_CAP, max(1, workers))
+        if self._pool is None or self._pool_size < size:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=size, thread_name_prefix="korch-engine"
+            )
+            self._pool_size = size
+        return self._pool
+
+    # ------------------------------------------------------- reuse tracking
+    def _note_profile_write(self, key: str, run_id: int) -> None:
+        with self._lock:
+            if len(self._profile_owners) < _MAX_TRACKED_OWNERS:
+                self._profile_owners.setdefault(key, run_id)
+
+    def _note_profile_hit(self, key: str, run_id: int) -> None:
+        with self._lock:
+            owner = self._profile_owners.get(key)
+            if owner is not None and owner != run_id:
+                self.stats.cross_model_profile_reuses += 1

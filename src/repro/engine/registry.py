@@ -1,0 +1,65 @@
+"""Process-level registry of shared cache stores.
+
+Stores (and their plan caches) are shared per cache *directory* so every
+engine and pipeline in the process reuses one SQLite connection and one
+in-memory plan tier — this is what makes back-to-back ``optimize_model``
+calls warm.  Directories are identified by their resolved absolute path, so
+``cache``, ``./cache`` and ``/abs/path/cache`` all map to the same open
+store, and the registry is capped: beyond ``MAX_OPEN_STORES`` directories
+the least-recently-used store is closed and evicted instead of leaking an
+open SQLite connection per spelling forever.
+
+Eviction contract: a pipeline or engine still holding an evicted store keeps
+working — ``CacheStore.close`` flushes to disk and degrades the handle to
+in-memory operation (results stay correct; only that holder's *later* writes
+stop persisting).  A process that genuinely needs more than
+``MAX_OPEN_STORES`` concurrently-hot cache directories should hand those
+engines distinct ``CacheStore`` instances directly rather than go through
+the shared registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from ..cache import CacheStore, PlanCache
+
+__all__ = ["shared_store", "open_stores", "MAX_OPEN_STORES"]
+
+#: Open stores kept at once; the least-recently-used one is closed beyond it.
+#: Generous on purpose: eviction is a leak backstop, and closing a store a
+#: live engine still holds ends that engine's persistence (see above).
+MAX_OPEN_STORES = 32
+
+_STORE_LOCK = threading.Lock()
+_STORES: dict[str, CacheStore] = {}
+_PLAN_CACHES: dict[str, PlanCache] = {}
+
+
+def shared_store(cache_dir: str | Path, max_entries: int) -> tuple[CacheStore, PlanCache]:
+    """The process-wide (store, plan cache) pair for ``cache_dir``."""
+    key = str(Path(cache_dir).expanduser().resolve())
+    with _STORE_LOCK:
+        store = _STORES.get(key)
+        if store is None:
+            while len(_STORES) >= MAX_OPEN_STORES:
+                oldest = next(iter(_STORES))
+                _STORES.pop(oldest).close()
+                _PLAN_CACHES.pop(oldest, None)
+            store = CacheStore(key, max_entries=max_entries)
+            _STORES[key] = store
+            _PLAN_CACHES[key] = PlanCache(store)
+        else:
+            # LRU touch, and honor the most recent cap rather than silently
+            # keeping the first one.
+            _STORES[key] = _STORES.pop(key)
+            _PLAN_CACHES[key] = _PLAN_CACHES.pop(key)
+            store.max_entries = max(1, int(max_entries))
+        return store, _PLAN_CACHES[key]
+
+
+def open_stores() -> dict[str, CacheStore]:
+    """Snapshot of the currently open stores, keyed by resolved directory."""
+    with _STORE_LOCK:
+        return dict(_STORES)

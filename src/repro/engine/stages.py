@@ -1,0 +1,168 @@
+"""The engine's composable stages.
+
+Each stage implements the uniform contract ``run(ctx) -> ctx``: it reads the
+artifacts earlier stages left on the :class:`~repro.engine.context.StageContext`
+and writes its own.  ``run_stages`` executes a sequence of stages and records
+per-stage wall-clock time into ``ctx.timings``, which surfaces as the
+``stage_*_s`` keys of :meth:`repro.engine.result.KorchResult.summary`.
+
+The default sequence reproduces the paper's Figure 1 flow for one partition:
+
+``FissionStage``     operator fission → primitive graph
+``GraphOptStage``    TASO-style primitive-graph substitutions (optional)
+``IdentifyStage``    candidate enumeration + pruning (Algorithm 1, first half);
+                     also the plan-replay shortcut — a valid stored plan fills
+                     ``ctx.orchestration`` directly and the next two stages skip
+``ProfileStage``     candidate pricing through the kernel profiler/caches
+``SolveStage``       BLP solve + segmentation-cover guard → strategy
+``AssembleStage``    executable generation → :class:`PartitionResult`
+
+Stages are stateless; everything partition-specific lives on the context, so
+one stage instance can serve concurrent partitions.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..orchestration import KernelIdentifierReport
+from ..runtime.executable import Executable
+from .context import StageContext
+from .result import PartitionResult
+
+__all__ = [
+    "Stage",
+    "FissionStage",
+    "GraphOptStage",
+    "IdentifyStage",
+    "ProfileStage",
+    "SolveStage",
+    "AssembleStage",
+    "DEFAULT_STAGES",
+    "run_stages",
+]
+
+
+class Stage:
+    """One step of the per-partition flow: ``run(ctx) -> ctx``."""
+
+    name: str = "stage"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class FissionStage(Stage):
+    """Operator fission: partition graph → primitive graph."""
+
+    name = "fission"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        ctx.pg, ctx.fission_report = ctx.fission.run(ctx.partition.graph)
+        return ctx
+
+
+class GraphOptStage(Stage):
+    """Primitive-graph optimizer (TASO-style substitutions), when enabled."""
+
+    name = "graph_opt"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        if ctx.graph_optimizer is not None:
+            ctx.pg, ctx.optimizer_report = ctx.graph_optimizer.optimize(ctx.pg)
+        return ctx
+
+
+class IdentifyStage(Stage):
+    """Candidate-kernel enumeration — or plan replay when a stored plan fits.
+
+    Replay belongs here because a valid plan *is* an identification result:
+    it names exactly the kernels to build, making enumeration, profiling of
+    non-selected candidates, and the BLP solve unnecessary.  An invalid plan
+    (stale shape, corrupted payload) falls through to cold enumeration.
+    """
+
+    name = "identify"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        if ctx.plan is not None:
+            orchestration = ctx.optimizer.replay(ctx.pg, ctx.plan)
+            if orchestration is not None:
+                ctx.orchestration = orchestration
+                return ctx
+        report = KernelIdentifierReport()
+        ctx.candidate_specs = ctx.optimizer.identifier.enumerate_specs(ctx.pg, report)
+        ctx.identifier_report = report
+        return ctx
+
+
+class ProfileStage(Stage):
+    """Price every candidate spec through the profiler and its caches."""
+
+    name = "profile"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        if ctx.orchestration is not None:  # replayed: nothing left to profile
+            return ctx
+        ctx.candidates = ctx.optimizer.identifier.profile_specs(
+            ctx.pg, ctx.candidate_specs or [], ctx.identifier_report
+        )
+        return ctx
+
+
+class SolveStage(Stage):
+    """Solve the orchestration BLP (with the segmentation-cover guard)."""
+
+    name = "solve"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        if ctx.orchestration is not None:  # replayed: already solved
+            return ctx
+        ctx.orchestration = ctx.optimizer.solve(
+            ctx.pg, ctx.candidates or [], ctx.identifier_report
+        )
+        return ctx
+
+
+class AssembleStage(Stage):
+    """Stitch the selected kernels into an executable and final result."""
+
+    name = "assemble"
+
+    def run(self, ctx: StageContext) -> StageContext:
+        ctx.executable = Executable.from_strategy(ctx.orchestration.strategy)
+        ctx.result = PartitionResult(
+            partition=ctx.partition,
+            fission_report=ctx.fission_report,
+            optimizer_report=ctx.optimizer_report,
+            orchestration=ctx.orchestration,
+            executable=ctx.executable,
+            timings=ctx.timings,
+        )
+        return ctx
+
+
+#: The Figure 1 flow; replace or extend to customize the engine.
+DEFAULT_STAGES: tuple[Stage, ...] = (
+    FissionStage(),
+    GraphOptStage(),
+    IdentifyStage(),
+    ProfileStage(),
+    SolveStage(),
+    AssembleStage(),
+)
+
+
+def run_stages(ctx: StageContext, stages: Sequence[Stage] = DEFAULT_STAGES) -> StageContext:
+    """Run ``stages`` in order, recording per-stage wall-clock time."""
+    for stage in stages:
+        started = time.perf_counter()
+        ctx = stage.run(ctx)
+        ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + (
+            time.perf_counter() - started
+        )
+    return ctx

@@ -8,7 +8,12 @@ from .execution_state import (
     is_convex,
     is_execution_state,
 )
-from .identifier import KernelIdentifier, KernelIdentifierConfig, KernelIdentifierReport
+from .identifier import (
+    CandidateSpec,
+    KernelIdentifier,
+    KernelIdentifierConfig,
+    KernelIdentifierReport,
+)
 from .kernel import CandidateKernel
 from .optimizer import KernelOrchestrationOptimizer, OrchestrationResult
 from .strategy import OrchestrationStrategy, order_kernels
@@ -20,6 +25,7 @@ __all__ = [
     "convex_subgraphs_from_states",
     "connected_components",
     "CandidateKernel",
+    "CandidateSpec",
     "KernelIdentifier",
     "KernelIdentifierConfig",
     "KernelIdentifierReport",

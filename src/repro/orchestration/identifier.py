@@ -23,7 +23,7 @@ from ..primitives.graph import PrimitiveGraph, PrimitiveNode
 from .execution_state import connected_components, convex_subgraphs_from_states, enumerate_execution_states
 from .kernel import CandidateKernel
 
-__all__ = ["KernelIdentifierConfig", "KernelIdentifierReport", "KernelIdentifier"]
+__all__ = ["CandidateSpec", "KernelIdentifierConfig", "KernelIdentifierReport", "KernelIdentifier"]
 
 
 @dataclass
@@ -57,6 +57,19 @@ class KernelIdentifierConfig:
     cover_max_kernel_size: int = 16
     #: Enable the segmentation-cover fallback in the orchestration optimizer.
     enable_segment_cover: bool = True
+
+
+@dataclass(frozen=True)
+class CandidateSpec:
+    """One enumerated candidate kernel, before profiling.
+
+    The identification stage (enumeration + pruning, the combinatorial part
+    of Algorithm 1) emits these; the profiling stage prices them.  Keeping
+    the two apart lets the engine time and test them independently.
+    """
+
+    node_names: frozenset[str]
+    outputs: tuple[str, ...]
 
 
 @dataclass
@@ -134,8 +147,23 @@ class KernelIdentifier:
 
     # ------------------------------------------------------------------ api
     def identify(self, pg: PrimitiveGraph) -> tuple[list[CandidateKernel], KernelIdentifierReport]:
-        """Run Algorithm 1 on ``pg``."""
+        """Run Algorithm 1 on ``pg``: enumerate candidate specs, then profile."""
         report = KernelIdentifierReport()
+        specs = self.enumerate_specs(pg, report)
+        return self.profile_specs(pg, specs, report), report
+
+    def enumerate_specs(
+        self, pg: PrimitiveGraph, report: KernelIdentifierReport
+    ) -> list[CandidateSpec]:
+        """Enumeration half of Algorithm 1: convex sets, pruning, output
+        variants — everything except pricing the candidates.
+
+        Enumeration stops at ``max_candidates`` specs, so a tight cap bounds
+        this stage too.  (When the cap binds *and* profiling rejects some
+        specs, the surviving set can be slightly smaller than the legacy
+        interleaved flow's — both are arbitrary truncations under a safety
+        valve that defaults to 50k.)
+        """
         states = enumerate_execution_states(pg, max_states=self.config.max_states)
         report.num_execution_states = len(states)
 
@@ -147,34 +175,50 @@ class KernelIdentifier:
         report.num_convex_sets = len(convex_sets)
 
         nodes_by_name = {node.name: node for node in pg.nodes}
-        candidates: list[CandidateKernel] = []
+        specs: list[CandidateSpec] = []
         seen: set[tuple[frozenset[str], tuple[str, ...]]] = set()
-
         for node_set in sorted(convex_sets, key=lambda s: (len(s), sorted(s))):
-            if len(candidates) >= self.config.max_candidates:
+            if len(specs) >= self.config.max_candidates:
                 break
-            pruned = self._prune(pg, node_set, nodes_by_name, report)
-            if pruned:
+            if self._prune(pg, node_set, nodes_by_name, report):
                 continue
             for exec_names, outputs in self._candidate_variants(pg, node_set, nodes_by_name):
                 key = (exec_names, tuple(sorted(outputs)))
                 if key in seen:
                     continue
                 seen.add(key)
-                report.num_candidates_considered += 1
-                candidate = self._profile_candidate(pg, exec_names, outputs, nodes_by_name, len(candidates))
-                report.num_candidates_profiled += 1
-                if candidate is None:
-                    report.num_candidates_rejected += 1
-                    continue
-                candidates.append(candidate)
-                if len(candidates) >= self.config.max_candidates:
+                specs.append(CandidateSpec(exec_names, tuple(outputs)))
+                if len(specs) >= self.config.max_candidates:
                     break
+        return specs
+
+    def profile_specs(
+        self,
+        pg: PrimitiveGraph,
+        specs: Sequence[CandidateSpec],
+        report: KernelIdentifierReport,
+    ) -> list[CandidateKernel]:
+        """Profiling half of Algorithm 1: price each spec, drop the
+        unsupported ones, keep at most ``max_candidates`` survivors."""
+        nodes_by_name = {node.name: node for node in pg.nodes}
+        candidates: list[CandidateKernel] = []
+        for spec in specs:
+            if len(candidates) >= self.config.max_candidates:
+                break
+            report.num_candidates_considered += 1
+            candidate = self._profile_candidate(
+                pg, spec.node_names, list(spec.outputs), nodes_by_name, len(candidates)
+            )
+            report.num_candidates_profiled += 1
+            if candidate is None:
+                report.num_candidates_rejected += 1
+                continue
+            candidates.append(candidate)
 
         if self.config.prune_dominated:
             candidates = self._prune_dominated(candidates, report)
         report.num_candidates = len(candidates)
-        return candidates, report
+        return candidates
 
     @staticmethod
     def _prune_dominated(

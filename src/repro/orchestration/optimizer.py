@@ -35,7 +35,10 @@ class OrchestrationResult:
 
     @property
     def num_candidates(self) -> int:
-        return len(self.candidates)
+        # A replayed result only rebuilds the *selected* kernels; the true
+        # candidate count of the original cold run travels in ``extra`` so
+        # Table 2 statistics survive plan replay.
+        return self.extra.get("num_candidates") or len(self.candidates)
 
 
 class KernelOrchestrationOptimizer:
@@ -124,7 +127,7 @@ class KernelOrchestrationOptimizer:
             )
 
         kernels: list[CandidateKernel] = []
-        covered: set[str] = set()
+        produced: set[str] = set()
         for index, kernel_plan in enumerate(plan.kernels):
             kernel = self.identifier.build_kernel(
                 pg, kernel_plan.node_names, kernel_plan.outputs, index
@@ -132,11 +135,23 @@ class KernelOrchestrationOptimizer:
             if kernel is None or kernel.external_inputs != list(kernel_plan.external_inputs):
                 return None
             kernels.append(kernel)
-            covered.update(kernel.node_names)
-        # Every primitive must still be executed by some kernel; a plan from
-        # an older graph shape could otherwise silently drop work.
-        if covered != {node.name for node in pg.nodes}:
+            produced.update(kernel.outputs)
+        # The replayed selection must still be feasible for this graph, under
+        # exactly the BLP's constraints (Eqs. 3-4): every required output is
+        # materialized, and every tensor a kernel reads from device memory is
+        # materialized by some kernel.  (Full node coverage is deliberately
+        # NOT required: primitives that feed no required output are legally
+        # skipped by the solver, so a valid plan may omit them.)
+        if any(
+            tensor not in produced
+            for tensor in pg.outputs
+            if pg.producer(tensor) is not None
+        ):
             return None
+        for kernel in kernels:
+            for tensor in kernel.external_inputs:
+                if not pg.is_source_tensor(tensor) and tensor not in produced:
+                    return None
 
         strategy = OrchestrationStrategy(
             pg=pg,
@@ -149,12 +164,26 @@ class KernelOrchestrationOptimizer:
         solve = SolveResult(plan.solver_status, plan.objective_s, [], method=plan.solver_method)
         return OrchestrationResult(
             strategy, kernels, KernelIdentifierReport(num_candidates=len(kernels)),
-            solve, extra={"replayed": True},
+            solve, extra={"replayed": True, "num_candidates": plan.num_candidates},
         )
 
     def optimize(self, pg: PrimitiveGraph) -> OrchestrationResult:
         """Return the minimum-latency kernel orchestration strategy for ``pg``."""
         candidates, report = self.identifier.identify(pg)
+        return self.solve(pg, candidates, report)
+
+    def solve(
+        self,
+        pg: PrimitiveGraph,
+        candidates: list[CandidateKernel],
+        report: KernelIdentifierReport,
+    ) -> OrchestrationResult:
+        """Solve the orchestration BLP over already-profiled ``candidates``.
+
+        The tail of :meth:`optimize`, exposed separately so the engine's
+        solve stage can run it on candidates produced by the identify and
+        profile stages.
+        """
         if not candidates and pg.nodes:
             raise RuntimeError(
                 f"kernel identifier produced no candidates for {pg.name!r}; "

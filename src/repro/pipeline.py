@@ -1,4 +1,4 @@
-"""The end-to-end Korch pipeline (Figure 1).
+"""The end-to-end Korch pipeline (Figure 1) — compatibility layer.
 
 ``KorchPipeline.optimize`` runs the full flow on an operator-level graph:
 
@@ -9,9 +9,14 @@
    kernels, profile them, and solve the BLP for the optimal strategy.
 5. **Executable generator** — stitch selected kernels into an executable.
 
-The result aggregates per-partition strategies into a model-level executable
-with a predicted end-to-end latency (the sum of kernel latencies, Eq. 2) and
-the statistics used by Table 2.
+The implementation lives in :mod:`repro.engine`: the flow is decomposed into
+composable stages (fission → graph-opt → identify → profile → solve →
+assemble) driven by a long-lived :class:`~repro.engine.KorchEngine` that owns
+backends, profiler caches, the persistent store and one worker pool across
+many models.  This module keeps the original API: ``KorchPipeline`` is a
+thin wrapper building a short-lived engine per instance, ``optimize_model``
+a one-call convenience on top, and the result/config dataclasses are
+re-exported under their historical import path.
 
 Two orthogonal accelerations sit on top of the paper's flow:
 
@@ -25,42 +30,29 @@ Two orthogonal accelerations sit on top of the paper's flow:
   partitions are independent optimization problems, so steps 2–5 run
   concurrently in a thread pool; results are collected in partition order and
   are identical to a serial run.
+
+For multi-model serving — shared profile reuse across models, interleaved
+partition scheduling, per-stage instrumentation — use
+:class:`repro.engine.KorchEngine` directly.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import threading
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Sequence
 
-from .backends import KernelBackend, TuningTimeModel, TuningTimeReport, default_korch_backends
-from .cache import (
-    CacheStats,
-    CacheStore,
-    KernelPlan,
-    ModelPlan,
-    PartitionPlan,
-    PersistentProfileCache,
-    PlanCache,
-    backend_fingerprint,
-    plan_key,
+from .backends import KernelBackend
+from .cache import CacheStore, PlanCache
+from .engine import (
+    CacheReport,
+    EngineStats,
+    KorchConfig,
+    KorchEngine,
+    KorchResult,
+    PartitionResult,
 )
-from .fission import FissionEngine, FissionReport
-from .gpu.profiler import KernelProfiler, ProfilerStats
-from .gpu.specs import GpuSpec, get_gpu
+from .engine.registry import _PLAN_CACHES, _STORES, shared_store as _shared_store
+from .gpu.specs import GpuSpec
 from .ir.graph import Graph
-from .ir.serialization import graph_to_dict
-from .orchestration import (
-    KernelIdentifierConfig,
-    KernelOrchestrationOptimizer,
-    OrchestrationResult,
-)
-from .partition import GraphPartitioner, Partition, PartitionConfig
-from .runtime.executable import Executable, ModelExecutable
-from .transforms import GraphOptimizerConfig, GraphOptimizerReport, PrimitiveGraphOptimizer
 
 __all__ = [
     "KorchConfig",
@@ -68,394 +60,76 @@ __all__ = [
     "CacheReport",
     "KorchResult",
     "KorchPipeline",
+    "KorchEngine",
+    "EngineStats",
     "optimize_model",
 ]
 
 
-# Stores (and their plan caches) are shared per cache directory so every
-# pipeline in the process reuses one SQLite connection and one in-memory plan
-# tier — this is what makes back-to-back ``optimize_model`` calls warm.
-_STORE_LOCK = threading.Lock()
-_STORES: dict[str, CacheStore] = {}
-_PLAN_CACHES: dict[str, PlanCache] = {}
-
-
-def _shared_store(cache_dir: str | Path, max_entries: int) -> tuple[CacheStore, PlanCache]:
-    key = str(Path(cache_dir).resolve())
-    with _STORE_LOCK:
-        store = _STORES.get(key)
-        if store is None:
-            store = CacheStore(key, max_entries=max_entries)
-            _STORES[key] = store
-            _PLAN_CACHES[key] = PlanCache(store)
-        else:
-            # The registry shares one store per directory; honor the most
-            # recent cap rather than silently keeping the first one.
-            store.max_entries = max(1, int(max_entries))
-        return store, _PLAN_CACHES[key]
-
-
-@dataclass
-class KorchConfig:
-    """Configuration of the full pipeline."""
-
-    gpu: str | GpuSpec = "V100"
-    enable_graph_optimizer: bool = True
-    enable_tensorrt_backend: bool = False
-    partition: PartitionConfig = field(default_factory=PartitionConfig)
-    identifier: KernelIdentifierConfig = field(default_factory=KernelIdentifierConfig)
-    graph_optimizer: GraphOptimizerConfig = field(default_factory=GraphOptimizerConfig)
-    solver_method: str = "auto"
-    solver_time_limit_s: float = 1000.0
-    #: Relative optimality gap accepted per subgraph BLP (0 = prove optimal).
-    #: The default trades <2% of modeled latency for a large solver speedup.
-    solver_mip_rel_gap: float = 0.02
-    #: Directory of the persistent profile/plan cache; ``None`` disables
-    #: persistence (profiles are still memoized per process, as before).
-    cache_dir: str | Path | None = None
-    #: Store whole-model plans (in addition to kernel profiles) so repeated
-    #: (graph, gpu, config) runs skip enumeration + solving.  Only effective
-    #: with ``cache_dir`` set.
-    enable_plan_cache: bool = True
-    #: Concurrent partition-optimization workers; 1 = serial (the default),
-    #: 0 = one worker per CPU.  Results are independent of the worker count.
-    num_workers: int = 1
-    #: Per-namespace entry cap of the persistent cache (LRU-evicted).
-    cache_max_entries: int = 200_000
-
-    def resolve_gpu(self) -> GpuSpec:
-        return self.gpu if isinstance(self.gpu, GpuSpec) else get_gpu(self.gpu)
-
-    def resolve_num_workers(self, num_tasks: int) -> int:
-        import os
-
-        workers = self.num_workers if self.num_workers > 0 else (os.cpu_count() or 1)
-        return max(1, min(workers, num_tasks))
-
-    def fingerprint(self) -> dict:
-        """The part of the config that determines optimization *results*.
-
-        Cache and parallelism knobs are deliberately excluded: a plan
-        computed serially without a cache is byte-identical to one computed
-        by 8 workers with one, so they must share cache keys.
-        """
-        return {
-            "enable_graph_optimizer": self.enable_graph_optimizer,
-            "enable_tensorrt_backend": self.enable_tensorrt_backend,
-            "partition": dataclasses.asdict(self.partition),
-            "identifier": dataclasses.asdict(self.identifier),
-            "graph_optimizer": dataclasses.asdict(self.graph_optimizer),
-            "solver_method": self.solver_method,
-            "solver_time_limit_s": self.solver_time_limit_s,
-            "solver_mip_rel_gap": self.solver_mip_rel_gap,
-        }
-
-
-@dataclass
-class PartitionResult:
-    """Everything produced for one partition."""
-
-    partition: Partition
-    fission_report: FissionReport
-    optimizer_report: GraphOptimizerReport | None
-    orchestration: OrchestrationResult
-    executable: Executable
-
-    @property
-    def latency_s(self) -> float:
-        return self.orchestration.strategy.total_latency_s
-
-    @property
-    def num_kernels(self) -> int:
-        return self.orchestration.strategy.num_kernels
-
-    @property
-    def replayed(self) -> bool:
-        """Whether this partition's strategy came from the plan cache."""
-        return bool(self.orchestration.extra.get("replayed"))
-
-
-@dataclass
-class CacheReport:
-    """Cache and parallelism accounting of one pipeline run."""
-
-    #: "off" (no cache_dir), "miss", "memory-hit" or "disk-hit".
-    plan_cache: str = "off"
-    #: Partitions whose strategy was replayed from a stored plan.
-    partitions_replayed: int = 0
-    #: Aggregated profiler statistics across every profiler the run used.
-    profiler: ProfilerStats = field(default_factory=ProfilerStats)
-    #: Store-level statistics (shared across namespaces).
-    store: CacheStats | None = None
-    #: Worker threads actually used for partition orchestration.
-    num_workers: int = 1
-
-    @property
-    def profile_cache_hits(self) -> int:
-        return self.profiler.memory_hits + self.profiler.persistent_hits
-
-    @property
-    def backend_estimate_calls(self) -> int:
-        return self.profiler.backend_estimate_calls
-
-
-@dataclass
-class KorchResult:
-    """Model-level result of the Korch pipeline."""
-
-    graph: Graph
-    spec: GpuSpec
-    partitions: list[PartitionResult]
-    executable: ModelExecutable
-    tuning: TuningTimeReport
-    cache: CacheReport = field(default_factory=CacheReport)
-
-    @property
-    def latency_s(self) -> float:
-        """Predicted end-to-end latency (sum over partitions and kernels)."""
-        return sum(part.latency_s for part in self.partitions)
-
-    @property
-    def latency_ms(self) -> float:
-        return self.latency_s * 1e3
-
-    @property
-    def num_kernels(self) -> int:
-        return sum(part.num_kernels for part in self.partitions)
-
-    @property
-    def num_primitives(self) -> int:
-        return sum(len(part.orchestration.strategy.pg.nodes) for part in self.partitions)
-
-    @property
-    def num_candidate_kernels(self) -> int:
-        return sum(part.orchestration.num_candidates for part in self.partitions)
-
-    def summary(self) -> dict[str, float | int | str]:
-        """Flat summary used by reports and benchmarks."""
-        return {
-            "model": self.graph.name,
-            "gpu": self.spec.name,
-            "latency_ms": self.latency_ms,
-            "num_partitions": len(self.partitions),
-            "num_primitives": self.num_primitives,
-            "num_candidate_kernels": self.num_candidate_kernels,
-            "num_kernels": self.num_kernels,
-            "tuning_hours": self.tuning.total_hours,
-            "plan_cache": self.cache.plan_cache,
-            "partitions_replayed": self.cache.partitions_replayed,
-            "profile_cache_hits": self.cache.profile_cache_hits,
-            "backend_estimate_calls": self.cache.backend_estimate_calls,
-            "num_workers": self.cache.num_workers,
-        }
-
-
 class KorchPipeline:
-    """Runs the Figure 1 flow over a computation graph."""
+    """Runs the Figure 1 flow over a computation graph.
 
-    def __init__(self, config: KorchConfig | None = None, backends: Sequence[KernelBackend] | None = None) -> None:
-        self.config = config or KorchConfig()
-        self.spec = self.config.resolve_gpu()
-        self.backends = list(
-            backends
-            if backends is not None
-            else default_korch_backends(self.config.enable_tensorrt_backend)
+    Compatibility wrapper: each pipeline instance delegates to a short-lived
+    :class:`~repro.engine.KorchEngine`.  Without a ``cache_dir`` the engine's
+    cross-model profile sharing is disabled, so behavior (including cache
+    accounting) matches the original per-model pipeline exactly.
+    """
+
+    def __init__(
+        self, config: KorchConfig | None = None, backends: Sequence[KernelBackend] | None = None
+    ) -> None:
+        config = config or KorchConfig()
+        self.engine = KorchEngine(
+            config, backends, share_profiles=config.cache_dir is not None
         )
-        self.partitioner = GraphPartitioner(self.config.partition)
-        self.fission = FissionEngine()
 
-        self.store: CacheStore | None = None
-        self.plan_cache: PlanCache | None = None
-        self.profile_cache: PersistentProfileCache | None = None
-        self._graph_opt_cache: PersistentProfileCache | None = None
-        if self.config.cache_dir is not None:
-            self.store, plan_cache = _shared_store(
-                self.config.cache_dir, self.config.cache_max_entries
-            )
-            if self.config.enable_plan_cache:
-                self.plan_cache = plan_cache
-            self.profile_cache = PersistentProfileCache(self.store, self.spec, self.backends)
-            # The graph optimizer profiles singleton kernels with the default
-            # backend set; give it a cache context keyed on that set.
-            self._graph_opt_cache = PersistentProfileCache(
-                self.store, self.spec, default_korch_backends()
-            )
+    @property
+    def config(self) -> KorchConfig:
+        return self.engine.config
 
-    def _make_graph_optimizer(self) -> PrimitiveGraphOptimizer:
-        """Fresh graph optimizer per partition task.
+    @property
+    def spec(self) -> GpuSpec:
+        return self.engine.spec
 
-        Its cost-proxy profiler is not tuning-authoritative (Table 2 counts
-        candidate profiling, not the optimizer's singleton probes), and a
-        fresh instance per task keeps concurrent workers from sharing any
-        mutable profiler state.
-        """
-        profiler = KernelProfiler(
-            self.spec,
-            persistent_cache=self._graph_opt_cache,
-            tuning_authoritative=False,
-        )
-        return PrimitiveGraphOptimizer(
-            self.spec, config=self.config.graph_optimizer, profiler=profiler
-        )
+    @property
+    def backends(self) -> list[KernelBackend]:
+        return self.engine.backends
+
+    @property
+    def partitioner(self):
+        return self.engine.partitioner
+
+    @property
+    def fission(self):
+        return self.engine.fission
+
+    @property
+    def store(self) -> CacheStore | None:
+        return self.engine.store
+
+    @property
+    def plan_cache(self) -> PlanCache | None:
+        return self.engine.plan_cache
+
+    @property
+    def profile_cache(self):
+        return self.engine.profile_cache
 
     # ------------------------------------------------------------------ api
     def optimize(self, graph: Graph) -> KorchResult:
         """Optimize ``graph`` end to end and return the model-level result."""
-        plan_cache_key: str | None = None
-        if self.plan_cache is not None:
-            plan_cache_key = plan_key(
-                graph_to_dict(graph),
-                self.spec,
-                backend_fingerprint(self.backends),
-                self.config.fingerprint(),
-            )
-            memoized = self.plan_cache.get_result(plan_cache_key)
-            if memoized is not None:
-                return dataclasses.replace(
-                    memoized,
-                    cache=dataclasses.replace(memoized.cache, plan_cache="memory-hit"),
-                )
+        return self.engine.optimize(graph)
 
-        stored_plan: ModelPlan | None = None
-        if plan_cache_key is not None:
-            stored_plan = self.plan_cache.load(plan_cache_key)
+    def close(self) -> None:
+        """Release the engine's worker pool (``num_workers`` > 1 keeps its
+        threads alive between ``optimize`` calls until closed)."""
+        self.engine.close()
 
-        partitions = self.partitioner.partition(graph)
-        if stored_plan is not None and len(stored_plan.partitions) != len(partitions):
-            stored_plan = None  # stale partitioning; re-optimize from scratch
+    def __enter__(self) -> "KorchPipeline":
+        return self
 
-        # One tuning-time model for the whole run: structurally identical
-        # kernels appearing in *different* partitions are tuned once, which
-        # is how the paper's TVM database amortizes Table 2's tuning hours.
-        tuning_model = TuningTimeModel()
-
-        num_workers = self.config.resolve_num_workers(len(partitions))
-        plans = (
-            stored_plan.partitions if stored_plan is not None else [None] * len(partitions)
-        )
-        tasks = list(zip(partitions, plans))
-        if num_workers > 1 and len(tasks) > 1:
-            with ThreadPoolExecutor(max_workers=num_workers) as pool:
-                outcomes = list(
-                    pool.map(lambda t: self._optimize_partition(*t, tuning_model), tasks)
-                )
-        else:
-            outcomes = [self._optimize_partition(*task, tuning_model) for task in tasks]
-
-        results = [outcome[0] for outcome in outcomes]
-        tuning = tuning_model.report
-        cache = self._cache_report(results, outcomes, num_workers, stored_plan is not None)
-
-        model_executable = ModelExecutable(graph.name, [r.executable for r in results])
-        result = KorchResult(
-            graph=graph,
-            spec=self.spec,
-            partitions=results,
-            executable=model_executable,
-            tuning=tuning,
-            cache=cache,
-        )
-
-        if plan_cache_key is not None:
-            if cache.partitions_replayed < len(results):
-                # Cold or partially-replayed run: (re)store the full plan.
-                self.plan_cache.save(plan_cache_key, self._plan_of(results))
-            self.plan_cache.put_result(plan_cache_key, result)
-        return result
-
-    # ------------------------------------------------------------ internals
-    def _optimize_partition(
-        self,
-        partition: Partition,
-        plan: PartitionPlan | None,
-        tuning_model: TuningTimeModel,
-    ) -> tuple[PartitionResult, ProfilerStats]:
-        """Run fission → graph optimizer → orchestration for one partition.
-
-        Self-contained (fresh orchestration optimizer per call) so partitions
-        can run on concurrent workers; shared state is limited to the
-        thread-safe persistent cache and the graph optimizer's memoized
-        singleton profiles.
-        """
-        pg, fission_report = self.fission.run(partition.graph)
-        optimizer_report = None
-        graph_optimizer = None
-        if self.config.enable_graph_optimizer:
-            graph_optimizer = self._make_graph_optimizer()
-            pg, optimizer_report = graph_optimizer.optimize(pg)
-
-        optimizer = KernelOrchestrationOptimizer(
-            self.spec,
-            backends=self.backends,
-            identifier_config=self.config.identifier,
-            solver_method=self.config.solver_method,
-            solver_time_limit_s=self.config.solver_time_limit_s,
-            solver_mip_rel_gap=self.config.solver_mip_rel_gap,
-            persistent_cache=self.profile_cache,
-            tuning_model=tuning_model,
-        )
-        orchestration = None
-        if plan is not None:
-            orchestration = optimizer.replay(pg, plan)
-        if orchestration is None:
-            orchestration = optimizer.optimize(pg)
-
-        executable = Executable.from_strategy(orchestration.strategy)
-        result = PartitionResult(
-            partition=partition,
-            fission_report=fission_report,
-            optimizer_report=optimizer_report,
-            orchestration=orchestration,
-            executable=executable,
-        )
-        stats = optimizer.profiler_stats
-        if graph_optimizer is not None:
-            stats.merge(graph_optimizer.profiler.stats)
-        return result, stats
-
-    def _cache_report(self, results, outcomes, num_workers: int, had_stored_plan: bool) -> CacheReport:
-        profiler = ProfilerStats()
-        for _, stats in outcomes:
-            profiler.merge(stats)
-        replayed = sum(1 for r in results if r.replayed)
-        if self.plan_cache is None:
-            status = "off"
-        elif replayed == len(results) and (had_stored_plan or not results):
-            status = "disk-hit"
-        else:
-            status = "miss"
-        return CacheReport(
-            plan_cache=status,
-            partitions_replayed=replayed,
-            profiler=profiler,
-            store=self.store.stats if self.store is not None else None,
-            num_workers=num_workers,
-        )
-
-    @staticmethod
-    def _plan_of(results: list[PartitionResult]) -> ModelPlan:
-        """Serialize the solved strategies into a replayable plan."""
-        partitions = []
-        for result in results:
-            strategy = result.orchestration.strategy
-            kernels = [
-                KernelPlan(
-                    node_names=sorted(kernel.node_names),
-                    external_inputs=list(kernel.external_inputs),
-                    outputs=list(kernel.outputs),
-                )
-                for kernel in strategy.kernels
-            ]
-            partitions.append(
-                PartitionPlan(
-                    kernels=kernels,
-                    objective_s=strategy.objective_s,
-                    solver_status=strategy.solver_status,
-                    solver_method=strategy.solver_method,
-                    num_candidates=result.orchestration.num_candidates,
-                )
-            )
-        return ModelPlan(partitions=partitions)
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def optimize_model(graph: Graph, gpu: str = "V100", **config_overrides) -> KorchResult:

@@ -302,3 +302,45 @@ class TestParallelOrchestration:
         ).optimize(graph)
         assert parallel.latency_s == serial.latency_s
         assert strategy_fingerprint(parallel) == strategy_fingerprint(serial)
+
+
+class TestWarmRunStatistics:
+    """A disk-replayed run must report the cold run's Table 2 statistics."""
+
+    def test_replay_preserves_candidate_and_tuning_stats(self, tmp_path):
+        graph = small_attention_graph()
+        cold = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert cold.num_candidate_kernels > cold.num_kernels
+        assert cold.tuning.total_seconds > 0
+
+        pipeline_mod._STORES.clear()
+        pipeline_mod._PLAN_CACHES.clear()
+        warm = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert warm.summary()["plan_cache"] == "disk-hit"
+        assert warm.num_candidate_kernels == cold.num_candidate_kernels
+        assert warm.tuning.total_seconds == cold.tuning.total_seconds
+        assert warm.tuning.num_candidates == cold.tuning.num_candidates
+        assert warm.tuning.per_backend_seconds == cold.tuning.per_backend_seconds
+
+    def test_replay_accepts_plans_that_skip_dead_primitives(self, tmp_path):
+        """The BLP only materializes required outputs, so a stored plan may
+        legally omit primitives that feed no output; replay must not reject
+        it (observed on SegFormer's last partition: dead reshape/transpose)."""
+        b = GraphBuilder("dead_branch")
+        x = b.input("x", (4, 4))
+        main = b.exp(x)
+        b.sigmoid(x)  # dangling operator: feeds no graph output
+        b.output(main)
+        graph = b.build()
+
+        cold = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        executed = {n for p in cold.partitions for k in p.orchestration.strategy.kernels
+                    for n in k.node_names}
+        assert not any("sigmoid" in name for name in executed), "solver should skip dead work"
+
+        pipeline_mod._STORES.clear()
+        pipeline_mod._PLAN_CACHES.clear()
+        warm = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
+        assert warm.summary()["plan_cache"] == "disk-hit"
+        assert warm.cache.partitions_replayed == len(warm.partitions)
+        assert warm.latency_s == cold.latency_s

@@ -1,0 +1,162 @@
+"""Engine-level tests: multi-model serving semantics of ``KorchEngine``.
+
+The contract:
+
+* ``engine.optimize`` is bit-identical to the old ``KorchPipeline`` /
+  ``optimize_model`` path;
+* ``optimize_many`` returns the same results for any ``max_concurrency``;
+* structurally shared kernels are profiled once across models — the second
+  model's shared kernels touch no backend (``cross_model_profile_reuses``);
+* the compatibility wrapper preserves the original cache accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineStats, KorchConfig, KorchEngine
+from repro.ir import GraphBuilder
+from repro.pipeline import KorchPipeline, optimize_model
+
+
+def attention_model(name: str, heads: int = 4):
+    b = GraphBuilder(name)
+    x = b.input("x", (1, heads, 32, 16))
+    w = b.param("w", (1, heads, 16, 32))
+    v = b.param("v", (1, heads, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def chain_model(name: str, depth: int = 24):
+    """Multi-partition elementwise chain (same shapes as attention inputs)."""
+    b = GraphBuilder(name)
+    x = b.input("x", (2, 8, 8))
+    y = x
+    for i in range(depth):
+        y = b.relu(b.add(y, x) if i % 3 == 0 else y)
+    b.output(b.reduce_sum(y, axes=(-1,), keepdims=True))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+class TestEngineEquivalence:
+    def test_engine_matches_optimize_model(self):
+        graph = attention_model("equiv")
+        serial = optimize_model(attention_model("equiv"), gpu="V100")
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            result = engine.optimize(graph)
+        assert result.latency_s == serial.latency_s
+        assert strategy_fingerprint(result) == strategy_fingerprint(serial)
+
+    def test_optimize_many_matches_serial_engine_runs(self):
+        graphs = [attention_model("a"), chain_model("b")]
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            many = engine.optimize_many([attention_model("a"), chain_model("b")])
+        singles = [
+            KorchEngine(KorchConfig(gpu="V100")).optimize(graph) for graph in graphs
+        ]
+        for got, expected in zip(many, singles):
+            assert got.latency_s == expected.latency_s
+            assert strategy_fingerprint(got) == strategy_fingerprint(expected)
+
+    @pytest.mark.parametrize("concurrency", [1, 4])
+    def test_optimize_many_stable_under_concurrency(self, concurrency):
+        graphs = [chain_model("c1"), chain_model("c2", depth=18)]
+        reference = KorchEngine(KorchConfig(gpu="V100")).optimize_many(
+            [chain_model("c1"), chain_model("c2", depth=18)], max_concurrency=1
+        )
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            results = engine.optimize_many(graphs, max_concurrency=concurrency)
+        assert [r.latency_s for r in results] == [r.latency_s for r in reference]
+        assert [strategy_fingerprint(r) for r in results] == [
+            strategy_fingerprint(r) for r in reference
+        ]
+        # Results come back in input order regardless of completion order.
+        assert [r.graph.name for r in results] == ["c1", "c2"]
+
+
+class TestCrossModelReuse:
+    def test_second_identical_model_touches_no_backend(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            first = engine.optimize(attention_model("m1"))
+            second = engine.optimize(attention_model("m2"))
+        assert first.cache.backend_estimate_calls > 0
+        assert second.cache.backend_estimate_calls == 0
+        assert second.latency_s == first.latency_s
+        assert engine.stats.cross_model_profile_reuses > 0
+
+    def test_reuse_counted_in_optimize_many(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            engine.optimize_many(
+                [attention_model("m1"), attention_model("m2")], max_concurrency=1
+            )
+            assert engine.stats.cross_model_profile_reuses > 0
+
+    def test_no_reuse_within_single_model(self):
+        """Hits inside one model run are not *cross-model* reuses."""
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            engine.optimize(chain_model("solo"))
+            assert engine.stats.cross_model_profile_reuses == 0
+
+    def test_stats_accounting(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            result = engine.optimize(chain_model("s1"))
+            engine.optimize(chain_model("s1"))  # memory-tier hit
+            stats = engine.stats
+        assert isinstance(stats, EngineStats)
+        assert stats.models_optimized == 2
+        assert stats.plan_memory_hits == 1
+        assert stats.partitions_optimized == len(result.partitions)
+        summary = stats.as_dict()
+        assert summary["models_optimized"] == 2
+        assert summary["profiler_backend_estimate_calls"] > 0
+
+
+class TestEngineLifecycle:
+    def test_close_is_idempotent_and_blocks_reuse(self):
+        engine = KorchEngine(KorchConfig(gpu="V100"))
+        engine.optimize(attention_model("once"))
+        engine.close()
+        engine.close()
+        with pytest.raises(RuntimeError):
+            engine.optimize(attention_model("again"))
+
+    def test_engine_with_persistent_cache_shares_registry_store(self, tmp_path):
+        config = KorchConfig(gpu="V100", cache_dir=tmp_path)
+        first = KorchEngine(config)
+        second = KorchEngine(KorchConfig(gpu="V100", cache_dir=tmp_path))
+        assert first.store is second.store
+        first.close()  # shared store must survive one engine closing
+        assert second.store.persistent
+
+
+class TestPipelineWrapper:
+    def test_wrapper_preserves_cache_off_accounting(self):
+        result = KorchPipeline(KorchConfig(gpu="V100")).optimize(attention_model("w"))
+        assert result.summary()["plan_cache"] == "off"
+        assert result.cache.store is None
+
+    def test_wrapper_exposes_engine_attributes(self):
+        pipe = KorchPipeline(KorchConfig(gpu="V100"))
+        assert pipe.spec.name == "V100"
+        assert pipe.backends
+        assert pipe.store is None and pipe.plan_cache is None
+        assert pipe.engine is not None
+
+    def test_summary_contains_stage_timings(self):
+        result = optimize_model(attention_model("timed"), gpu="V100")
+        summary = result.summary()
+        for stage in ("fission", "graph_opt", "identify", "profile", "solve", "assemble"):
+            assert f"stage_{stage}_s" in summary
+        assert summary["stage_solve_s"] > 0.0

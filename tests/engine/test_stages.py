@@ -1,0 +1,155 @@
+"""Stage-level tests: each stage's artifact matches the monolithic flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_STAGES,
+    AssembleStage,
+    FissionStage,
+    GraphOptStage,
+    IdentifyStage,
+    KorchConfig,
+    ProfileStage,
+    SolveStage,
+    StageContext,
+    run_stages,
+)
+from repro.engine.result import STAGE_ORDER
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.orchestration import KernelOrchestrationOptimizer
+from repro.partition import GraphPartitioner
+
+
+def make_context(graph, config=None, plan=None):
+    config = config or KorchConfig(gpu="V100")
+    partitions = GraphPartitioner(config.partition).partition(graph)
+    assert len(partitions) == 1
+    optimizer = KernelOrchestrationOptimizer(
+        V100,
+        identifier_config=config.identifier,
+        solver_method=config.solver_method,
+        solver_time_limit_s=config.solver_time_limit_s,
+        solver_mip_rel_gap=config.solver_mip_rel_gap,
+    )
+    return StageContext(
+        partition=partitions[0],
+        config=config,
+        spec=V100,
+        fission=FissionEngine(),
+        optimizer=optimizer,
+        graph_optimizer=None,
+        plan=plan,
+    )
+
+
+class TestStageEquivalence:
+    """Running the stages one by one reproduces the monolithic pipeline."""
+
+    def test_fission_stage_matches_engine(self, attention_graph):
+        ctx = FissionStage().run(make_context(attention_graph))
+        pg, report = FissionEngine().run(attention_graph)
+        assert [n.name for n in ctx.pg.nodes] == [n.name for n in pg.nodes]
+        assert ctx.fission_report.num_operators == report.num_operators
+
+    def test_identify_and_profile_match_identifier(self, attention_graph):
+        ctx = make_context(attention_graph)
+        for stage in (FissionStage(), GraphOptStage(), IdentifyStage(), ProfileStage()):
+            ctx = stage.run(ctx)
+
+        reference = KernelOrchestrationOptimizer(
+            V100, identifier_config=ctx.config.identifier
+        )
+        candidates, report = reference.identifier.identify(ctx.pg)
+        assert len(ctx.candidate_specs) > 0
+        assert ctx.identifier_report.num_candidates == report.num_candidates
+        assert [
+            (sorted(c.node_names), c.outputs, c.latency_s) for c in ctx.candidates
+        ] == [(sorted(c.node_names), c.outputs, c.latency_s) for c in candidates]
+
+    def test_full_stage_run_matches_monolithic_optimize(self, attention_graph):
+        ctx = run_stages(make_context(attention_graph))
+        pg, _ = FissionEngine().run(attention_graph)
+        reference = KernelOrchestrationOptimizer(
+            V100,
+            identifier_config=ctx.config.identifier,
+            solver_method=ctx.config.solver_method,
+            solver_time_limit_s=ctx.config.solver_time_limit_s,
+            solver_mip_rel_gap=ctx.config.solver_mip_rel_gap,
+        ).optimize(pg)
+        assert ctx.result is not None
+        strategy = ctx.result.orchestration.strategy
+        assert strategy.total_latency_s == reference.strategy.total_latency_s
+        assert [sorted(k.node_names) for k in strategy.kernels] == [
+            sorted(k.node_names) for k in reference.strategy.kernels
+        ]
+        assert ctx.result.executable.num_kernels == strategy.num_kernels
+
+    def test_graph_opt_stage_is_noop_when_disabled(self, attention_graph):
+        ctx = FissionStage().run(make_context(attention_graph))
+        before = [n.name for n in ctx.pg.nodes]
+        ctx = GraphOptStage().run(ctx)
+        assert ctx.optimizer_report is None
+        assert [n.name for n in ctx.pg.nodes] == before
+
+
+class TestStageTiming:
+    def test_run_stages_records_every_stage(self, attention_graph):
+        ctx = run_stages(make_context(attention_graph))
+        assert set(ctx.timings) == set(STAGE_ORDER)
+        assert all(seconds >= 0.0 for seconds in ctx.timings.values())
+        # The result carries the same timing dict, including assemble time.
+        assert ctx.result.timings is ctx.timings
+
+    def test_default_stage_names_match_canonical_order(self):
+        assert tuple(stage.name for stage in DEFAULT_STAGES) == STAGE_ORDER
+
+
+class TestReplayShortcut:
+    def test_valid_plan_skips_profile_and_solve(self, attention_graph):
+        # Solve once to obtain a replayable plan.
+        from repro.cache import KernelPlan, PartitionPlan
+
+        cold = run_stages(make_context(attention_graph))
+        strategy = cold.result.orchestration.strategy
+        plan = PartitionPlan(
+            kernels=[
+                KernelPlan(
+                    node_names=sorted(k.node_names),
+                    external_inputs=list(k.external_inputs),
+                    outputs=list(k.outputs),
+                )
+                for k in strategy.kernels
+            ],
+            objective_s=strategy.objective_s,
+            solver_status=strategy.solver_status,
+            solver_method=strategy.solver_method,
+            num_candidates=cold.result.orchestration.num_candidates,
+        )
+
+        ctx = make_context(attention_graph, plan=plan)
+        ctx = run_stages(ctx)
+        assert ctx.result.replayed
+        assert ctx.candidate_specs is None  # enumeration never ran
+        assert ctx.candidates is None  # profiling of non-selected candidates never ran
+        replayed = ctx.result.orchestration.strategy
+        assert replayed.total_latency_s == strategy.total_latency_s
+        assert [sorted(k.node_names) for k in replayed.kernels] == [
+            sorted(k.node_names) for k in strategy.kernels
+        ]
+
+    def test_stale_plan_falls_back_to_cold_path(self, attention_graph):
+        from repro.cache import KernelPlan, PartitionPlan
+
+        plan = PartitionPlan(
+            kernels=[KernelPlan(node_names=["no_such_node"], external_inputs=[], outputs=["t"])],
+            objective_s=1.0,
+            solver_status="optimal",
+            solver_method="milp",
+        )
+        ctx = run_stages(make_context(attention_graph, plan=plan))
+        assert not ctx.result.replayed
+        assert ctx.candidates  # cold path actually ran
+        assert ctx.result.orchestration.strategy.num_kernels > 0
