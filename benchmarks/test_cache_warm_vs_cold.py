@@ -16,7 +16,7 @@ import time
 
 import pytest
 
-import repro.pipeline as pipeline_mod
+from repro.engine import registry
 from repro.models import build_efficientvit_attention_block
 from repro.pipeline import KorchConfig, KorchPipeline
 
@@ -26,11 +26,10 @@ from .conftest import case_study_config
 @pytest.fixture(autouse=True)
 def fresh_store_registry():
     """Simulate separate processes: no shared in-memory cache tiers."""
-    pipeline_mod._STORES.clear()
-    pipeline_mod._PLAN_CACHES.clear()
+    before = set(registry.open_stores())
     yield
-    pipeline_mod._STORES.clear()
-    pipeline_mod._PLAN_CACHES.clear()
+    for key in set(registry.open_stores()) - before:
+        registry.close_store(key)
 
 
 def cached_config(cache_dir, **overrides) -> KorchConfig:
@@ -64,8 +63,7 @@ def test_cache_warm_vs_cold(tmp_path, benchmark):
     # Fresh pipeline + cleared registries = a new serving process: the warm
     # run must go through the on-disk plan + profile caches, not the memory
     # tier.
-    pipeline_mod._STORES.clear()
-    pipeline_mod._PLAN_CACHES.clear()
+    registry.close_store(tmp_path)
 
     t1 = time.perf_counter()
     warm = KorchPipeline(cached_config(tmp_path)).optimize(graph)

@@ -1,19 +1,20 @@
-"""Multi-model serving with the long-lived KorchEngine.
+"""Multi-model serving with ``KorchService`` futures over a ``KorchEngine``.
 
 A serving deployment optimizes many models against the same GPU fleet; most
 of them share structure (attention blocks, conv stacks), so profiling each
-model in isolation re-pays the dominant cost over and over.  ``KorchEngine``
-owns the backends, profile caches and worker pool for its whole lifetime:
+model in isolation re-pays the dominant cost over and over.  The stack here:
 
-* ``optimize_many`` interleaves partitions from different models onto one
-  pool and answers shared kernels from warm profiles,
-* ``engine.stats`` reports the cross-model amortization,
-* with ``cache_dir`` set, everything also persists across processes.
+* ``KorchEngine`` owns backends, profile caches, the identify memo and the
+  scheduler's executors for its whole lifetime, amortizing tuning across
+  every request (``engine.stats`` reports the reuse).
+* ``KorchService`` turns that into an async front-end: ``submit`` returns a
+  future immediately, requests queue by priority class, and each request
+  carries its own ``ServiceStats`` (queue wait, stage times, cache hits).
 
 Run:  PYTHONPATH=src python examples/multi_model_serving.py
 """
 
-from repro import KorchConfig, KorchEngine
+from repro import KorchConfig, KorchService, Priority
 from repro.models import (
     build_efficientvit_attention_block,
     build_segformer_attention_block,
@@ -21,44 +22,43 @@ from repro.models import (
 
 
 def main() -> None:
-    models = [
-        build_efficientvit_attention_block(),
-        build_segformer_attention_block(),
-    ]
+    with KorchService(config=KorchConfig(gpu="V100"), workers=2) as service:
+        # Futures come back immediately; the service worker pool drives the
+        # engine behind the scenes.  An interactive model jumps the queue.
+        requests = service.submit_many(
+            [
+                build_efficientvit_attention_block(),
+                build_segformer_attention_block(),
+            ]
+        )
+        urgent = service.submit(
+            build_efficientvit_attention_block(), priority=Priority.HIGH
+        )
 
-    with KorchEngine(KorchConfig(gpu="V100")) as engine:
-        results = engine.optimize_many(models, max_concurrency=4)
-
-        print("=== optimize_many ===")
-        for result in results:
+        print("=== served results (futures) ===")
+        for request in [*requests, urgent]:
+            result = request.result(timeout=600)  # Future[KorchResult]
             summary = result.summary()
+            stats = request.stats
             print(
                 f"{summary['model']:<28} {summary['latency_ms']:8.4f} ms  "
                 f"{summary['num_kernels']:3d} kernels  "
-                f"estimates={summary['backend_estimate_calls']}"
+                f"prio={stats.priority.name:<6} "
+                f"queue={stats.queue_wait_s * 1e3:6.1f}ms run={stats.run_s:6.2f}s  "
+                f"estimates={stats.backend_estimate_calls}"
             )
-            stage_line = "  ".join(
-                f"{name.split('_', 1)[1][:-2]}={value * 1e3:.1f}ms"
-                for name, value in summary.items()
-                if name.startswith("stage_")
-            )
-            print(f"{'':<28} stages: {stage_line}")
 
-        # A third model structurally identical to the first (think: the same
-        # architecture fine-tuned under a new name): every kernel is answered
-        # from the engine's warm profiles — zero backend estimates.
-        twin = build_efficientvit_attention_block()
-        twin.name = "efficientvit_attention_v2"
-        repeat = engine.optimize(twin)
-        print("\n=== warm twin (same structure, new model) ===")
-        print(
-            f"backend estimate calls: {repeat.cache.backend_estimate_calls}, "
-            f"profile cache hits: {repeat.cache.profile_cache_hits}, "
-            f"cross-model reuses so far: {engine.stats.cross_model_profile_reuses}"
-        )
-
-        print("\n=== engine stats ===")
+        # The urgent twin shares every kernel with the first model: most of
+        # its profiles come from the engine's warm caches (see
+        # cross_model_profile_reuses) and its enumeration from the identify
+        # memo (identify_memo_hits).
+        engine = service.engine
+        print("\n=== graceful drain, then engine stats ===")
+        service.drain()
         for key, value in engine.stats.as_dict().items():
+            print(f"  {key}: {value}")
+        print("\n=== service report ===")
+        for key, value in service.report.as_dict().items():
             print(f"  {key}: {value}")
 
 

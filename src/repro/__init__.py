@@ -21,7 +21,14 @@ from .ir import DataType, Graph, GraphBuilder, Node, TensorType
 from .fission import FissionEngine, apply_operator_fission
 from .gpu import A100, H100, P100, V100, GpuSpec, get_gpu
 from .orchestration import KernelOrchestrationOptimizer, OrchestrationStrategy
-from .engine import EngineStats, KorchEngine
+from .engine import (
+    EngineStats,
+    KorchEngine,
+    KorchEngineConfig,
+    KorchService,
+    Priority,
+    ServiceRequest,
+)
 from .pipeline import KorchConfig, KorchPipeline, KorchResult, optimize_model
 from .primitives import Primitive, PrimitiveCategory, PrimitiveGraph
 
@@ -50,6 +57,10 @@ __all__ = [
     "KorchConfig",
     "KorchPipeline",
     "KorchEngine",
+    "KorchEngineConfig",
+    "KorchService",
+    "Priority",
+    "ServiceRequest",
     "EngineStats",
     "KorchResult",
     "optimize_model",

@@ -18,7 +18,39 @@ from ..orchestration import KernelIdentifierConfig
 from ..partition import PartitionConfig
 from ..transforms import GraphOptimizerConfig
 
-__all__ = ["KorchConfig"]
+__all__ = ["KorchEngineConfig", "KorchConfig"]
+
+
+@dataclass
+class KorchEngineConfig:
+    """Execution knobs of the engine runtime (scheduler, executors, stores).
+
+    Everything here changes *how* the engine computes — never *what* it
+    computes — so none of it enters :meth:`KorchConfig.fingerprint` or any
+    cache key.  Results are bit-identical across every setting combination.
+    """
+
+    #: Where stage tasks run: ``"thread"`` (default; shared grow-only thread
+    #: pool), ``"process"`` (GIL-bound prologue work — fission, graph
+    #: optimization, candidate enumeration — runs on a process pool), or
+    #: ``"serial"`` (inline, no pool; what ``num_workers=1`` used to mean).
+    executor: str = "thread"
+    #: Process-pool workers for ``executor="process"``; 0 = one per CPU.
+    process_workers: int = 0
+    #: Multiprocessing start method for the process pool.  ``"spawn"`` is the
+    #: safe default with a multi-threaded parent; ``"fork"`` starts faster on
+    #: POSIX when no conflicting threads hold locks.
+    process_start_method: str = "spawn"
+    #: Hard cap on tasks admitted to executors at once, across every model of
+    #: one ``optimize_many`` call.  ``None`` derives it from the resolved
+    #: worker count (the previous semaphore semantics).
+    admission_cap: int | None = None
+    #: Entry cap of the identify-stage memo (enumeration results keyed on
+    #: primitive-graph structure); 0 disables memoization.
+    identify_memo_entries: int = 512
+    #: Process-wide cap on concurrently open cache stores (see
+    #: :mod:`repro.engine.registry`); the LRU store beyond it is closed.
+    max_open_stores: int = 32
 
 
 @dataclass
@@ -48,6 +80,9 @@ class KorchConfig:
     num_workers: int = 1
     #: Per-namespace entry cap of the persistent cache (LRU-evicted).
     cache_max_entries: int = 200_000
+    #: Runtime knobs of the engine (executors, admission, memo, registry);
+    #: excluded from :meth:`fingerprint` — see :class:`KorchEngineConfig`.
+    engine: KorchEngineConfig = field(default_factory=KorchEngineConfig)
 
     def resolve_gpu(self) -> GpuSpec:
         return self.gpu if isinstance(self.gpu, GpuSpec) else get_gpu(self.gpu)

@@ -6,6 +6,11 @@ collaborators the engine built for it (fission engine, orchestration
 optimizer, optional graph optimizer, optional stored plan) and accumulates
 every intermediate artifact — primitive graph, candidate specs, profiled
 candidates, orchestration, executable — plus per-stage wall-clock timings.
+
+Contexts are **picklable**: pickling keeps the data (partition, config,
+spec, plan, artifacts) and drops the process-bound collaborators (fission
+engine, optimizers, memo), which a receiving process rebuilds for itself.
+That is what lets the scheduler ship stage work to process-pool workers.
 """
 
 from __future__ import annotations
@@ -43,11 +48,14 @@ class StageContext:
     partition: Partition
     config: KorchConfig
     spec: GpuSpec
-    fission: FissionEngine
-    optimizer: KernelOrchestrationOptimizer
+    fission: FissionEngine | None = None
+    optimizer: KernelOrchestrationOptimizer | None = None
     graph_optimizer: PrimitiveGraphOptimizer | None = None
     #: Stored plan to replay (skips identify/profile/solve when valid).
     plan: "PartitionPlan | None" = None
+    #: Engine-owned memo of enumeration results (see
+    #: :class:`repro.engine.memo.IdentifyMemo`); ``None`` disables lookups.
+    identify_memo: object | None = None
 
     # --- artifacts (filled in by successive stages)
     pg: PrimitiveGraph | None = None
@@ -60,8 +68,24 @@ class StageContext:
     executable: Executable | None = None
     result: PartitionResult | None = None
 
+    #: Whether the identify stage was answered from the memo.
+    identify_memo_hit: bool = False
+    #: Profiler accounting carried back from a process-pool prologue worker
+    #: (merged into the partition's stats by the finish task).
+    worker_profiler_stats: "object | None" = None
+
     #: Wall-clock seconds per stage name, recorded by ``run_stages``.
     timings: dict[str, float] = field(default_factory=dict)
+
+    #: Fields that never cross a process boundary: collaborators bound to the
+    #: engine's process (caches, locks, SQLite handles ride inside them).
+    _UNPICKLABLE = ("fission", "optimizer", "graph_optimizer", "identify_memo")
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name in self._UNPICKLABLE:
+            state[name] = None
+        return state
 
     @property
     def replayed(self) -> bool:

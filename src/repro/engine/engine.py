@@ -14,11 +14,22 @@ state for its whole lifetime:
 
 ``optimize(graph)`` runs one model through the staged flow
 (:mod:`repro.engine.stages`); ``optimize_many([graphs], max_concurrency=...)``
-schedules the union of all models' partitions onto the shared pool.  Results
-are bit-identical to serial per-model runs — profiles are deterministic and
-the solver sees identical inputs — while structurally identical kernels
-appearing in *different* models are profiled once, surfaced as
-``EngineStats.cross_model_profile_reuses``.
+schedules the union of all models' partitions onto the shared executors.
+Results are bit-identical to serial per-model runs — profiles are
+deterministic and the solver sees identical inputs — while structurally
+identical kernels appearing in *different* models are profiled once,
+surfaced as ``EngineStats.cross_model_profile_reuses``.
+
+Concurrency is delegated to the pluggable scheduler/executor core
+(:mod:`repro.engine.scheduler`).  Each partition becomes a three-task chain
+— ``prep`` (fission + graph optimization), ``identify`` (plan replay, memo
+lookup or candidate enumeration), ``finish`` (profile + solve + assemble) —
+and the scheduler dispatches those chains with an admission cap and
+per-model fairness.  Later stages carry lower priority values, so in-flight
+partitions drain before new ones are admitted.  With
+``KorchEngineConfig(executor="process")`` the GIL-bound prologue runs on a
+process pool (:mod:`repro.engine.scheduler.worker`), which is what finally
+parallelizes pure-Python candidate enumeration across cores.
 """
 
 from __future__ import annotations
@@ -27,9 +38,8 @@ import dataclasses
 import itertools
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..backends import (
     KernelBackend,
@@ -57,9 +67,28 @@ from ..runtime.executable import ModelExecutable
 from ..transforms import PrimitiveGraphOptimizer
 from .config import KorchConfig
 from .context import StageContext
+from .memo import IdentifyMemo
 from .registry import shared_store
 from .result import CacheReport, KorchResult, PartitionResult
-from .stages import DEFAULT_STAGES, Stage, run_stages
+from .scheduler import (
+    Dep,
+    Executor,
+    ProcessExecutor,
+    Scheduler,
+    SerialExecutor,
+    Task,
+    ThreadExecutor,
+    run_partition_prologue,
+)
+from .scheduler.worker import PrologueResult
+from .stages import (
+    DEFAULT_STAGES,
+    FissionStage,
+    GraphOptStage,
+    IdentifyStage,
+    Stage,
+    run_stages,
+)
 
 __all__ = ["EngineStats", "KorchEngine"]
 
@@ -85,6 +114,9 @@ class EngineStats:
     #: Profile-cache hits on entries first written while optimizing a
     #: *different* model on this engine — the cross-model amortization.
     cross_model_profile_reuses: int = 0
+    #: Identify-stage enumerations answered from a memo (engine-side or a
+    #: process worker's) instead of being re-run.
+    identify_memo_hits: int = 0
     #: Merged profiler statistics across every model the engine optimized.
     profiler: ProfilerStats = field(default_factory=ProfilerStats)
 
@@ -96,6 +128,7 @@ class EngineStats:
             "plan_memory_hits": self.plan_memory_hits,
             "plan_disk_hits": self.plan_disk_hits,
             "cross_model_profile_reuses": self.cross_model_profile_reuses,
+            "identify_memo_hits": self.identify_memo_hits,
             **{f"profiler_{k}": v for k, v in self.profiler.as_dict().items()},
         }
 
@@ -140,8 +173,9 @@ class _ModelRun:
     plan_cache_key: str | None = None
     stored_plan: ModelPlan | None = None
     partitions: list[Partition] = field(default_factory=list)
+    #: Per-partition stored plans to replay (``None`` entries = cold).
+    plans: list[PartitionPlan | None] = field(default_factory=list)
     tuning_model: TuningTimeModel = field(default_factory=TuningTimeModel)
-    tasks: list[Callable[[], tuple[PartitionResult, ProfilerStats]]] = field(default_factory=list)
     outcomes: list[tuple[PartitionResult, ProfilerStats]] = field(default_factory=list)
     result: KorchResult | None = None
     #: An earlier run in the same ``optimize_many`` call with the same plan
@@ -173,6 +207,11 @@ class KorchEngine:
         share_profiles: bool = True,
     ) -> None:
         self.config = config or KorchConfig()
+        if self.config.engine.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown executor kind {self.config.engine.executor!r}; "
+                "expected 'serial', 'thread' or 'process'"
+            )
         self.spec = self.config.resolve_gpu()
         self.backends = list(
             backends
@@ -184,13 +223,15 @@ class KorchEngine:
         self.stats = EngineStats()
 
         self._lock = threading.Lock()
-        # Pool management has its own lock: replacing the pool must never
-        # contend with the stats lock that in-flight partition tasks take.
-        self._pool_lock = threading.Lock()
+        # Executor management has its own lock: creating/growing executors
+        # must never contend with the stats lock that in-flight tasks take.
+        self._executor_lock = threading.Lock()
         self._profile_owners: dict[str, int] = {}
         self._run_ids = itertools.count()
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_size = 0
+        self._serial_executor = SerialExecutor()
+        self._thread_executor: ThreadExecutor | None = None
+        self._process_executor: ProcessExecutor | None = None
+        self.identify_memo = IdentifyMemo(self.config.engine.identify_memo_entries)
         self._owns_store = False
         self._closed = False
 
@@ -200,7 +241,9 @@ class KorchEngine:
         self._graph_opt_cache: PersistentProfileCache | None = None
         if self.config.cache_dir is not None:
             self.store, plan_cache = shared_store(
-                self.config.cache_dir, self.config.cache_max_entries
+                self.config.cache_dir,
+                self.config.cache_max_entries,
+                self.config.engine.max_open_stores,
             )
             if self.config.enable_plan_cache:
                 self.plan_cache = plan_cache
@@ -247,20 +290,25 @@ class KorchEngine:
                     # fan the result out (the serial equivalent would have
                     # answered the repeat from the memory tier).
                     run.duplicate_of = primary
-                    run.tasks = []
                 else:
                     primary_by_key[run.plan_cache_key] = run
             runs.append(run)
 
         pending = [run for run in runs if run.result is None and run.duplicate_of is None]
-        tasks = [task for run in pending for task in run.tasks]
-        workers = self._resolve_workers(max_concurrency, len(tasks))
-        if tasks:
-            outcomes = self._run_tasks(tasks, workers)
-            cursor = 0
+        num_partitions = sum(len(run.partitions) for run in pending)
+        workers = self._resolve_workers(max_concurrency, num_partitions)
+        if num_partitions:
+            tasks, finish_keys = self._build_tasks(pending)
+            executors, admission_cap = self._executors_for(workers)
+            scheduler = Scheduler(executors, admission_cap=admission_cap)
+            try:
+                results = scheduler.run(tasks)
+            finally:
+                # On failure, keep queued tasks from starting and wait out
+                # the in-flight ones so nothing races the raise.
+                scheduler.close(wait=True, cancel_pending=True)
             for run in pending:
-                run.outcomes = outcomes[cursor : cursor + len(run.tasks)]
-                cursor += len(run.tasks)
+                run.outcomes = [results[key] for key in finish_keys[run.run_id]]
         for run in pending:
             run.result = self._assemble(run, workers)
         for run in runs:
@@ -276,13 +324,15 @@ class KorchEngine:
         return [run.result for run in runs]
 
     def close(self) -> None:
-        """Release the worker pool and any privately-owned store."""
+        """Release the executors and any privately-owned store."""
         self._closed = True
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
-            self._pool_size = 0
-        if pool is not None:
-            pool.shutdown(wait=True)
+        with self._executor_lock:
+            thread_exec, self._thread_executor = self._thread_executor, None
+            process_exec, self._process_executor = self._process_executor, None
+        if thread_exec is not None:
+            thread_exec.shutdown(wait=True)
+        if process_exec is not None:
+            process_exec.shutdown(wait=True)
         if self._owns_store and self.store is not None:
             self.store.close()
 
@@ -323,26 +373,26 @@ class KorchEngine:
         # One tuning-time model per model run: structurally identical kernels
         # appearing in *different* partitions are tuned once, which is how
         # the paper's TVM database amortizes Table 2's tuning hours.
-        plans = (
-            run.stored_plan.partitions
+        run.plans = (
+            list(run.stored_plan.partitions)
             if run.stored_plan is not None
             else [None] * len(run.partitions)
         )
-        run.tasks = [
-            (lambda p=partition, pl=plan, r=run: self._optimize_partition(p, pl, r))
-            for partition, plan in zip(run.partitions, plans)
-        ]
         return run
 
     # ------------------------------------------------------------ partitions
-    def _optimize_partition(
-        self, partition: Partition, plan: PartitionPlan | None, run: _ModelRun
-    ) -> tuple[PartitionResult, ProfilerStats]:
-        """Run the staged flow for one partition.
+    def _make_context(
+        self,
+        partition: Partition,
+        plan: PartitionPlan | None,
+        run: _ModelRun,
+        with_graph_optimizer: bool = True,
+    ) -> StageContext:
+        """A stage context with fresh collaborators for one partition.
 
-        Self-contained (fresh orchestration optimizer per call) so partitions
-        from any model can run on concurrent pool workers; shared state is
-        limited to the thread-safe caches.
+        Self-contained (fresh orchestration optimizer per context) so
+        partitions from any model can run on concurrent workers; shared
+        state is limited to the thread-safe caches.
         """
         profile_cache = (
             _ReuseTrackingCache(self.profile_cache, self, run.run_id)
@@ -360,7 +410,7 @@ class KorchEngine:
             tuning_model=run.tuning_model,
         )
         graph_optimizer = None
-        if self.config.enable_graph_optimizer:
+        if with_graph_optimizer and self.config.enable_graph_optimizer:
             # Fresh graph optimizer per partition task: its cost-proxy
             # profiler is not tuning-authoritative, and a fresh instance
             # keeps concurrent workers from sharing mutable profiler state.
@@ -378,7 +428,7 @@ class KorchEngine:
                 self.spec, config=self.config.graph_optimizer, profiler=profiler
             )
 
-        ctx = StageContext(
+        return StageContext(
             partition=partition,
             config=self.config,
             spec=self.spec,
@@ -386,16 +436,165 @@ class KorchEngine:
             optimizer=optimizer,
             graph_optimizer=graph_optimizer,
             plan=plan,
+            identify_memo=self.identify_memo if self.identify_memo.enabled else None,
         )
-        ctx = run_stages(ctx, self.stages())
-        stats = optimizer.profiler_stats
-        if graph_optimizer is not None:
-            stats.merge(graph_optimizer.profiler.stats)
-        return ctx.result, stats
 
     def stages(self) -> Sequence[Stage]:
         """The stage sequence; override to instrument or replace stages."""
         return DEFAULT_STAGES
+
+    def _stage_split(self) -> tuple[tuple[Stage, ...], tuple[Stage, ...], tuple[Stage, ...]]:
+        """Split :meth:`stages` into (prologue, identify, epilogue) groups."""
+        stages = tuple(self.stages())
+        for position, stage in enumerate(stages):
+            if stage.name == "identify":
+                return stages[:position], stages[position : position + 1], stages[position + 1 :]
+        return stages, (), ()
+
+    # ------------------------------------------------------------ task graph
+    def _uses_default_prologue(self) -> bool:
+        """Whether :meth:`stages` still matches the flow the process worker
+        hard-codes.  A subclass that replaced or extended the pre-profile
+        stages falls back to parent-side execution, so the executor setting
+        never changes *what* is computed — only where."""
+        prologue, identify, _ = self._stage_split()
+        return (
+            len(prologue) == 2
+            and type(prologue[0]) is FissionStage
+            and type(prologue[1]) is GraphOptStage
+            and len(identify) == 1
+            and type(identify[0]) is IdentifyStage
+        )
+
+    def _build_tasks(self, pending: Sequence[_ModelRun]) -> tuple[list[Task], dict[int, list[str]]]:
+        """The scheduler task graph: a prep → identify → finish chain per
+        partition.  Later stages get lower priority values so partitions
+        drain depth-first; ``model_id`` keeps dispatch fair across models."""
+        use_process = (
+            self.config.engine.executor == "process" and self._uses_default_prologue()
+        )
+        tasks: list[Task] = []
+        finish_keys: dict[int, list[str]] = {}
+        for run in pending:
+            keys: list[str] = []
+            for index, (partition, plan) in enumerate(zip(run.partitions, run.plans)):
+                base = f"r{run.run_id}p{index}"
+                prep_key, identify_key, finish_key = (
+                    f"{base}:prep", f"{base}:identify", f"{base}:finish",
+                )
+                if use_process:
+                    # The GIL-bound prologue ships to a process worker as a
+                    # pure function of picklable inputs; enumeration is
+                    # skipped when a stored plan makes replay likely.
+                    tasks.append(Task(
+                        key=prep_key,
+                        fn=run_partition_prologue,
+                        args=(partition, self.config, self.spec, plan is None),
+                        kind="cpu",
+                        model_id=run.run_id,
+                        priority=2,
+                    ))
+                    tasks.append(Task(
+                        key=identify_key,
+                        fn=self._task_absorb_prologue,
+                        args=(Dep(prep_key), partition, plan, run),
+                        deps=(prep_key,),
+                        model_id=run.run_id,
+                        priority=1,
+                    ))
+                else:
+                    tasks.append(Task(
+                        key=prep_key,
+                        fn=self._task_prologue,
+                        args=(partition, plan, run),
+                        model_id=run.run_id,
+                        priority=2,
+                    ))
+                    tasks.append(Task(
+                        key=identify_key,
+                        fn=self._task_identify,
+                        args=(Dep(prep_key),),
+                        deps=(prep_key,),
+                        model_id=run.run_id,
+                        priority=1,
+                    ))
+                tasks.append(Task(
+                    key=finish_key,
+                    fn=self._task_finish,
+                    args=(Dep(identify_key),),
+                    deps=(identify_key,),
+                    model_id=run.run_id,
+                    priority=0,
+                ))
+                keys.append(finish_key)
+            finish_keys[run.run_id] = keys
+        return tasks, finish_keys
+
+    def _task_prologue(
+        self, partition: Partition, plan: PartitionPlan | None, run: _ModelRun
+    ) -> StageContext:
+        ctx = self._make_context(partition, plan, run)
+        prologue, _, _ = self._stage_split()
+        return run_stages(ctx, prologue)
+
+    def _task_identify(self, ctx: StageContext) -> StageContext:
+        _, identify, _ = self._stage_split()
+        ctx = run_stages(ctx, identify)
+        if ctx.identify_memo_hit:
+            with self._lock:
+                self.stats.identify_memo_hits += 1
+        return ctx
+
+    def _task_absorb_prologue(
+        self,
+        payload: PrologueResult,
+        partition: Partition,
+        plan: PartitionPlan | None,
+        run: _ModelRun,
+    ) -> StageContext:
+        """Fold a process worker's prologue back into a parent-side context.
+
+        The worker has no view of the engine's caches, so its profile-cache
+        writes are replayed here (through the reuse-tracking wrapper, exactly
+        as if a parent-side cost-proxy profiler had written them) and its
+        memo hits are folded into the engine statistics.
+        """
+        ctx = self._make_context(partition, plan, run, with_graph_optimizer=False)
+        ctx.pg = payload.pg
+        ctx.fission_report = payload.fission_report
+        ctx.optimizer_report = payload.optimizer_report
+        ctx.candidate_specs = payload.specs
+        ctx.identifier_report = payload.report
+        ctx.worker_profiler_stats = payload.profiler_stats
+        for name, seconds in payload.timings.items():
+            ctx.timings[name] = ctx.timings.get(name, 0.0) + seconds
+        if payload.cache_writes and self._graph_opt_cache is not None:
+            tracked = _ReuseTrackingCache(self._graph_opt_cache, self, run.run_id)
+            for signature, profile, tuned in payload.cache_writes:
+                # Replay exactly what a parent-side cost-proxy profiler would
+                # have done: consult the cache first, write only on a miss.
+                # An unconditional put would demote entries the profile stage
+                # already promoted to tuned=True, re-charging their tuning
+                # time on the next model and skewing Table 2 accounting.
+                hit, _, _ = tracked.get(signature)
+                if not hit:
+                    tracked.put(signature, profile, tuned=tuned)
+        if payload.memo_hit:
+            with self._lock:
+                self.stats.identify_memo_hits += 1
+        # Replay / fallback enumeration (stale plan) still happen here; a
+        # worker-enumerated context passes straight through.
+        return self._task_identify(ctx)
+
+    def _task_finish(self, ctx: StageContext) -> tuple[PartitionResult, ProfilerStats]:
+        _, _, epilogue = self._stage_split()
+        ctx = run_stages(ctx, epilogue)
+        stats = ctx.optimizer.profiler_stats
+        if ctx.graph_optimizer is not None:
+            stats.merge(ctx.graph_optimizer.profiler.stats)
+        if ctx.worker_profiler_stats is not None:
+            stats.merge(ctx.worker_profiler_stats)
+        return ctx.result, stats
 
     # -------------------------------------------------------------- assembly
     def _assemble(self, run: _ModelRun, num_workers: int) -> KorchResult:
@@ -498,46 +697,62 @@ class KorchEngine:
         workers = max_concurrency if max_concurrency > 0 else (os.cpu_count() or 1)
         return max(1, min(workers, num_tasks))
 
-    def _run_tasks(self, tasks: Sequence[Callable], workers: int) -> list:
-        if workers <= 1 or len(tasks) <= 1:
-            return [task() for task in tasks]
-        # Gate concurrency to this call's budget: the lifetime pool may be
-        # larger than ``workers`` after a bigger earlier request.  (When it
-        # is not, the semaphore simply never blocks.)
-        semaphore = threading.Semaphore(workers)
+    def _executors_for(self, workers: int) -> tuple[dict[str, Executor], int | None]:
+        """The executor map and admission cap for one ``optimize_many`` call.
 
-        def gated(task):
-            with semaphore:
-                return task()
-
-        # Submit under the pool lock so a concurrent grow (which shuts the
-        # old executor down) can never interleave with submission.
-        with self._pool_lock:
-            pool = self._grow_pool_locked(workers)
-            futures = [pool.submit(gated, task) for task in tasks]
-        return [future.result() for future in futures]
-
-    def _grow_pool_locked(self, workers: int) -> ThreadPoolExecutor:
-        """The lifetime worker pool, grown to the largest request so far.
-        Caller must hold ``_pool_lock``.
-
-        Sized by what callers actually ask for (never above
-        ``_POOL_SIZE_CAP``), so an engine serving ``num_workers=2`` holds two
-        threads, not a fixed-size pool.  Growing replaces the executor with a
-        bigger one; the old pool is shut down *without* waiting, and since
-        every submission happens under ``_pool_lock``, its already-submitted
-        work still completes and nobody can be about to submit to it.
-        Shrinking never happens — smaller requests are semaphore-gated.
+        The default executor is serial (inline) for single-worker calls —
+        the historical ``num_workers=1`` semantics, with zero pool overhead —
+        and otherwise the engine's lifetime grow-only thread pool, bounded
+        per call by the admission cap (the old semaphore's role).  Process
+        mode adds the ``"cpu"`` executor for prologue tasks and widens the
+        cap so enumeration can use every process worker.
         """
-        size = min(self._POOL_SIZE_CAP, max(1, workers))
-        if self._pool is None or self._pool_size < size:
-            if self._pool is not None:
-                self._pool.shutdown(wait=False)
-            self._pool = ThreadPoolExecutor(
-                max_workers=size, thread_name_prefix="korch-engine"
-            )
-            self._pool_size = size
-        return self._pool
+        engine_cfg = self.config.engine
+        use_process = engine_cfg.executor == "process"
+        admission = engine_cfg.admission_cap
+        if engine_cfg.executor == "serial" or (not use_process and workers <= 1):
+            executors: dict[str, Executor] = {"default": self._serial_executor}
+            cap = admission
+        else:
+            with self._executor_lock:
+                if self._closed:
+                    raise RuntimeError("KorchEngine is closed")
+                if self._thread_executor is None:
+                    self._thread_executor = ThreadExecutor(
+                        workers, cap=self._POOL_SIZE_CAP, thread_name_prefix="korch-engine"
+                    )
+                else:
+                    self._thread_executor.ensure(workers)
+                executors = {"default": self._thread_executor}
+            cap = admission if admission is not None else workers
+        if use_process:
+            with self._executor_lock:
+                if self._closed:
+                    raise RuntimeError("KorchEngine is closed")
+                if self._process_executor is None:
+                    self._process_executor = ProcessExecutor(
+                        engine_cfg.process_workers, engine_cfg.process_start_method
+                    )
+                executors["cpu"] = self._process_executor
+            if admission is None:
+                cap = max(cap or 1, self._process_executor.workers)
+        return executors, cap
+
+    def warm_up(self) -> None:
+        """Start the process pool's workers eagerly (no-op in thread mode),
+        keeping worker spawn cost off the first request's critical path."""
+        engine_cfg = self.config.engine
+        if engine_cfg.executor != "process":
+            return
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("KorchEngine is closed")
+            if self._process_executor is None:
+                self._process_executor = ProcessExecutor(
+                    engine_cfg.process_workers, engine_cfg.process_start_method
+                )
+            executor = self._process_executor
+        executor.warm_up()
 
     # ------------------------------------------------------- reuse tracking
     def _note_profile_write(self, key: str, run_id: int) -> None:

@@ -1,0 +1,107 @@
+"""Identify-stage memoization: enumeration results keyed on graph structure.
+
+Candidate enumeration (the first half of Algorithm 1) is pure Python and
+depends only on the primitive graph's *structure* — node names, primitive
+signatures, wiring, graph outputs — plus the identifier configuration.  It is
+the engine's remaining GIL-bound serial bottleneck, and serving workloads
+repeat it constantly: the same partition structure shows up again within a
+model (repeated blocks) and across models (fine-tuned twins).  The memo keys
+enumeration results on a canonical structure hash so repeats skip the
+enumeration entirely; hits surface as ``EngineStats.identify_memo_hits``.
+
+Correctness: :func:`repro.orchestration.identifier.enumerate_candidate_specs`
+is deterministic in (structure, config) — enumeration never reads tensor
+shapes or dtypes beyond what primitive signatures embed — and the key covers
+both, so a memo hit returns exactly what fresh enumeration would.  Reports
+are deep-copied on the way in and out because the profile stage mutates them.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import hashlib
+import json
+import threading
+
+from ..orchestration import KernelIdentifierConfig, KernelIdentifierReport
+from ..orchestration.identifier import CandidateSpec
+from ..primitives.graph import PrimitiveGraph
+
+__all__ = ["pg_structure_key", "IdentifyMemo"]
+
+
+def pg_structure_key(pg: PrimitiveGraph, config: KernelIdentifierConfig) -> str:
+    """Canonical hash of everything candidate enumeration reads.
+
+    Nodes are listed in graph order (enumeration iterates them), each as
+    (name, primitive signature, inputs, output); graph outputs close the
+    payload.  Two partitions with equal keys enumerate identical spec lists.
+    """
+    payload = {
+        "nodes": [
+            (node.name, list(node.prim.signature()), list(node.inputs), node.output)
+            for node in pg.nodes
+        ],
+        "outputs": list(pg.outputs),
+        "config": dataclasses.asdict(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class IdentifyMemo:
+    """Thread-safe LRU memo of ``(specs, report)`` enumeration results."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[list[CandidateSpec], KernelIdentifierReport]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(
+        self, pg: PrimitiveGraph, config: KernelIdentifierConfig
+    ) -> tuple[list[CandidateSpec], KernelIdentifierReport] | None:
+        if not self.enabled:
+            return None
+        key = pg_structure_key(pg, config)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries[key] = self._entries.pop(key)  # LRU touch
+            self.hits += 1
+            specs, report = entry
+        # Specs are frozen and shared; the report is mutated downstream by
+        # the profile stage, so every consumer gets its own copy.
+        return list(specs), copy.deepcopy(report)
+
+    def put(
+        self,
+        pg: PrimitiveGraph,
+        config: KernelIdentifierConfig,
+        specs: list[CandidateSpec],
+        report: KernelIdentifierReport,
+    ) -> None:
+        if not self.enabled:
+            return
+        key = pg_structure_key(pg, config)
+        with self._lock:
+            self._entries.pop(key, None)
+            self._entries[key] = (list(specs), copy.deepcopy(report))
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -5,17 +5,21 @@ engine and pipeline in the process reuses one SQLite connection and one
 in-memory plan tier — this is what makes back-to-back ``optimize_model``
 calls warm.  Directories are identified by their resolved absolute path, so
 ``cache``, ``./cache`` and ``/abs/path/cache`` all map to the same open
-store, and the registry is capped: beyond ``MAX_OPEN_STORES`` directories
-the least-recently-used store is closed and evicted instead of leaking an
-open SQLite connection per spelling forever.
+store, and the registry is capped: beyond the configured maximum the
+least-recently-used store is closed and evicted instead of leaking an open
+SQLite connection per spelling forever.
 
 Eviction contract: a pipeline or engine still holding an evicted store keeps
 working — ``CacheStore.close`` flushes to disk and degrades the handle to
 in-memory operation (results stay correct; only that holder's *later* writes
-stop persisting).  A process that genuinely needs more than
-``MAX_OPEN_STORES`` concurrently-hot cache directories should hand those
-engines distinct ``CacheStore`` instances directly rather than go through
-the shared registry.
+stop persisting).  A process that genuinely needs more concurrently-hot
+cache directories should raise the cap
+(``KorchEngineConfig.max_open_stores`` or :func:`set_max_open_stores`) or
+hand those engines distinct ``CacheStore`` instances directly.
+
+Lifecycle is explicit: :func:`close_store` flushes and evicts one directory,
+:func:`clear` flushes and evicts everything.  Tests and long-lived services
+use these instead of reaching into module-private state.
 """
 
 from __future__ import annotations
@@ -25,28 +29,71 @@ from pathlib import Path
 
 from ..cache import CacheStore, PlanCache
 
-__all__ = ["shared_store", "open_stores", "MAX_OPEN_STORES"]
+__all__ = [
+    "shared_store",
+    "open_stores",
+    "close_store",
+    "clear",
+    "set_max_open_stores",
+    "max_open_stores",
+    "MAX_OPEN_STORES",
+]
 
-#: Open stores kept at once; the least-recently-used one is closed beyond it.
-#: Generous on purpose: eviction is a leak backstop, and closing a store a
-#: live engine still holds ends that engine's persistence (see above).
+#: Default cap on stores kept open at once; the least-recently-used one is
+#: closed beyond it.  Generous on purpose: eviction is a leak backstop, and
+#: closing a store a live engine still holds ends that engine's persistence
+#: (see above).  Configurable per process via :func:`set_max_open_stores`
+#: or per engine via ``KorchEngineConfig.max_open_stores``.
 MAX_OPEN_STORES = 32
 
 _STORE_LOCK = threading.Lock()
 _STORES: dict[str, CacheStore] = {}
 _PLAN_CACHES: dict[str, PlanCache] = {}
+_MAX_OPEN = MAX_OPEN_STORES
 
 
-def shared_store(cache_dir: str | Path, max_entries: int) -> tuple[CacheStore, PlanCache]:
-    """The process-wide (store, plan cache) pair for ``cache_dir``."""
-    key = str(Path(cache_dir).expanduser().resolve())
+def _resolve(cache_dir: str | Path) -> str:
+    return str(Path(cache_dir).expanduser().resolve())
+
+
+def set_max_open_stores(limit: int) -> None:
+    """Set the process-wide open-store cap; evicts LRU stores beyond it."""
+    global _MAX_OPEN
     with _STORE_LOCK:
+        _MAX_OPEN = max(1, int(limit))
+        _evict_over_cap_locked(reserve=0)
+
+
+def max_open_stores() -> int:
+    """The current process-wide open-store cap."""
+    with _STORE_LOCK:
+        return _MAX_OPEN
+
+
+def _evict_over_cap_locked(reserve: int) -> None:
+    while len(_STORES) + reserve > _MAX_OPEN:
+        oldest = next(iter(_STORES))
+        _STORES.pop(oldest).close()
+        _PLAN_CACHES.pop(oldest, None)
+
+
+def shared_store(
+    cache_dir: str | Path, max_entries: int, max_open: int | None = None
+) -> tuple[CacheStore, PlanCache]:
+    """The process-wide (store, plan cache) pair for ``cache_dir``.
+
+    ``max_open`` (when given) updates the process-wide open-store cap —
+    engines pass ``KorchEngineConfig.max_open_stores`` through here so the
+    most recently configured engine wins, mirroring ``max_entries``.
+    """
+    global _MAX_OPEN
+    key = _resolve(cache_dir)
+    with _STORE_LOCK:
+        if max_open is not None:
+            _MAX_OPEN = max(1, int(max_open))
         store = _STORES.get(key)
         if store is None:
-            while len(_STORES) >= MAX_OPEN_STORES:
-                oldest = next(iter(_STORES))
-                _STORES.pop(oldest).close()
-                _PLAN_CACHES.pop(oldest, None)
+            _evict_over_cap_locked(reserve=1)
             store = CacheStore(key, max_entries=max_entries)
             _STORES[key] = store
             _PLAN_CACHES[key] = PlanCache(store)
@@ -56,6 +103,7 @@ def shared_store(cache_dir: str | Path, max_entries: int) -> tuple[CacheStore, P
             _STORES[key] = _STORES.pop(key)
             _PLAN_CACHES[key] = _PLAN_CACHES.pop(key)
             store.max_entries = max(1, int(max_entries))
+            _evict_over_cap_locked(reserve=0)
         return store, _PLAN_CACHES[key]
 
 
@@ -63,3 +111,31 @@ def open_stores() -> dict[str, CacheStore]:
     """Snapshot of the currently open stores, keyed by resolved directory."""
     with _STORE_LOCK:
         return dict(_STORES)
+
+
+def close_store(cache_dir: str | Path) -> bool:
+    """Flush and evict one directory's store; returns whether it was open.
+
+    Holders of the evicted store degrade per the eviction contract above.
+    The next ``shared_store`` call for the directory reopens it fresh from
+    disk — which is also how tests simulate a new serving process.
+    """
+    key = _resolve(cache_dir)
+    with _STORE_LOCK:
+        store = _STORES.pop(key, None)
+        _PLAN_CACHES.pop(key, None)
+    if store is None:
+        return False
+    store.close()
+    return True
+
+
+def clear() -> int:
+    """Flush and evict every open store; returns how many were closed."""
+    with _STORE_LOCK:
+        stores = list(_STORES.values())
+        _STORES.clear()
+        _PLAN_CACHES.clear()
+    for store in stores:
+        store.close()
+    return len(stores)

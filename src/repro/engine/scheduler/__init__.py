@@ -1,0 +1,30 @@
+"""Pluggable scheduler/executor core of the Korch engine.
+
+Separates *what runs* (:class:`~repro.engine.scheduler.task.Task` graphs
+over stage contexts) from *where it runs*
+(:class:`~repro.engine.scheduler.executors.Executor` implementations), with
+a :class:`~repro.engine.scheduler.scheduler.Scheduler` doing dependency
+ordering, admission control and per-model fair dispatch in between.  See
+each module's docstring for the contract.
+"""
+
+from .executors import Executor, ProcessExecutor, SerialExecutor, ThreadExecutor
+from .scheduler import Scheduler, SchedulerError
+from .task import Dep, DependencyFailed, Task, TaskCancelled, TaskError
+from .worker import PrologueResult, run_partition_prologue
+
+__all__ = [
+    "Dep",
+    "Task",
+    "TaskError",
+    "TaskCancelled",
+    "DependencyFailed",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "Scheduler",
+    "SchedulerError",
+    "PrologueResult",
+    "run_partition_prologue",
+]

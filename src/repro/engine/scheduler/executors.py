@@ -1,0 +1,185 @@
+"""Pluggable executors: *where* scheduler tasks run.
+
+The scheduler separates what runs (tasks and their dependencies) from where
+it runs (an :class:`Executor`).  Three implementations:
+
+``SerialExecutor``
+    Runs submissions inline on the calling thread.  This is the engine's
+    ``num_workers=1`` fast path — zero pool overhead, and execution order is
+    exactly the scheduler's dispatch order, which keeps serial results (and
+    their stage timings) bit-identical to the pre-scheduler engine.
+``ThreadExecutor``
+    A grow-only thread pool, replicating the engine's historical lifetime
+    pool: sized by the largest request so far (never above ``cap``), shared
+    by every ``optimize_many`` call, per-call concurrency bounded by the
+    scheduler's admission cap rather than by pool size.
+``ProcessExecutor``
+    A lazily-started :class:`concurrent.futures.ProcessPoolExecutor` for
+    GIL-bound work (the identify stage's pure-Python enumeration).  Tasks
+    and results must be picklable.  A crashed worker surfaces as
+    ``BrokenProcessPool`` on the task's future — the scheduler turns that
+    into a failed task, never a hang.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
+
+
+class Executor:
+    """Minimal executor contract the scheduler dispatches onto."""
+
+    name = "executor"
+
+    def submit(self, fn, /, *args) -> Future:
+        raise NotImplementedError
+
+    def ensure(self, workers: int) -> None:
+        """Hint that up to ``workers`` concurrent submissions are coming."""
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the executor's resources; idempotent."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+
+class SerialExecutor(Executor):
+    """Runs every submission inline; the future is already resolved."""
+
+    name = "serial"
+
+    def submit(self, fn, /, *args) -> Future:
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            result = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - routed to the future
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+        return future
+
+
+class ThreadExecutor(Executor):
+    """Grow-only thread pool (the engine's historical pool semantics).
+
+    Growing replaces the inner executor with a bigger one; the old pool is
+    shut down *without* waiting — its already-submitted work still completes,
+    and submission is serialized under the lock so nothing can be about to
+    submit to it.  Shrinking never happens; smaller requests are bounded by
+    the scheduler's admission cap instead.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1, cap: int = 32, thread_name_prefix: str = "korch"):
+        self.cap = max(1, int(cap))
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._size = 0
+        self._prefix = thread_name_prefix
+        self._closed = False
+        if workers:
+            self.ensure(workers)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def ensure(self, workers: int) -> None:
+        size = min(self.cap, max(1, int(workers)))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ThreadExecutor is shut down")
+            if self._pool is None or self._size < size:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix=self._prefix
+                )
+                self._size = size
+
+    def submit(self, fn, /, *args) -> Future:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ThreadExecutor is shut down")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=self._prefix
+                )
+                self._size = 1
+            return self._pool.submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+            self._size = 0
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+
+class ProcessExecutor(Executor):
+    """Process pool for CPU-bound tasks; functions and args must pickle.
+
+    ``start_method`` defaults to ``"spawn"``: the parent engine is
+    multi-threaded, and forking a threaded process is where the deadlocks
+    live.  Workers are long-lived, so the spawn cost is paid once per worker
+    per engine lifetime; :meth:`warm_up` pays it eagerly so benchmarks and
+    latency-sensitive services keep it off the critical path.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 0, start_method: str = "spawn"):
+        self.workers = int(workers) if workers and workers > 0 else (os.cpu_count() or 1)
+        self.start_method = start_method
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def _pool_locked(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("ProcessExecutor is shut down")
+        if self._pool is None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+        return self._pool
+
+    def submit(self, fn, /, *args) -> Future:
+        with self._lock:
+            return self._pool_locked().submit(fn, *args)
+
+    def warm_up(self) -> None:
+        """Start every worker now (spawned workers import the package once)."""
+        with self._lock:
+            pool = self._pool_locked()
+        # The warmers sleep briefly so no worker reports idle between the
+        # submissions — that is what makes the pool spawn all of them.
+        futures = [pool.submit(_warm) for _ in range(self.workers)]
+        for future in futures:
+            future.result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+
+def _warm(sleep_s: float = 0.2) -> None:
+    """Module-level so it pickles under the spawn start method."""
+    import time
+
+    time.sleep(sleep_s)

@@ -1,0 +1,348 @@
+"""The scheduler: topological dispatch of tasks onto pluggable executors.
+
+``Scheduler.submit`` takes a batch of :class:`~repro.engine.scheduler.task.Task`
+objects, validates the dependency graph (unique keys, known deps, acyclic —
+a topological check up front, so a bad graph fails loudly instead of
+deadlocking), and dispatches tasks whose dependencies have completed onto
+the executor registered for their ``kind``.  Scheduling policy:
+
+* **Admission cap** — at most ``admission_cap`` tasks are in flight across
+  all executors at once (``None`` = unlimited).  This is what bounds one
+  ``optimize_many`` call's concurrency regardless of executor pool sizes.
+* **Priority** — among ready tasks, lower ``priority`` dispatches first.
+  The engine uses this to drain in-flight partitions (profile/solve) before
+  admitting new ones (fission), keeping memory bounded.
+* **Per-model fairness** — within a priority class, dispatch round-robins
+  across ``model_id`` so one big model cannot starve the rest of the batch.
+
+Every task gets a :class:`concurrent.futures.Future`.  Failures propagate:
+a task that raises (or whose process-pool worker dies) fails its future, and
+every transitive dependent fails with :class:`DependencyFailed` — nothing
+ever hangs waiting on a dead dependency.  Cancelling a future before
+dispatch keeps the task from running and cancels its dependents.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import CancelledError, Future
+from typing import Any, Mapping, Sequence
+
+from .executors import Executor
+from .task import Dep, DependencyFailed, Task, TaskCancelled
+
+__all__ = ["SchedulerError", "Scheduler"]
+
+
+class SchedulerError(RuntimeError):
+    """Invalid task graph or scheduler misuse."""
+
+
+class _ReadyQueue:
+    """Priority buckets with round-robin across models inside each bucket."""
+
+    def __init__(self) -> None:
+        #: priority -> model_id -> FIFO of tasks; model order is rotation order.
+        self._buckets: dict[int, dict[int, deque[Task]]] = {}
+
+    def __len__(self) -> int:
+        return sum(
+            len(queue) for bucket in self._buckets.values() for queue in bucket.values()
+        )
+
+    def push(self, task: Task) -> None:
+        bucket = self._buckets.setdefault(task.priority, {})
+        bucket.setdefault(task.model_id, deque()).append(task)
+
+    def pop(self) -> Task | None:
+        for priority in sorted(self._buckets):
+            bucket = self._buckets[priority]
+            if not bucket:
+                continue
+            # Take from the first model in rotation order, then move that
+            # model to the back so the next pop serves a different model.
+            model_id, queue = next(iter(bucket.items()))
+            task = queue.popleft()
+            del bucket[model_id]
+            if queue:
+                bucket[model_id] = queue
+            if not bucket:
+                del self._buckets[priority]
+            return task
+        return None
+
+    def remove(self, key: str) -> Task | None:
+        for priority, bucket in list(self._buckets.items()):
+            for model_id, queue in list(bucket.items()):
+                for task in queue:
+                    if task.key == key:
+                        queue.remove(task)
+                        # Never leave an empty deque behind: pop() assumes
+                        # every present queue is non-empty.
+                        if not queue:
+                            del bucket[model_id]
+                        if not bucket:
+                            del self._buckets[priority]
+                        return task
+        return None
+
+
+class Scheduler:
+    """Dispatches dependency-ordered tasks onto named executors."""
+
+    def __init__(
+        self,
+        executors: Executor | Mapping[str, Executor],
+        admission_cap: int | None = None,
+    ) -> None:
+        if isinstance(executors, Executor):
+            executors = {"default": executors}
+        if "default" not in executors:
+            raise SchedulerError("scheduler needs a 'default' executor")
+        self.executors: dict[str, Executor] = dict(executors)
+        self.admission_cap = admission_cap if admission_cap is None else max(1, admission_cap)
+
+        self._lock = threading.RLock()
+        self._futures: dict[str, Future] = {}
+        self._tasks: dict[str, Task] = {}
+        #: Successful results only; failed/cancelled outcomes live in
+        #: ``_failures`` so a later batch depending on them fails too
+        #: instead of resolving its ``Dep`` to ``None``.
+        self._results: dict[str, Any] = {}
+        self._failures: dict[str, tuple[BaseException | None, bool]] = {}
+        self._remaining: dict[str, set[str]] = {}  # key -> unfinished deps
+        self._dependents: dict[str, list[str]] = {}
+        self._ready = _ReadyQueue()
+        self._in_flight = 0
+        self._pumping = False
+        self._closed = False
+        self._idle = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------- api
+    def submit(self, tasks: Sequence[Task]) -> dict[str, Future]:
+        """Enqueue ``tasks``; returns one future per task key."""
+        self._validate(tasks)
+        with self._lock:
+            if self._closed:
+                raise SchedulerError("scheduler is closed")
+            futures: dict[str, Future] = {}
+            for task in tasks:
+                future: Future = Future()
+                self._futures[task.key] = future
+                self._tasks[task.key] = task
+                futures[task.key] = future
+            for task in tasks:
+                failed_dep = next((d for d in task.deps if d in self._failures), None)
+                if failed_dep is not None:
+                    error, cancelled = self._failures[failed_dep]
+                    self._fail_dependent_locked(task.key, failed_dep, error, cancelled)
+                    continue
+                pending = {
+                    dep for dep in task.deps if dep not in self._results
+                }
+                for dep in pending:
+                    self._dependents.setdefault(dep, []).append(task.key)
+                if pending:
+                    self._remaining[task.key] = pending
+                else:
+                    self._ready.push(task)
+            self._pump_locked()
+            return futures
+
+    def run(self, tasks: Sequence[Task]) -> dict[str, Any]:
+        """Submit, wait for every task, and return results by key.
+
+        Raises the first failure (in task submission order) after all tasks
+        settle, mirroring the fail-fast behavior of a serial loop.
+        """
+        futures = self.submit(tasks)
+        for future in futures.values():
+            try:
+                future.result()
+            except (CancelledError, Exception):
+                # Task failures re-raise in submission order below.  The
+                # waiter's own KeyboardInterrupt/SystemExit must NOT be
+                # swallowed here — they propagate immediately.
+                pass
+        for task in tasks:
+            future = futures[task.key]
+            if future.cancelled():
+                raise CancelledError(f"task {task.key!r} was cancelled")
+            error = future.exception()
+            if error is not None:
+                raise error
+        return {key: future.result() for key, future in futures.items()}
+
+    def cancel(self, key: str) -> bool:
+        """Cancel a not-yet-dispatched task (and its dependents)."""
+        with self._lock:
+            future = self._futures.get(key)
+            if future is None:
+                return False
+            if not future.cancel():
+                return False
+            self._ready.remove(key)
+            self._remaining.pop(key, None)
+            self._settle_locked(key, cancelled=True)
+            self._pump_locked()
+            return True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted task has settled."""
+        with self._idle:
+            return self._idle.wait_for(self._quiescent_locked, timeout=timeout)
+
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Stop accepting tasks; optionally cancel the queued ones.
+
+        With ``wait=True`` (default) blocks until in-flight work settles.
+        Executors are owned by the caller and are *not* shut down here.
+        """
+        with self._lock:
+            self._closed = True
+            if cancel_pending:
+                for key, future in list(self._futures.items()):
+                    settled = key in self._results or key in self._failures
+                    if not settled and future.cancel():
+                        self._ready.remove(key)
+                        self._remaining.pop(key, None)
+                        self._settle_locked(key, cancelled=True)
+        if wait:
+            self.drain()
+
+    # ------------------------------------------------------------- internals
+    def _quiescent_locked(self) -> bool:
+        return self._in_flight == 0 and len(self._ready) == 0 and not self._remaining
+
+    def _validate(self, tasks: Sequence[Task]) -> None:
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise SchedulerError("duplicate task keys in batch")
+        with self._lock:
+            clobbered = [key for key in keys if key in self._futures]
+            if clobbered:
+                raise SchedulerError(
+                    f"task keys already submitted: {clobbered[:3]!r}"
+                )
+            known = set(self._tasks) | set(keys)
+        batch = {task.key: task for task in tasks}
+        for task in tasks:
+            for dep in task.deps:
+                if dep not in known:
+                    raise SchedulerError(f"task {task.key!r} depends on unknown {dep!r}")
+            if task.kind not in self.executors:
+                raise SchedulerError(
+                    f"task {task.key!r} has kind {task.kind!r} but no such executor"
+                )
+        # Cycle check (within the batch; completed tasks cannot form cycles).
+        state: dict[str, int] = {}
+
+        def visit(key: str) -> None:
+            state[key] = 1
+            for dep in batch[key].deps:
+                if dep not in batch:
+                    continue
+                mark = state.get(dep)
+                if mark == 1:
+                    raise SchedulerError(f"dependency cycle through {dep!r}")
+                if mark is None:
+                    visit(dep)
+            state[key] = 2
+
+        for key in batch:
+            if key not in state:
+                visit(key)
+
+    def _pump_locked(self) -> None:
+        """Dispatch ready tasks up to the admission cap.
+
+        Re-entrant calls (a SerialExecutor completes inline, its done
+        callback lands back here) just mark more work available; the
+        outermost pump loops until nothing is dispatchable.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while True:
+                if self.admission_cap is not None and self._in_flight >= self.admission_cap:
+                    return
+                task = self._ready.pop()
+                if task is None:
+                    return
+                self._dispatch_locked(task)
+        finally:
+            self._pumping = False
+            self._idle.notify_all()
+
+    def _dispatch_locked(self, task: Task) -> None:
+        future = self._futures[task.key]
+        if not future.set_running_or_notify_cancel():
+            self._settle_locked(task.key, cancelled=True)
+            return
+        try:
+            args = tuple(
+                self._results[arg.key] if isinstance(arg, Dep) else arg for arg in task.args
+            )
+            inner = self.executors[task.kind].submit(task.fn, *args)
+        except BaseException as exc:  # noqa: BLE001 - submission failure = task failure
+            future.set_exception(exc)
+            self._settle_locked(task.key, error=exc)
+            return
+        self._in_flight += 1
+        inner.add_done_callback(lambda done, key=task.key: self._on_done(key, done))
+
+    def _on_done(self, key: str, inner: Future) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            future = self._futures[key]
+            error = inner.exception()
+            if error is not None:
+                future.set_exception(error)
+                self._settle_locked(key, error=error)
+            else:
+                result = inner.result()
+                future.set_result(result)
+                self._settle_locked(key, result=result)
+            self._pump_locked()
+
+    def _settle_locked(
+        self,
+        key: str,
+        result: Any = None,
+        error: BaseException | None = None,
+        cancelled: bool = False,
+    ) -> None:
+        """Record an outcome and release or fail the task's dependents."""
+        failed = error is not None or cancelled
+        if failed:
+            self._failures[key] = (error, cancelled)
+        else:
+            self._results[key] = result
+        for dependent in self._dependents.pop(key, []):
+            if failed:
+                self._fail_dependent_locked(dependent, key, error, cancelled)
+                continue
+            pending = self._remaining.get(dependent)
+            if pending is None:
+                continue
+            pending.discard(key)
+            if not pending:
+                del self._remaining[dependent]
+                self._ready.push(self._tasks[dependent])
+        self._idle.notify_all()
+
+    def _fail_dependent_locked(
+        self, key: str, dep: str, error: BaseException | None, cancelled: bool
+    ) -> None:
+        self._remaining.pop(key, None)
+        self._ready.remove(key)
+        future = self._futures[key]
+        if future.cancelled() or future.done():
+            return
+        exc: BaseException = (
+            TaskCancelled(key, dep) if cancelled else DependencyFailed(key, dep, error)
+        )
+        future.set_exception(exc)
+        self._settle_locked(key, error=exc)

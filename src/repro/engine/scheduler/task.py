@@ -1,0 +1,87 @@
+"""Scheduler task model: what runs, after what, and where.
+
+A :class:`Task` is one unit of work — in the engine, one stage-group run over
+a :class:`~repro.engine.context.StageContext` — with declared dependencies on
+other tasks.  Tasks carry three pieces of scheduling metadata:
+
+``kind``
+    Which executor runs the task (``"default"`` or ``"cpu"``); the scheduler
+    maps kinds to :class:`~repro.engine.scheduler.executors.Executor`
+    instances.  CPU-kind tasks may run in another *process*, so their
+    function and arguments must be picklable.
+``model_id`` / ``priority``
+    Ready-queue ordering: lower priority values dispatch first, and within a
+    priority class the scheduler round-robins across model ids so one large
+    model cannot starve the others.
+
+Dependency results flow through :class:`Dep` placeholders: an argument equal
+to ``Dep("other-task")`` is substituted with that task's result at dispatch
+time, which keeps task functions pure and picklable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Dep", "Task", "TaskError", "DependencyFailed", "TaskCancelled"]
+
+
+class TaskError(RuntimeError):
+    """Base class for scheduler-raised task failures."""
+
+
+class DependencyFailed(TaskError):
+    """A task could not run because one of its dependencies failed."""
+
+    def __init__(self, key: str, dep: str, cause: BaseException | None = None) -> None:
+        super().__init__(f"task {key!r} skipped: dependency {dep!r} failed ({cause!r})")
+        self.key = key
+        self.dep = dep
+        self.cause = cause
+
+
+class TaskCancelled(TaskError):
+    """A task could not run because a dependency was cancelled."""
+
+    def __init__(self, key: str, dep: str) -> None:
+        super().__init__(f"task {key!r} skipped: dependency {dep!r} was cancelled")
+        self.key = key
+        self.dep = dep
+
+
+@dataclass(frozen=True)
+class Dep:
+    """Placeholder argument resolved to the named task's result at dispatch."""
+
+    key: str
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work."""
+
+    #: Unique key within one :meth:`Scheduler.submit` batch.
+    key: str
+    #: The work; called as ``fn(*args)`` with :class:`Dep` args resolved.
+    fn: Callable[..., Any]
+    args: tuple = ()
+    #: Keys of tasks that must complete before this one may dispatch.
+    deps: tuple[str, ...] = ()
+    #: Executor routing key ("default" unless the task is CPU-bound work
+    #: destined for a process pool).
+    kind: str = "default"
+    #: Model the task belongs to (ready-queue fairness across models).
+    model_id: int = 0
+    #: Dispatch class: lower runs first among ready tasks.  The engine gives
+    #: later pipeline stages lower values so in-flight partitions drain
+    #: before new ones start (bounded memory, depth-first progress).
+    priority: int = 0
+    #: Free-form metadata (not interpreted by the scheduler).
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("task key must be non-empty")
+        if self.key in self.deps:
+            raise ValueError(f"task {self.key!r} depends on itself")

@@ -1,0 +1,163 @@
+"""Process-pool side of the engine: the picklable partition prologue.
+
+``ProcessExecutor`` tasks run in worker processes that share nothing with
+the engine — no backends, no profiler caches, no SQLite store.  This module
+is everything such a worker needs: a pure function over picklable inputs
+(:class:`~repro.partition.Partition`, :class:`~repro.engine.config.KorchConfig`,
+:class:`~repro.gpu.specs.GpuSpec`) that runs the GIL-bound prologue of the
+staged flow — operator fission, primitive-graph optimization and candidate
+enumeration — and returns a picklable :class:`PrologueResult`.
+
+Two kinds of state produced in the child are routed back through the parent:
+
+* **Profile-cache writes** — the graph optimizer prices singleton kernels
+  through a :class:`~repro.gpu.profiler.KernelProfiler`; in the parent those
+  writes land in the shared persistent cache.  The child records them with a
+  :class:`_RecordingProfileCache` and the parent replays them into its own
+  cache (``tuned=False``, exactly like the parent-side cost-proxy profiler),
+  so later models still hit warm entries whichever executor produced them.
+* **Identify-memo hits** — each worker process keeps its own
+  :class:`~repro.engine.memo.IdentifyMemo`; hits are reported back and folded
+  into ``EngineStats.identify_memo_hits``.
+
+Determinism: fission, graph optimization and enumeration are pure functions
+of their inputs, so a prologue computed in a worker process is bit-identical
+to one computed on an engine thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from ...fission import FissionEngine, FissionReport
+from ...gpu.profiler import KernelProfiler, ProfilerStats
+from ...gpu.specs import GpuSpec
+from ...orchestration import KernelIdentifierReport
+from ...orchestration.identifier import CandidateSpec, enumerate_candidate_specs
+from ...partition import Partition
+from ...primitives.graph import PrimitiveGraph
+from ...transforms import GraphOptimizerReport, PrimitiveGraphOptimizer
+from ..memo import IdentifyMemo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import KorchConfig
+
+__all__ = ["PrologueResult", "run_partition_prologue"]
+
+
+@dataclass
+class PrologueResult:
+    """Everything the prologue produced, shippable across the process gap."""
+
+    pg: PrimitiveGraph
+    fission_report: FissionReport
+    optimizer_report: GraphOptimizerReport | None
+    #: Enumerated candidate specs, or ``None`` when enumeration was skipped
+    #: (a stored plan makes replay likely; the parent enumerates on replay
+    #: failure only).
+    specs: list[CandidateSpec] | None
+    report: KernelIdentifierReport | None
+    #: Whether the worker-local identify memo answered the enumeration.
+    memo_hit: bool = False
+    #: Graph-optimizer profile-cache writes to replay in the parent:
+    #: (signature, profile-or-None, tuned) triples.
+    cache_writes: list[tuple] = field(default_factory=list)
+    #: The child graph-opt profiler's accounting (merged into the parent's).
+    profiler_stats: ProfilerStats = field(default_factory=ProfilerStats)
+    #: Wall-clock seconds per stage name, recorded in the worker.
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+class _RecordingProfileCache:
+    """Duck-typed persistent profile cache that records writes for the parent.
+
+    Reads always miss (the child has no view of the parent's cache); writes
+    are captured as picklable triples.  The profiler's own in-memory memo
+    still deduplicates within the partition.
+    """
+
+    def __init__(self, writes: list[tuple]) -> None:
+        self._writes = writes
+
+    def get(self, signature: tuple, key: str | None = None):
+        return False, None, False
+
+    def put(self, signature: tuple, profile, tuned: bool = True, key: str | None = None) -> None:
+        self._writes.append((signature, profile, tuned))
+
+    def for_backends(self, backends: Sequence) -> "_RecordingProfileCache":
+        return self
+
+
+#: Per-worker-process identify memo; repeated partition structures arriving
+#: at the same worker skip enumeration without any cross-process traffic.
+_WORKER_MEMO: IdentifyMemo | None = None
+
+
+def _worker_memo(max_entries: int) -> IdentifyMemo:
+    global _WORKER_MEMO
+    if _WORKER_MEMO is None or _WORKER_MEMO.max_entries != max_entries:
+        _WORKER_MEMO = IdentifyMemo(max_entries)
+    return _WORKER_MEMO
+
+
+def run_partition_prologue(
+    partition: Partition,
+    config: "KorchConfig",
+    spec: GpuSpec,
+    enumerate_specs: bool = True,
+) -> PrologueResult:
+    """Fission + graph optimization (+ enumeration) for one partition."""
+    import time
+
+    timings: dict[str, float] = {}
+    writes: list[tuple] = []
+
+    started = time.perf_counter()
+    pg, fission_report = FissionEngine().run(partition.graph)
+    timings["fission"] = time.perf_counter() - started
+
+    optimizer_report = None
+    profiler_stats = ProfilerStats()
+    started = time.perf_counter()
+    if config.enable_graph_optimizer:
+        profiler = KernelProfiler(
+            spec,
+            persistent_cache=_RecordingProfileCache(writes),
+            tuning_authoritative=False,
+        )
+        graph_optimizer = PrimitiveGraphOptimizer(
+            spec, config=config.graph_optimizer, profiler=profiler
+        )
+        pg, optimizer_report = graph_optimizer.optimize(pg)
+        profiler_stats.merge(profiler.stats)
+    timings["graph_opt"] = time.perf_counter() - started
+
+    specs: list[CandidateSpec] | None = None
+    report: KernelIdentifierReport | None = None
+    memo_hit = False
+    if enumerate_specs:
+        started = time.perf_counter()
+        memo = _worker_memo(config.engine.identify_memo_entries)
+        cached = memo.get(pg, config.identifier)
+        if cached is not None:
+            specs, report = cached
+            memo_hit = True
+        else:
+            report = KernelIdentifierReport()
+            specs = enumerate_candidate_specs(pg, config.identifier, report)
+            memo.put(pg, config.identifier, specs, report)
+        timings["identify"] = time.perf_counter() - started
+
+    return PrologueResult(
+        pg=pg,
+        fission_report=fission_report,
+        optimizer_report=optimizer_report,
+        specs=specs,
+        report=report,
+        memo_hit=memo_hit,
+        cache_writes=writes,
+        profiler_stats=profiler_stats,
+        timings=timings,
+    )

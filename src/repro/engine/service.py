@@ -1,0 +1,346 @@
+"""``KorchService``: an async, queued serving front-end over the engine.
+
+``KorchEngine`` answers blocking calls; a serving deployment needs admission
+and backpressure instead: requests arrive concurrently, carry priorities,
+and callers want futures, not stalls.  ``KorchService`` provides that:
+
+* ``submit(graph) -> ServiceRequest`` — a ``Future[KorchResult]``; requests
+  queue by priority class (FIFO within a class) and are served by a small
+  pool of request workers, each driving the shared engine (which in turn
+  schedules partition tasks onto its executors).
+* ``submit_many`` for batches, ``cancel`` for queued requests,
+  ``drain()`` to quiesce gracefully, ``close()`` to shut down.
+* per-request :class:`ServiceStats` — queue wait, run time, per-stage
+  seconds, cache accounting — and an aggregate :class:`ServiceReport`.
+
+Results are **bit-identical** to ``KorchEngine.optimize`` on the same
+graph: the service adds queueing and bookkeeping, never a different code
+path.  ``max_pending`` bounds the queue; beyond it ``submit`` raises
+:class:`ServiceOverloaded` so overload is explicit, not an OOM.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Callable, Sequence
+
+from ..ir.graph import Graph
+from .config import KorchConfig
+from .engine import KorchEngine
+from .result import KorchResult
+
+__all__ = [
+    "Priority",
+    "ServiceStats",
+    "ServiceReport",
+    "ServiceRequest",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "KorchService",
+]
+
+
+class Priority(IntEnum):
+    """Request priority classes; lower values are served first."""
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+class ServiceClosed(RuntimeError):
+    """Submission rejected: the service is draining or closed."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """Submission rejected: the pending queue is at ``max_pending``."""
+
+
+@dataclass
+class ServiceStats:
+    """Per-request accounting, filled in as the request moves through."""
+
+    model: str
+    priority: Priority
+    #: "queued" → "running" → "done" | "failed" | "cancelled".
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Seconds spent waiting in the service queue.
+    queue_wait_s: float | None = None
+    #: Seconds spent inside the engine.
+    run_s: float | None = None
+    #: Wall-clock seconds per engine stage (from the result).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    plan_cache: str | None = None
+    partitions_replayed: int | None = None
+    profile_cache_hits: int | None = None
+    backend_estimate_calls: int | None = None
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "priority": self.priority.name,
+            "status": self.status,
+            "queue_wait_s": self.queue_wait_s,
+            "run_s": self.run_s,
+            "stage_seconds": dict(self.stage_seconds),
+            "plan_cache": self.plan_cache,
+            "partitions_replayed": self.partitions_replayed,
+            "profile_cache_hits": self.profile_cache_hits,
+            "backend_estimate_calls": self.backend_estimate_calls,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate lifetime counters of one service."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    max_queue_depth: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class ServiceRequest:
+    """A submitted request: ``Future[KorchResult]`` plus its statistics.
+
+    Implements the ``concurrent.futures.Future`` consumer protocol
+    (``result``, ``exception``, ``done``, ``cancel``,
+    ``add_done_callback``), so it drops into ``as_completed``-style code.
+    """
+
+    def __init__(self, graph: Graph, priority: Priority) -> None:
+        self.graph = graph
+        self.stats = ServiceStats(
+            model=graph.name, priority=priority, submitted_at=time.perf_counter()
+        )
+        self._future: Future = Future()
+
+    # ------------------------------------------------------- future protocol
+    def result(self, timeout: float | None = None) -> KorchResult:
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        return self._future.exception(timeout)
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def running(self) -> bool:
+        return self._future.running()
+
+    def cancelled(self) -> bool:
+        return self._future.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel the request if it has not started running."""
+        if self._future.cancel():
+            self.stats.status = "cancelled"
+            self.stats.finished_at = time.perf_counter()
+            return True
+        return False
+
+    def add_done_callback(self, fn: Callable[["ServiceRequest"], None]) -> None:
+        self._future.add_done_callback(lambda _unused: fn(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServiceRequest({self.graph.name!r}, {self.stats.status})"
+
+
+class KorchService:
+    """Queued, prioritized, future-returning serving layer over one engine.
+
+    Either wraps an existing engine or owns a private one built from
+    ``config``; a privately-built engine is closed with the service.
+
+    ``workers`` bounds *requests* optimized concurrently — within each
+    request the engine's own scheduler still parallelizes partitions, so
+    total parallelism is the product of the two layers.
+    """
+
+    def __init__(
+        self,
+        engine: KorchEngine | None = None,
+        config: KorchConfig | None = None,
+        workers: int = 2,
+        max_pending: int | None = None,
+    ) -> None:
+        if engine is not None and config is not None:
+            raise ValueError("pass either an engine or a config, not both")
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else KorchEngine(config or KorchConfig())
+        self.max_pending = max_pending
+        self.report = ServiceReport()
+
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queue: list[tuple[int, int, ServiceRequest]] = []  # heap
+        self._seq = itertools.count()
+        self._running = 0
+        self._draining = False
+        self._closing = False
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"korch-service-{index}", daemon=True
+            )
+            for index in range(max(1, int(workers)))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------- api
+    def submit(self, graph: Graph, priority: Priority = Priority.NORMAL) -> ServiceRequest:
+        """Enqueue one model; returns a future resolving to its result."""
+        request = ServiceRequest(graph, Priority(priority))
+        with self._lock:
+            if self._closed or self._draining:
+                self.report.rejected += 1
+                raise ServiceClosed("service is not accepting submissions")
+            if self.max_pending is not None and len(self._queue) >= self.max_pending:
+                self.report.rejected += 1
+                raise ServiceOverloaded(
+                    f"pending queue is full ({self.max_pending} requests)"
+                )
+            heapq.heappush(self._queue, (int(request.stats.priority), next(self._seq), request))
+            self.report.submitted += 1
+            self.report.max_queue_depth = max(self.report.max_queue_depth, len(self._queue))
+            self._wakeup.notify()
+        return request
+
+    def submit_many(
+        self, graphs: Sequence[Graph], priority: Priority = Priority.NORMAL
+    ) -> list[ServiceRequest]:
+        return [self.submit(graph, priority) for graph in graphs]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Serve everything already accepted, rejecting new submissions
+        meanwhile; returns whether the service quiesced within ``timeout``.
+        The service accepts submissions again after a completed drain."""
+        with self._lock:
+            self._draining = True
+            try:
+                return self._idle.wait_for(
+                    lambda: not self._queue and self._running == 0, timeout=timeout
+                )
+            finally:
+                # Reopen intake only if no close() started meanwhile — a
+                # returning drain must never re-admit work under a closer
+                # that is still waiting for quiescence.
+                if not self._closing:
+                    self._draining = False
+
+    def close(self, cancel_pending: bool = False, timeout: float | None = None) -> None:
+        """Stop the service: optionally cancel queued requests, then wait
+        for in-flight ones and shut the workers down.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closing = True
+            self._draining = True
+            if cancel_pending:
+                remaining = []
+                for entry in self._queue:
+                    request = entry[2]
+                    if request.cancel():
+                        self.report.cancelled += 1
+                    else:  # pragma: no cover - race with a starting worker
+                        remaining.append(entry)
+                self._queue = remaining
+                heapq.heapify(self._queue)
+            self._idle.wait_for(
+                lambda: not self._queue and self._running == 0, timeout=timeout
+            )
+            self._closed = True
+            self._wakeup.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=timeout)
+        if self._owns_engine:
+            self.engine.close()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._running
+
+    def __enter__(self) -> "KorchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if self._closed and not self._queue:
+                    return
+                _, _, request = heapq.heappop(self._queue)
+                if not request._future.set_running_or_notify_cancel():
+                    # Cancelled while queued; account for it and move on.
+                    self.report.cancelled += 1
+                    self._idle.notify_all()
+                    continue
+                self._running += 1
+            self._serve(request)
+            with self._lock:
+                self._running -= 1
+                self._idle.notify_all()
+
+    def _serve(self, request: ServiceRequest) -> None:
+        stats = request.stats
+        stats.started_at = time.perf_counter()
+        stats.queue_wait_s = stats.started_at - stats.submitted_at
+        stats.status = "running"
+        try:
+            result = self.engine.optimize(request.graph)
+        except BaseException as exc:  # noqa: BLE001 - routed into the future
+            stats.status = "failed"
+            stats.error = repr(exc)
+            stats.finished_at = time.perf_counter()
+            stats.run_s = stats.finished_at - stats.started_at
+            with self._lock:
+                self.report.failed += 1
+            request._future.set_exception(exc)
+            return
+        stats.finished_at = time.perf_counter()
+        stats.run_s = stats.finished_at - stats.started_at
+        stats.status = "done"
+        stats.stage_seconds = result.stage_seconds
+        stats.plan_cache = result.cache.plan_cache
+        stats.partitions_replayed = result.cache.partitions_replayed
+        stats.profile_cache_hits = result.cache.profile_cache_hits
+        stats.backend_estimate_calls = result.cache.backend_estimate_calls
+        with self._lock:
+            self.report.completed += 1
+        request._future.set_result(result)

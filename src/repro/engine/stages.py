@@ -84,6 +84,11 @@ class IdentifyStage(Stage):
     it names exactly the kernels to build, making enumeration, profiling of
     non-selected candidates, and the BLP solve unnecessary.  An invalid plan
     (stale shape, corrupted payload) falls through to cold enumeration.
+
+    Enumeration itself is answered in preference order: specs already on the
+    context (a process-pool prologue ran them), then the engine's identify
+    memo (an equal-structure partition enumerated before), then fresh
+    enumeration — which is recorded in the memo for the next repeat.
     """
 
     name = "identify"
@@ -94,9 +99,20 @@ class IdentifyStage(Stage):
             if orchestration is not None:
                 ctx.orchestration = orchestration
                 return ctx
+        if ctx.candidate_specs is not None and ctx.identifier_report is not None:
+            return ctx  # enumerated elsewhere (process prologue)
+        memo = ctx.identify_memo
+        if memo is not None:
+            cached = memo.get(ctx.pg, ctx.config.identifier)
+            if cached is not None:
+                ctx.candidate_specs, ctx.identifier_report = cached
+                ctx.identify_memo_hit = True
+                return ctx
         report = KernelIdentifierReport()
         ctx.candidate_specs = ctx.optimizer.identifier.enumerate_specs(ctx.pg, report)
         ctx.identifier_report = report
+        if memo is not None:
+            memo.put(ctx.pg, ctx.config.identifier, ctx.candidate_specs, report)
         return ctx
 
 

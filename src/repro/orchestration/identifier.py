@@ -23,7 +23,13 @@ from ..primitives.graph import PrimitiveGraph, PrimitiveNode
 from .execution_state import connected_components, convex_subgraphs_from_states, enumerate_execution_states
 from .kernel import CandidateKernel
 
-__all__ = ["CandidateSpec", "KernelIdentifierConfig", "KernelIdentifierReport", "KernelIdentifier"]
+__all__ = [
+    "CandidateSpec",
+    "KernelIdentifierConfig",
+    "KernelIdentifierReport",
+    "KernelIdentifier",
+    "enumerate_candidate_specs",
+]
 
 
 @dataclass
@@ -155,42 +161,8 @@ class KernelIdentifier:
     def enumerate_specs(
         self, pg: PrimitiveGraph, report: KernelIdentifierReport
     ) -> list[CandidateSpec]:
-        """Enumeration half of Algorithm 1: convex sets, pruning, output
-        variants — everything except pricing the candidates.
-
-        Enumeration stops at ``max_candidates`` specs, so a tight cap bounds
-        this stage too.  (When the cap binds *and* profiling rejects some
-        specs, the surviving set can be slightly smaller than the legacy
-        interleaved flow's — both are arbitrary truncations under a safety
-        valve that defaults to 50k.)
-        """
-        states = enumerate_execution_states(pg, max_states=self.config.max_states)
-        report.num_execution_states = len(states)
-
-        convex_sets = convex_subgraphs_from_states(states, max_size=self.config.max_kernel_size)
-        # Singletons are always candidates, even if the state-pair enumeration
-        # was truncated: they are the fallback that keeps the BLP feasible.
-        for node in pg.nodes:
-            convex_sets.add(frozenset({node.name}))
-        report.num_convex_sets = len(convex_sets)
-
-        nodes_by_name = {node.name: node for node in pg.nodes}
-        specs: list[CandidateSpec] = []
-        seen: set[tuple[frozenset[str], tuple[str, ...]]] = set()
-        for node_set in sorted(convex_sets, key=lambda s: (len(s), sorted(s))):
-            if len(specs) >= self.config.max_candidates:
-                break
-            if self._prune(pg, node_set, nodes_by_name, report):
-                continue
-            for exec_names, outputs in self._candidate_variants(pg, node_set, nodes_by_name):
-                key = (exec_names, tuple(sorted(outputs)))
-                if key in seen:
-                    continue
-                seen.add(key)
-                specs.append(CandidateSpec(exec_names, tuple(outputs)))
-                if len(specs) >= self.config.max_candidates:
-                    break
-        return specs
+        """Enumeration half of Algorithm 1; see :func:`enumerate_candidate_specs`."""
+        return enumerate_candidate_specs(pg, self.config, report)
 
     def profile_specs(
         self,
@@ -238,80 +210,6 @@ class KernelIdentifier:
         return surviving
 
     # ------------------------------------------------------------- internals
-    def _prune(
-        self,
-        pg: PrimitiveGraph,
-        node_set: frozenset[str],
-        nodes_by_name: dict[str, PrimitiveNode],
-        report: KernelIdentifierReport,
-    ) -> bool:
-        """Apply the §6.5 pruning heuristics; returns True when pruned."""
-        if len(node_set) > self.config.max_kernel_size:
-            report.pruned_by_size += 1
-            return True
-        members = [nodes_by_name[name] for name in node_set]
-        num_linear = sum(1 for node in members if node.is_linear)
-        if num_linear > self.config.max_linear_per_kernel:
-            report.pruned_by_linear += 1
-            return True
-        has_opaque = any(node.prim.category.value == "opaque" for node in members)
-        if has_opaque and len(node_set) > 1:
-            report.pruned_by_linear += 1
-            return True
-        if self.config.require_connected and len(node_set) > 1:
-            if len(connected_components(pg, node_set)) > 1:
-                report.pruned_by_connectivity += 1
-                return True
-        return False
-
-    def _candidate_variants(
-        self,
-        pg: PrimitiveGraph,
-        node_set: frozenset[str],
-        nodes_by_name: dict[str, PrimitiveNode],
-    ):
-        """Yield (execution set, output tensors) variants for a convex set.
-
-        Possible outputs (Definition 3) are the members with a consumer
-        outside the set, plus graph-output producers.  One single-output
-        candidate is emitted per possible output (restricted to that output's
-        ancestors inside the set, which is the part of the set the kernel
-        actually needs), plus — optionally — one candidate materializing all
-        required outputs at once.
-        """
-        members = [nodes_by_name[name] for name in node_set]
-        _, required_outputs = pg.subset_io(members)
-        if not required_outputs:
-            return
-
-        ancestors_cache: dict[str, set[str]] = {}
-
-        def ancestors_within(target: PrimitiveNode) -> frozenset[str]:
-            if target.name not in ancestors_cache:
-                result: set[str] = {target.name}
-                stack = [target]
-                while stack:
-                    current = stack.pop()
-                    for pred in pg.predecessors(current):
-                        if pred.name in node_set and pred.name not in result:
-                            result.add(pred.name)
-                            stack.append(pred)
-                ancestors_cache[target.name] = result
-            return frozenset(ancestors_cache[target.name])
-
-        emitted_full = False
-        for tensor in required_outputs:
-            producer = pg.producer(tensor)
-            if producer is None or producer.name not in node_set:
-                continue
-            restricted = ancestors_within(producer)
-            yield restricted, [tensor]
-            if restricted == node_set and len(required_outputs) == 1:
-                emitted_full = True
-
-        if self.config.allow_multi_output and len(required_outputs) > 1 and not emitted_full:
-            yield frozenset(node_set), list(required_outputs)
-
     def _profile_candidate(
         self,
         pg: PrimitiveGraph,
@@ -339,3 +237,131 @@ class KernelIdentifier:
             profile=profile,
             source_ops=frozenset(node.source_op for node in nodes if node.source_op),
         )
+
+
+# ---------------------------------------------------------------- enumeration
+#
+# The enumeration half of Algorithm 1 lives at module level, as a pure
+# function of picklable inputs (PrimitiveGraph + KernelIdentifierConfig).
+# That is what lets the engine's scheduler ship the GIL-bound enumeration to
+# a process-pool worker: no profiler, backends, caches or locks ride along.
+
+
+def enumerate_candidate_specs(
+    pg: PrimitiveGraph,
+    config: KernelIdentifierConfig,
+    report: KernelIdentifierReport,
+) -> list[CandidateSpec]:
+    """Enumeration half of Algorithm 1: convex sets, pruning, output
+    variants — everything except pricing the candidates.
+
+    Deterministic in ``(pg structure, config)``; reads no tensor shapes or
+    dtypes, so equal structures yield equal spec lists.  Enumeration stops at
+    ``max_candidates`` specs, so a tight cap bounds this stage too.  (When
+    the cap binds *and* profiling rejects some specs, the surviving set can
+    be slightly smaller than the legacy interleaved flow's — both are
+    arbitrary truncations under a safety valve that defaults to 50k.)
+    """
+    states = enumerate_execution_states(pg, max_states=config.max_states)
+    report.num_execution_states = len(states)
+
+    convex_sets = convex_subgraphs_from_states(states, max_size=config.max_kernel_size)
+    # Singletons are always candidates, even if the state-pair enumeration
+    # was truncated: they are the fallback that keeps the BLP feasible.
+    for node in pg.nodes:
+        convex_sets.add(frozenset({node.name}))
+    report.num_convex_sets = len(convex_sets)
+
+    nodes_by_name = {node.name: node for node in pg.nodes}
+    specs: list[CandidateSpec] = []
+    seen: set[tuple[frozenset[str], tuple[str, ...]]] = set()
+    for node_set in sorted(convex_sets, key=lambda s: (len(s), sorted(s))):
+        if len(specs) >= config.max_candidates:
+            break
+        if _prune_node_set(pg, node_set, nodes_by_name, config, report):
+            continue
+        for exec_names, outputs in _candidate_variants(pg, node_set, nodes_by_name, config):
+            key = (exec_names, tuple(sorted(outputs)))
+            if key in seen:
+                continue
+            seen.add(key)
+            specs.append(CandidateSpec(exec_names, tuple(outputs)))
+            if len(specs) >= config.max_candidates:
+                break
+    return specs
+
+
+def _prune_node_set(
+    pg: PrimitiveGraph,
+    node_set: frozenset[str],
+    nodes_by_name: dict[str, PrimitiveNode],
+    config: KernelIdentifierConfig,
+    report: KernelIdentifierReport,
+) -> bool:
+    """Apply the §6.5 pruning heuristics; returns True when pruned."""
+    if len(node_set) > config.max_kernel_size:
+        report.pruned_by_size += 1
+        return True
+    members = [nodes_by_name[name] for name in node_set]
+    num_linear = sum(1 for node in members if node.is_linear)
+    if num_linear > config.max_linear_per_kernel:
+        report.pruned_by_linear += 1
+        return True
+    has_opaque = any(node.prim.category.value == "opaque" for node in members)
+    if has_opaque and len(node_set) > 1:
+        report.pruned_by_linear += 1
+        return True
+    if config.require_connected and len(node_set) > 1:
+        if len(connected_components(pg, node_set)) > 1:
+            report.pruned_by_connectivity += 1
+            return True
+    return False
+
+
+def _candidate_variants(
+    pg: PrimitiveGraph,
+    node_set: frozenset[str],
+    nodes_by_name: dict[str, PrimitiveNode],
+    config: KernelIdentifierConfig,
+):
+    """Yield (execution set, output tensors) variants for a convex set.
+
+    Possible outputs (Definition 3) are the members with a consumer
+    outside the set, plus graph-output producers.  One single-output
+    candidate is emitted per possible output (restricted to that output's
+    ancestors inside the set, which is the part of the set the kernel
+    actually needs), plus — optionally — one candidate materializing all
+    required outputs at once.
+    """
+    members = [nodes_by_name[name] for name in node_set]
+    _, required_outputs = pg.subset_io(members)
+    if not required_outputs:
+        return
+
+    ancestors_cache: dict[str, set[str]] = {}
+
+    def ancestors_within(target: PrimitiveNode) -> frozenset[str]:
+        if target.name not in ancestors_cache:
+            result: set[str] = {target.name}
+            stack = [target]
+            while stack:
+                current = stack.pop()
+                for pred in pg.predecessors(current):
+                    if pred.name in node_set and pred.name not in result:
+                        result.add(pred.name)
+                        stack.append(pred)
+            ancestors_cache[target.name] = result
+        return frozenset(ancestors_cache[target.name])
+
+    emitted_full = False
+    for tensor in required_outputs:
+        producer = pg.producer(tensor)
+        if producer is None or producer.name not in node_set:
+            continue
+        restricted = ancestors_within(producer)
+        yield restricted, [tensor]
+        if restricted == node_set and len(required_outputs) == 1:
+            emitted_full = True
+
+    if config.allow_multi_output and len(required_outputs) > 1 and not emitted_full:
+        yield frozenset(node_set), list(required_outputs)

@@ -50,7 +50,6 @@ from .engine import (
     KorchResult,
     PartitionResult,
 )
-from .engine.registry import _PLAN_CACHES, _STORES, shared_store as _shared_store
 from .gpu.specs import GpuSpec
 from .ir.graph import Graph
 

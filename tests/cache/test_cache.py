@@ -16,7 +16,7 @@ import sqlite3
 import numpy as np
 import pytest
 
-import repro.pipeline as pipeline_mod
+from repro.engine import registry
 from repro.cache import (
     CacheStore,
     PersistentProfileCache,
@@ -47,15 +47,12 @@ def plan_key_of(pipe, graph):
 
 @pytest.fixture(autouse=True)
 def isolated_store_registry():
-    """Each test sees fresh process-level store/plan-cache registries."""
-    stores, plans = dict(pipeline_mod._STORES), dict(pipeline_mod._PLAN_CACHES)
-    pipeline_mod._STORES.clear()
-    pipeline_mod._PLAN_CACHES.clear()
+    """Close stores this test opened, without touching stores other suites
+    (e.g. a session-scoped benchmark engine) still hold open."""
+    before = set(registry.open_stores())
     yield
-    pipeline_mod._STORES.clear()
-    pipeline_mod._PLAN_CACHES.clear()
-    pipeline_mod._STORES.update(stores)
-    pipeline_mod._PLAN_CACHES.update(plans)
+    for key in set(registry.open_stores()) - before:
+        registry.close_store(key)
 
 
 def small_attention_graph():
@@ -207,8 +204,7 @@ class TestPipelineCache:
         assert cold.cache.backend_estimate_calls > 0
 
         # New pipeline + cleared registries simulates a new process.
-        pipeline_mod._STORES.clear()
-        pipeline_mod._PLAN_CACHES.clear()
+        registry.close_store(tmp_path)
         warm = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
         assert warm.summary()["plan_cache"] == "disk-hit"
         assert warm.cache.partitions_replayed == len(warm.partitions)
@@ -231,8 +227,7 @@ class TestPipelineCache:
         key = plan_key_of(pipe, graph)
         pipe.store.put("orchestration-plans", key, "{broken json")
 
-        pipeline_mod._STORES.clear()
-        pipeline_mod._PLAN_CACHES.clear()
+        registry.close_store(tmp_path)
         rerun = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
         assert rerun.summary()["plan_cache"] == "miss"  # fell back, not fatal
         assert rerun.latency_s == cold.latency_s
@@ -247,8 +242,7 @@ class TestPipelineCache:
         stored.partitions[0].kernels[0].node_names = ["no_such_node"]
         pipe.plan_cache.save(key, stored)
 
-        pipeline_mod._STORES.clear()
-        pipeline_mod._PLAN_CACHES.clear()
+        registry.close_store(tmp_path)
         rerun = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
         assert rerun.cache.partitions_replayed < len(rerun.partitions)
         assert rerun.latency_s == cold.latency_s
@@ -256,8 +250,7 @@ class TestPipelineCache:
     def test_different_config_misses_plan_cache(self, tmp_path):
         graph = small_attention_graph()
         KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
-        pipeline_mod._STORES.clear()
-        pipeline_mod._PLAN_CACHES.clear()
+        registry.close_store(tmp_path)
         other = KorchPipeline(
             KorchConfig(gpu="V100", cache_dir=tmp_path, solver_mip_rel_gap=0.0)
         ).optimize(graph)
@@ -313,8 +306,7 @@ class TestWarmRunStatistics:
         assert cold.num_candidate_kernels > cold.num_kernels
         assert cold.tuning.total_seconds > 0
 
-        pipeline_mod._STORES.clear()
-        pipeline_mod._PLAN_CACHES.clear()
+        registry.close_store(tmp_path)
         warm = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
         assert warm.summary()["plan_cache"] == "disk-hit"
         assert warm.num_candidate_kernels == cold.num_candidate_kernels
@@ -338,8 +330,7 @@ class TestWarmRunStatistics:
                     for n in k.node_names}
         assert not any("sigmoid" in name for name in executed), "solver should skip dead work"
 
-        pipeline_mod._STORES.clear()
-        pipeline_mod._PLAN_CACHES.clear()
+        registry.close_store(tmp_path)
         warm = KorchPipeline(KorchConfig(gpu="V100", cache_dir=tmp_path)).optimize(graph)
         assert warm.summary()["plan_cache"] == "disk-hit"
         assert warm.cache.partitions_replayed == len(warm.partitions)

@@ -1,0 +1,221 @@
+"""Engine executor modes and identify-stage memoization.
+
+The contracts: every executor mode ("serial", "thread", "process") returns
+bit-identical strategies for the same graph, and repeated partition
+structures skip enumeration via the identify memo (counted in
+``EngineStats.identify_memo_hits``) without changing any result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import KorchConfig, KorchEngine, KorchEngineConfig
+from repro.engine.memo import IdentifyMemo, pg_structure_key
+from repro.fission import FissionEngine
+from repro.ir import GraphBuilder
+from repro.orchestration import KernelIdentifierConfig, KernelIdentifierReport
+from repro.orchestration.identifier import enumerate_candidate_specs
+
+
+def attention_model(name: str, heads: int = 4):
+    b = GraphBuilder(name)
+    x = b.input("x", (1, heads, 32, 16))
+    w = b.param("w", (1, heads, 16, 32))
+    v = b.param("v", (1, heads, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+class TestExecutorModes:
+    def reference(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            return engine.optimize(attention_model("modes"))
+
+    def test_serial_mode_matches_thread_mode(self):
+        reference = self.reference()
+        config = KorchConfig(gpu="V100", engine=KorchEngineConfig(executor="serial"))
+        with KorchEngine(config) as engine:
+            result = engine.optimize(attention_model("modes"))
+        assert strategy_fingerprint(result) == strategy_fingerprint(reference)
+        assert result.latency_s == reference.latency_s
+
+    def test_process_mode_bit_identical_to_thread_mode(self):
+        """The acid test of the process executor: shipping the prologue to a
+        worker process changes wall-clock, never results."""
+        reference = self.reference()
+        config = KorchConfig(
+            gpu="V100",
+            num_workers=2,
+            engine=KorchEngineConfig(executor="process", process_workers=1),
+        )
+        with KorchEngine(config) as engine:
+            engine.warm_up()
+            result = engine.optimize(attention_model("modes"))
+            summary = result.summary()
+        assert strategy_fingerprint(result) == strategy_fingerprint(reference)
+        assert result.latency_s == reference.latency_s
+        # The worker's prologue timings made it back into the summary.
+        assert summary["stage_fission_s"] >= 0.0
+        assert summary["stage_identify_s"] > 0.0
+
+    def test_process_mode_replays_plans_from_memory_tier(self):
+        config = KorchConfig(
+            gpu="V100",
+            engine=KorchEngineConfig(executor="process", process_workers=1),
+        )
+        with KorchEngine(config) as engine:
+            first = engine.optimize(attention_model("replayed"))
+            second = engine.optimize(attention_model("replayed"))
+        assert second.cache.plan_cache == "memory-hit"
+        assert second.latency_s == first.latency_s
+
+    def test_process_mode_replays_stored_plans_from_disk(self, tmp_path):
+        """With a stored plan, the worker skips enumeration and the parent
+        replays — the warm path must stay warm in process mode."""
+        from repro.engine import registry
+
+        def config():
+            return KorchConfig(
+                gpu="V100",
+                cache_dir=tmp_path,
+                engine=KorchEngineConfig(executor="process", process_workers=1),
+            )
+
+        with KorchEngine(config()) as engine:
+            cold = engine.optimize(attention_model("disk_replay"))
+        registry.close_store(tmp_path)  # simulate a fresh serving process
+        with KorchEngine(config()) as engine:
+            warm = engine.optimize(attention_model("disk_replay"))
+        assert warm.cache.plan_cache == "disk-hit"
+        assert warm.cache.partitions_replayed == len(warm.partitions)
+        assert warm.latency_s == cold.latency_s
+        assert strategy_fingerprint(warm) == strategy_fingerprint(cold)
+
+    def test_process_mode_preserves_tuning_accounting_across_models(self):
+        """Regression: replaying worker cache writes used to demote
+        tuned=True entries, re-charging tuning time on the next model."""
+        def run(executor):
+            config = KorchConfig(
+                gpu="V100",
+                engine=KorchEngineConfig(executor=executor, process_workers=1),
+            )
+            with KorchEngine(config) as engine:
+                engine.optimize(attention_model("tuning_a"))
+                second = engine.optimize(attention_model("tuning_b"))
+            return second
+
+        thread_second = run("thread")
+        process_second = run("process")
+        assert process_second.tuning.total_seconds == thread_second.tuning.total_seconds
+        assert process_second.tuning.num_candidates == thread_second.tuning.num_candidates
+        assert strategy_fingerprint(process_second) == strategy_fingerprint(thread_second)
+
+    def test_process_mode_honors_overridden_stages(self):
+        """Regression: a subclass's extra pre-identify stage must still run
+        in process mode (the engine falls back to parent-side prologues
+        instead of silently skipping the custom stage)."""
+        from repro.engine import DEFAULT_STAGES, Stage
+
+        calls: list[str] = []
+
+        class MarkerStage(Stage):
+            name = "marker"
+
+            def run(self, ctx):
+                calls.append(ctx.partition.graph.name)
+                return ctx
+
+        class CustomEngine(KorchEngine):
+            def stages(self):
+                return (MarkerStage(), *DEFAULT_STAGES)
+
+        config = KorchConfig(
+            gpu="V100",
+            engine=KorchEngineConfig(executor="process", process_workers=1),
+        )
+        reference = self.reference()
+        with CustomEngine(config) as engine:
+            result = engine.optimize(attention_model("modes"))
+        assert calls, "custom stage was skipped in process mode"
+        assert strategy_fingerprint(result) == strategy_fingerprint(reference)
+
+    def test_invalid_executor_kind_rejected(self):
+        config = KorchConfig(gpu="V100", engine=KorchEngineConfig(executor="quantum"))
+        with pytest.raises(ValueError, match="executor"):
+            KorchEngine(config)
+
+
+class TestIdentifyMemo:
+    def test_twin_models_hit_the_memo(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            first = engine.optimize(attention_model("twin_a"))
+            second = engine.optimize(attention_model("twin_b"))
+            assert engine.stats.identify_memo_hits > 0
+            assert engine.stats.as_dict()["identify_memo_hits"] > 0
+        assert strategy_fingerprint(second) == strategy_fingerprint(first)
+
+    def test_memo_disabled_by_config(self):
+        config = KorchConfig(gpu="V100", engine=KorchEngineConfig(identify_memo_entries=0))
+        with KorchEngine(config) as engine:
+            engine.optimize(attention_model("twin_a"))
+            engine.optimize(attention_model("twin_b"))
+            assert engine.stats.identify_memo_hits == 0
+
+    def test_memoized_specs_equal_fresh_enumeration(self):
+        pg, _ = FissionEngine().run(attention_model("memo_eq"))
+        config = KernelIdentifierConfig()
+        fresh_report = KernelIdentifierReport()
+        fresh = enumerate_candidate_specs(pg, config, fresh_report)
+
+        memo = IdentifyMemo(8)
+        memo.put(pg, config, fresh, fresh_report)
+        cached = memo.get(pg, config)
+        assert cached is not None
+        specs, report = cached
+        assert specs == fresh
+        assert report == fresh_report
+        assert report is not fresh_report  # downstream mutation must not leak
+
+    def test_structure_key_sensitivity(self):
+        config = KernelIdentifierConfig()
+        pg_a, _ = FissionEngine().run(attention_model("same"))
+        pg_b, _ = FissionEngine().run(attention_model("same", heads=4))
+
+        b = GraphBuilder("same")  # same name, different structure
+        x = b.input("x", (1, 4, 32, 16))
+        w = b.param("w", (1, 4, 16, 32))
+        b.output(b.relu(b.matmul(x, w)))
+        pg_c, _ = FissionEngine().run(b.build())
+
+        assert pg_structure_key(pg_a, config) == pg_structure_key(pg_b, config)
+        assert pg_structure_key(pg_a, config) != pg_structure_key(pg_c, config)
+        other_config = KernelIdentifierConfig(max_kernel_size=3)
+        assert pg_structure_key(pg_a, config) != pg_structure_key(pg_a, other_config)
+
+    def test_memo_lru_eviction(self):
+        memo = IdentifyMemo(1)
+        config = KernelIdentifierConfig()
+        pg_a, _ = FissionEngine().run(attention_model("a"))
+        b = GraphBuilder("b")
+        x = b.input("x", (1, 4, 32, 16))
+        w = b.param("w", (1, 4, 16, 32))
+        b.output(b.relu(b.matmul(x, w)))
+        pg_b, _ = FissionEngine().run(b.build())
+        report = KernelIdentifierReport()
+        memo.put(pg_a, config, [], report)
+        memo.put(pg_b, config, [], report)
+        assert len(memo) == 1
+        assert memo.get(pg_a, config) is None
+        assert memo.get(pg_b, config) is not None

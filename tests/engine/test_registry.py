@@ -1,0 +1,68 @@
+"""Store-registry lifecycle: the public close/clear/cap API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import KorchConfig, KorchEngine, KorchEngineConfig
+from repro.engine import registry
+
+
+@pytest.fixture(autouse=True)
+def isolated_registry():
+    registry.clear()
+    saved_cap = registry.max_open_stores()
+    yield
+    registry.clear()
+    registry.set_max_open_stores(saved_cap)
+
+
+class TestPublicLifecycle:
+    def test_close_store_evicts_and_reports(self, tmp_path):
+        store, _ = registry.shared_store(tmp_path, max_entries=100)
+        assert str(tmp_path.resolve()) in registry.open_stores()
+        assert registry.close_store(tmp_path) is True
+        assert registry.open_stores() == {}
+        assert registry.close_store(tmp_path) is False  # already closed
+        assert not store.persistent  # degraded per the eviction contract
+
+    def test_clear_closes_everything(self, tmp_path):
+        registry.shared_store(tmp_path / "a", max_entries=10)
+        registry.shared_store(tmp_path / "b", max_entries=10)
+        assert registry.clear() == 2
+        assert registry.open_stores() == {}
+
+    def test_reopen_after_close_sees_disk_state(self, tmp_path):
+        store, _ = registry.shared_store(tmp_path, max_entries=100)
+        store.put("ns", "k", "v")
+        registry.close_store(tmp_path)
+        reopened, _ = registry.shared_store(tmp_path, max_entries=100)
+        assert reopened is not store
+        assert reopened.get("ns", "k") == "v"
+
+
+class TestOpenStoreCap:
+    def test_cap_evicts_least_recently_used(self, tmp_path):
+        registry.set_max_open_stores(2)
+        registry.shared_store(tmp_path / "a", max_entries=10)
+        registry.shared_store(tmp_path / "b", max_entries=10)
+        registry.shared_store(tmp_path / "a", max_entries=10)  # LRU touch
+        registry.shared_store(tmp_path / "c", max_entries=10)  # evicts "b"
+        open_dirs = {key.rsplit("/", 1)[-1] for key in registry.open_stores()}
+        assert open_dirs == {"a", "c"}
+
+    def test_lowering_cap_evicts_immediately(self, tmp_path):
+        registry.set_max_open_stores(4)
+        for name in ("a", "b", "c"):
+            registry.shared_store(tmp_path / name, max_entries=10)
+        registry.set_max_open_stores(1)
+        assert len(registry.open_stores()) == 1
+
+    def test_engine_config_sets_cap(self, tmp_path):
+        config = KorchConfig(
+            gpu="V100",
+            cache_dir=tmp_path,
+            engine=KorchEngineConfig(max_open_stores=7),
+        )
+        with KorchEngine(config):
+            assert registry.max_open_stores() == 7

@@ -1,0 +1,311 @@
+"""Scheduler/executor core: dependency ordering, admission, lifecycle.
+
+The edge cases that matter for a serving engine: cancellation mid-queue,
+``close()`` with in-flight tasks, a crashed process-pool worker surfacing as
+a failed future (never a hang), and failure propagation through dependents.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine.scheduler import (
+    Dep,
+    DependencyFailed,
+    ProcessExecutor,
+    Scheduler,
+    SchedulerError,
+    SerialExecutor,
+    Task,
+    TaskCancelled,
+    ThreadExecutor,
+)
+
+
+class TestDependencyOrdering:
+    def test_chain_runs_in_order_and_passes_results(self):
+        order: list[str] = []
+
+        def step(name, prev=None):
+            order.append(name)
+            return (prev or 0) + 1
+
+        scheduler = Scheduler(SerialExecutor())
+        results = scheduler.run([
+            Task(key="c", fn=step, args=("c", Dep("b")), deps=("b",)),
+            Task(key="a", fn=step, args=("a",)),
+            Task(key="b", fn=step, args=("b", Dep("a")), deps=("a",)),
+        ])
+        assert order == ["a", "b", "c"]
+        assert results == {"a": 1, "b": 2, "c": 3}
+
+    def test_priority_orders_ready_tasks(self):
+        order: list[str] = []
+        scheduler = Scheduler(SerialExecutor())
+        scheduler.run([
+            Task(key="low", fn=order.append, args=("low",), priority=2),
+            Task(key="high", fn=order.append, args=("high",), priority=0),
+            Task(key="mid", fn=order.append, args=("mid",), priority=1),
+        ])
+        assert order == ["high", "mid", "low"]
+
+    def test_round_robin_across_models_within_priority(self):
+        order: list[str] = []
+        scheduler = Scheduler(SerialExecutor())
+        scheduler.run([
+            Task(key="a1", fn=order.append, args=("a1",), model_id=1),
+            Task(key="a2", fn=order.append, args=("a2",), model_id=1),
+            Task(key="b1", fn=order.append, args=("b1",), model_id=2),
+            Task(key="b2", fn=order.append, args=("b2",), model_id=2),
+        ])
+        assert order == ["a1", "b1", "a2", "b2"]
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(SchedulerError, match="unknown"):
+            Scheduler(SerialExecutor()).submit([Task(key="a", fn=int, deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SchedulerError, match="cycle"):
+            Scheduler(SerialExecutor()).submit([
+                Task(key="a", fn=int, deps=("b",)),
+                Task(key="b", fn=int, deps=("a",)),
+            ])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SchedulerError, match="duplicate"):
+            Scheduler(SerialExecutor()).submit([Task(key="a", fn=int), Task(key="a", fn=int)])
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Task(key="a", fn=int, deps=("a",))
+
+    def test_resubmitting_existing_key_rejected(self):
+        """Regression: a later batch reusing a key used to clobber the old
+        task's future and feed dependents the stale result."""
+        scheduler = Scheduler(SerialExecutor())
+        scheduler.run([Task(key="a", fn=lambda: "first")])
+        with pytest.raises(SchedulerError, match="already submitted"):
+            scheduler.submit([Task(key="a", fn=lambda: "second")])
+
+    def test_dependency_across_submit_batches(self):
+        scheduler = Scheduler(SerialExecutor())
+        scheduler.run([Task(key="a", fn=lambda: 41)])
+        results = scheduler.run([
+            Task(key="b", fn=lambda prev: prev + 1, args=(Dep("a"),), deps=("a",))
+        ])
+        assert results["b"] == 42
+
+
+class TestFailurePropagation:
+    def test_failed_task_fails_dependents_not_siblings(self):
+        def boom():
+            raise ValueError("boom")
+
+        scheduler = Scheduler(SerialExecutor())
+        futures = scheduler.submit([
+            Task(key="bad", fn=boom),
+            Task(key="child", fn=int, deps=("bad",)),
+            Task(key="grandchild", fn=int, deps=("child",)),
+            Task(key="independent", fn=lambda: "ok"),
+        ])
+        assert isinstance(futures["bad"].exception(timeout=5), ValueError)
+        assert isinstance(futures["child"].exception(timeout=5), DependencyFailed)
+        assert isinstance(futures["grandchild"].exception(timeout=5), DependencyFailed)
+        assert futures["independent"].result(timeout=5) == "ok"
+
+    def test_later_batch_depending_on_failed_task_fails_too(self):
+        """Regression: a cross-batch dependency on a failed task used to
+        resolve its Dep to None and run anyway."""
+        def boom():
+            raise ValueError("boom")
+
+        scheduler = Scheduler(SerialExecutor())
+        first = scheduler.submit([Task(key="bad", fn=boom)])
+        assert isinstance(first["bad"].exception(timeout=5), ValueError)
+        second = scheduler.submit([
+            Task(key="late", fn=lambda prev: ("ran", prev), args=(Dep("bad"),), deps=("bad",))
+        ])
+        assert isinstance(second["late"].exception(timeout=5), DependencyFailed)
+
+    def test_later_batch_depending_on_cancelled_task_fails_too(self):
+        executor = ThreadExecutor(1)
+        try:
+            release = threading.Event()
+            scheduler = Scheduler(executor, admission_cap=1)
+            futures = scheduler.submit([
+                Task(key="blocker", fn=release.wait, args=(10,)),
+                Task(key="victim", fn=int),
+            ])
+            assert scheduler.cancel("victim")
+            release.set()
+            late = scheduler.submit([Task(key="late", fn=int, deps=("victim",))])
+            assert isinstance(late["late"].exception(timeout=5), TaskCancelled)
+            assert futures["blocker"].result(timeout=5)
+        finally:
+            executor.shutdown()
+
+    def test_run_raises_first_failure(self):
+        def boom():
+            raise RuntimeError("kaput")
+
+        with pytest.raises(RuntimeError, match="kaput"):
+            Scheduler(SerialExecutor()).run([Task(key="bad", fn=boom)])
+
+
+class TestAdmissionCap:
+    def test_in_flight_never_exceeds_cap(self):
+        executor = ThreadExecutor(8)
+        try:
+            running = 0
+            peak = 0
+            lock = threading.Lock()
+
+            def tracked():
+                nonlocal running, peak
+                with lock:
+                    running += 1
+                    peak = max(peak, running)
+                time.sleep(0.02)
+                with lock:
+                    running -= 1
+
+            scheduler = Scheduler(executor, admission_cap=2)
+            scheduler.run([Task(key=f"t{i}", fn=tracked) for i in range(8)])
+            assert peak <= 2
+        finally:
+            executor.shutdown()
+
+
+class TestCancellation:
+    def test_cancel_mid_queue_skips_task_and_dependents(self):
+        executor = ThreadExecutor(1)
+        try:
+            release = threading.Event()
+            ran: list[str] = []
+
+            scheduler = Scheduler(executor, admission_cap=1)
+            futures = scheduler.submit([
+                Task(key="blocker", fn=release.wait, args=(10,)),
+                Task(key="victim", fn=ran.append, args=("victim",)),
+                Task(key="dependent", fn=ran.append, args=("dependent",), deps=("victim",)),
+                Task(key="survivor", fn=ran.append, args=("survivor",)),
+            ])
+            assert scheduler.cancel("victim")
+            release.set()
+            assert scheduler.drain(timeout=10)
+            assert futures["victim"].cancelled()
+            assert isinstance(futures["dependent"].exception(timeout=5), TaskCancelled)
+            assert futures["survivor"].result(timeout=5) is None
+            assert ran == ["survivor"]
+        finally:
+            executor.shutdown()
+
+    def test_cancel_does_not_stall_later_dispatch(self):
+        """Regression: cancelling a queued task must not corrupt the ready
+        queue — the next completion used to hit an empty deque and stall
+        every remaining task forever."""
+        executor = ThreadExecutor(1)
+        try:
+            release = threading.Event()
+            scheduler = Scheduler(executor, admission_cap=1)
+            futures = scheduler.submit([
+                Task(key="a", fn=release.wait, args=(10,)),
+                Task(key="b", fn=lambda: "b"),
+                Task(key="c", fn=lambda: "c"),
+            ])
+            assert scheduler.cancel("b")
+            release.set()
+            assert futures["c"].result(timeout=10) == "c"
+            assert scheduler.drain(timeout=10)
+        finally:
+            executor.shutdown()
+
+    def test_cancel_running_task_fails(self):
+        executor = ThreadExecutor(1)
+        try:
+            started = threading.Event()
+            release = threading.Event()
+
+            def blocker():
+                started.set()
+                release.wait(10)
+                return "done"
+
+            scheduler = Scheduler(executor)
+            futures = scheduler.submit([Task(key="run", fn=blocker)])
+            assert started.wait(5)
+            assert not scheduler.cancel("run")
+            release.set()
+            assert futures["run"].result(timeout=5) == "done"
+        finally:
+            executor.shutdown()
+
+
+class TestClose:
+    def test_close_waits_for_in_flight_tasks(self):
+        executor = ThreadExecutor(1)
+        try:
+            done: list[str] = []
+
+            def slow():
+                time.sleep(0.05)
+                done.append("slow")
+
+            scheduler = Scheduler(executor)
+            futures = scheduler.submit([Task(key="slow", fn=slow)])
+            scheduler.close(wait=True)
+            assert done == ["slow"]
+            assert futures["slow"].done()
+        finally:
+            executor.shutdown()
+
+    def test_close_cancels_pending_tasks(self):
+        executor = ThreadExecutor(1)
+        try:
+            release = threading.Event()
+            scheduler = Scheduler(executor, admission_cap=1)
+            futures = scheduler.submit([
+                Task(key="blocker", fn=release.wait, args=(10,)),
+                Task(key="queued", fn=int),
+            ])
+            release.set()
+            scheduler.close(wait=True, cancel_pending=True)
+            assert futures["blocker"].done()
+            assert futures["queued"].cancelled() or futures["queued"].done()
+            with pytest.raises(SchedulerError):
+                scheduler.submit([Task(key="late", fn=int)])
+        finally:
+            executor.shutdown()
+
+
+class TestProcessExecutor:
+    def test_worker_crash_surfaces_as_failed_future_not_hang(self):
+        executor = ProcessExecutor(workers=1, start_method="spawn")
+        try:
+            scheduler = Scheduler({"default": SerialExecutor(), "cpu": executor})
+            futures = scheduler.submit([
+                # os._exit kills the worker without unwinding: the classic
+                # native-crash stand-in.  The pool reports BrokenProcessPool.
+                Task(key="crash", fn=os._exit, args=(13,), kind="cpu"),
+                Task(key="dependent", fn=int, deps=("crash",)),
+            ])
+            error = futures["crash"].exception(timeout=60)
+            assert error is not None
+            assert isinstance(futures["dependent"].exception(timeout=5), DependencyFailed)
+        finally:
+            executor.shutdown()
+
+    def test_process_task_returns_result(self):
+        executor = ProcessExecutor(workers=1, start_method="spawn")
+        try:
+            scheduler = Scheduler({"default": SerialExecutor(), "cpu": executor})
+            futures = scheduler.submit([
+                Task(key="cube", fn=pow, args=(3, 3), kind="cpu"),
+            ])
+            assert futures["cube"].result(timeout=60) == 27
+        finally:
+            executor.shutdown()

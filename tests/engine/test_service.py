@@ -1,0 +1,236 @@
+"""KorchService: queueing semantics, priorities, lifecycle, and the
+bit-identical contract against ``KorchEngine.optimize``."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError
+
+import pytest
+
+from repro.engine import (
+    KorchConfig,
+    KorchEngine,
+    KorchService,
+    Priority,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.ir import GraphBuilder
+
+
+def attention_model(name: str, heads: int = 4):
+    b = GraphBuilder(name)
+    x = b.input("x", (1, heads, 32, 16))
+    w = b.param("w", (1, heads, 16, 32))
+    v = b.param("v", (1, heads, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+class _StubResult:
+    """Just enough result surface for the service's stats plumbing."""
+
+    def __init__(self, name: str):
+        from repro.engine import CacheReport
+
+        self.name = name
+        self.stage_seconds: dict[str, float] = {}
+        self.cache = CacheReport()
+
+
+class _StubEngine:
+    """Duck-typed engine with controllable timing, for queue-level tests."""
+
+    def __init__(self):
+        self.block = threading.Event()
+        self.served: list[str] = []
+        self.fail_on: set[str] = set()
+        self.closed = False
+
+    def optimize(self, graph):
+        self.block.wait(10)
+        self.served.append(graph.name)
+        if graph.name in self.fail_on:
+            raise RuntimeError(f"synthetic failure for {graph.name}")
+        return _StubResult(graph.name)
+
+    def close(self):
+        self.closed = True
+
+
+class TestBitIdentical:
+    def test_submit_matches_engine_optimize(self):
+        graph = attention_model("served")
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            direct = engine.optimize(attention_model("served"))
+        with KorchService(config=KorchConfig(gpu="V100"), workers=2) as service:
+            request = service.submit(graph)
+            result = request.result(timeout=300)
+        assert result.latency_s == direct.latency_s
+        assert strategy_fingerprint(result) == strategy_fingerprint(direct)
+
+    def test_request_stats_populated(self):
+        with KorchService(config=KorchConfig(gpu="V100"), workers=1) as service:
+            request = service.submit(attention_model("stats"))
+            request.result(timeout=300)
+        stats = request.stats
+        assert stats.status == "done"
+        assert stats.queue_wait_s is not None and stats.queue_wait_s >= 0.0
+        assert stats.run_s is not None and stats.run_s > 0.0
+        assert set(stats.stage_seconds) >= {"fission", "identify", "solve"}
+        assert stats.backend_estimate_calls is not None
+        assert stats.as_dict()["priority"] == "NORMAL"
+
+    def test_submit_many_preserves_input_association(self):
+        graphs = [attention_model("m1"), attention_model("m2", heads=2)]
+        with KorchService(config=KorchConfig(gpu="V100"), workers=2) as service:
+            requests = service.submit_many(graphs)
+            results = [request.result(timeout=300) for request in requests]
+        assert [r.graph.name for r in results] == ["m1", "m2"]
+
+
+class TestQueueSemantics:
+    def _service(self, **kwargs):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1, **kwargs)
+        return service, stub
+
+    def test_priority_classes_order_the_queue(self):
+        service, stub = self._service()
+        try:
+            # Occupy the single worker, then queue LOW before HIGH.
+            first = service.submit(attention_model("first"))
+            time.sleep(0.05)  # let the worker pick "first" up
+            low = service.submit(attention_model("low"), priority=Priority.LOW)
+            high = service.submit(attention_model("high"), priority=Priority.HIGH)
+            stub.block.set()
+            for request in (first, low, high):
+                request.result(timeout=10)
+            assert stub.served == ["first", "high", "low"]
+        finally:
+            service.close()
+
+    def test_cancel_queued_request(self):
+        service, stub = self._service()
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)
+            victim = service.submit(attention_model("victim"))
+            assert victim.cancel()
+            assert victim.cancelled()
+            stub.block.set()
+            with pytest.raises(CancelledError):
+                victim.result(timeout=10)
+            service.drain(timeout=10)
+            assert "victim" not in stub.served
+            assert service.report.cancelled == 1
+        finally:
+            service.close()
+
+    def test_failure_surfaces_in_future_and_stats(self):
+        service, stub = self._service()
+        try:
+            stub.fail_on.add("doomed")
+            stub.block.set()
+            request = service.submit(attention_model("doomed"))
+            assert isinstance(request.exception(timeout=10), RuntimeError)
+            assert request.stats.status == "failed"
+            assert "synthetic" in request.stats.error
+            assert service.report.failed == 1
+        finally:
+            service.close()
+
+    def test_overload_rejects_beyond_max_pending(self):
+        service, stub = self._service(max_pending=1)
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)  # worker picks it up; queue is empty again
+            service.submit(attention_model("queued"))
+            with pytest.raises(ServiceOverloaded):
+                service.submit(attention_model("rejected"))
+            assert service.report.rejected == 1
+            stub.block.set()
+        finally:
+            service.close()
+
+
+class TestLifecycle:
+    def test_drain_quiesces_and_reopens(self):
+        stub = _StubEngine()
+        stub.block.set()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            service.submit(attention_model("one")).result(timeout=10)
+            assert service.drain(timeout=10)
+            after = service.submit(attention_model("two"))  # accepted again
+            after.result(timeout=10)
+            assert stub.served == ["one", "two"]
+        finally:
+            service.close()
+
+    def test_close_rejects_new_submissions(self):
+        stub = _StubEngine()
+        stub.block.set()
+        service = KorchService(engine=stub, workers=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit(attention_model("late"))
+        assert not stub.closed  # engine was caller-owned
+
+    def test_close_waits_for_in_flight_and_cancels_queued(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        running = service.submit(attention_model("running"))
+        time.sleep(0.05)
+        queued = service.submit(attention_model("queued"))
+        closer = threading.Thread(target=service.close, kwargs={"cancel_pending": True})
+        closer.start()
+        time.sleep(0.05)
+        stub.block.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        assert running.result(timeout=10).name == "running"
+        assert queued.cancelled()
+        assert stub.served == ["running"]
+
+    def test_drain_timeout_during_close_does_not_reopen_intake(self):
+        """Regression: a drain() returning while close() is still waiting
+        used to reset the draining flag, re-admitting submissions under a
+        live closer."""
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        service.submit(attention_model("running"))
+        time.sleep(0.05)  # worker picks it up and blocks
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        time.sleep(0.05)  # closer is now waiting for quiescence
+        assert service.drain(timeout=0.05) is False  # times out mid-close
+        with pytest.raises(ServiceClosed):
+            service.submit(attention_model("sneaky"))
+        stub.block.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+
+    def test_owned_engine_closed_with_service(self):
+        service = KorchService(config=KorchConfig(gpu="V100"), workers=1)
+        engine = service.engine
+        service.close()
+        with pytest.raises(RuntimeError):
+            engine.optimize(attention_model("after-close"))
+
+    def test_engine_and_config_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            KorchService(engine=_StubEngine(), config=KorchConfig(gpu="V100"))
