@@ -24,7 +24,7 @@ from repro.gpu import get_gpu
 from repro.models import build_model
 from repro.orchestration import KernelIdentifierConfig
 from repro.partition import PartitionConfig
-from repro.pipeline import KorchConfig, KorchPipeline
+from repro.pipeline import KorchConfig
 
 MODELS = ("candy", "efficientvit", "yolox", "yolov4", "segformer")
 GPUS = ("V100", "A100")

@@ -37,7 +37,7 @@ def branchy_model(name: str, branches: int, depth: int):
     b = GraphBuilder(name)
     x = b.input("x", (8, 64))
     outs = []
-    for i in range(branches):
+    for _ in range(branches):
         y = x
         for j in range(depth):
             y = b.relu(b.add(y, x)) if j % 2 == 0 else b.sigmoid(y)

@@ -1,5 +1,26 @@
-"""Reporting utilities: Table 2 statistics and Figure 6 comparison tables."""
+"""Analysis utilities: reporting tables and the static verification layers.
 
-from .stats import ComparisonRow, ModelStats, comparison_table, format_table, speedup_over
+Two halves, loaded independently:
+
+* :mod:`repro.analysis.stats` — Table 2 statistics and Figure 6 comparison
+  tables.  Re-exported lazily below: it imports the full pipeline, and the
+  verification half must stay importable without it (the concurrency linter
+  runs over this very package).
+* :mod:`repro.analysis.verify` — the three-layer static analysis pass
+  (rewrite verifier, plan verifier, concurrency linter), also usable as
+  ``python -m repro.analysis``.
+"""
 
 __all__ = ["ModelStats", "ComparisonRow", "comparison_table", "format_table", "speedup_over"]
+
+_STATS_EXPORTS = frozenset(__all__)
+
+
+def __getattr__(name: str):
+    # Lazy: repro.analysis.stats imports repro.pipeline (and with it the whole
+    # engine), which the verify subpackage and its CLI must not depend on.
+    if name in _STATS_EXPORTS:
+        from . import stats
+
+        return getattr(stats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

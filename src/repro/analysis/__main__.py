@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — static analysis CLI (lint / verify)."""
+
+from .verify.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,53 @@
+"""Three-layer static analysis over the Korch pipeline.
+
+* **Layer 1 — rewrite verifier** (:mod:`.rewrite`): every fission result and
+  every primitive-graph substitution preserves the graph interface and
+  re-infers to the declared tensor types.
+* **Layer 2 — plan verifier** (:mod:`.plan`): assembled kernel execution
+  plans satisfy the BLP's materialization invariants (Equations 3 and 4),
+  kernel well-formedness, acyclic ordering, and profile-cache key agreement.
+* **Layer 3 — concurrency linter** (:mod:`.concurrency`): AST checks over
+  the repository's own sources for process-mode hazards, plus the dynamic
+  scheduler resource-ordering check.
+
+Available as a library (these exports), as a CLI
+(``python -m repro.analysis verify ...`` / ``... lint ...``), and as the
+engine's opt-in debug mode (``KorchEngineConfig.verify_level``).
+"""
+
+from ...diagnostics import (
+    Diagnostic,
+    DiagnosticError,
+    Severity,
+    errors,
+    format_diagnostics,
+    has_errors,
+)
+from .concurrency import check_task_resources, lint_paths, lint_source
+from .plan import verify_result, verify_strategy
+from .rewrite import (
+    checked_fission,
+    checked_rewrite,
+    pg_diagnostics,
+    verify_fission,
+    verify_rewrite,
+)
+
+__all__ = [
+    "checked_fission",
+    "checked_rewrite",
+    "Diagnostic",
+    "DiagnosticError",
+    "Severity",
+    "errors",
+    "has_errors",
+    "format_diagnostics",
+    "pg_diagnostics",
+    "verify_rewrite",
+    "verify_fission",
+    "verify_strategy",
+    "verify_result",
+    "lint_source",
+    "lint_paths",
+    "check_task_resources",
+]

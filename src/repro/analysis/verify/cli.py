@@ -1,0 +1,160 @@
+"""Command-line front-end of the verification layers.
+
+Two subcommands::
+
+    python -m repro.analysis lint [PATH ...]
+        Run the concurrency linter (Layer 3) over Python sources.
+        Defaults to the installed ``repro`` package itself.
+
+    python -m repro.analysis verify --model NAME [--model NAME ...] | --zoo
+        Optimize each model through the engine with the requested
+        ``verify_level`` (Layers 1/2 run inside the engine), then re-verify
+        the finished plans with the standalone plan verifier — including
+        profile-cache key agreement when ``--cache-dir`` is given.
+
+Exit status is 1 when any ERROR-severity diagnostic was reported, 0
+otherwise (warnings are printed but do not fail), which is what the CI
+``analysis`` job keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable
+
+from ...diagnostics import Diagnostic, Severity
+from .concurrency import lint_paths
+
+__all__ = ["main"]
+
+
+def _model_builders() -> dict:
+    """Zoo models plus the small case-study blocks (fast enough for CI)."""
+    from ...models import (
+        MODEL_BUILDERS,
+        build_candy_block,
+        build_efficientvit_attention_block,
+        build_segformer_attention_block,
+        build_segformer_decoder_subgraph,
+    )
+
+    return {
+        **MODEL_BUILDERS,
+        "candy_block": build_candy_block,
+        "efficientvit_block": build_efficientvit_attention_block,
+        "segformer_attention": build_segformer_attention_block,
+        "segformer_decoder": build_segformer_decoder_subgraph,
+    }
+
+
+def _report(diagnostics: Iterable[Diagnostic], as_json: bool) -> int:
+    """Print findings; return the number of ERROR-severity ones."""
+    diagnostics = list(diagnostics)
+    if as_json:
+        print(json.dumps([d.as_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+    return sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or [str(Path(__file__).resolve().parents[2])]
+    findings = lint_paths(paths)
+    num_errors = _report(findings, args.json)
+    if not args.json:
+        print(
+            f"lint: {len(findings)} finding(s), {num_errors} error(s) "
+            f"over {', '.join(paths)}"
+        )
+    return 1 if num_errors else 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    # Heavy imports live here: `lint` must work without loading the pipeline.
+    from ...backends import FrameworkEagerBackend
+    from ...engine.config import KorchConfig, KorchEngineConfig
+    from ...pipeline import KorchPipeline
+    from .plan import verify_result
+
+    builders = _model_builders()
+    names = list(builders) if args.zoo else (args.model or [])
+    if not names:
+        print("verify: pass --model NAME (repeatable) or --zoo", file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in builders]
+    if unknown:
+        print(f"verify: unknown model(s) {unknown}; known: {sorted(builders)}", file=sys.stderr)
+        return 2
+
+    config = KorchConfig(
+        gpu=args.gpu,
+        cache_dir=args.cache_dir,
+        engine=KorchEngineConfig(verify_level=args.level),
+    )
+    all_diagnostics: list[Diagnostic] = []
+    with KorchPipeline(config) as pipeline:
+        caches = []
+        if pipeline.profile_cache is not None:
+            # Selected kernels are priced either by the configured backends or
+            # by the identifier's framework fallback; each context keys the
+            # persistent store differently, so both are consulted.
+            caches = [
+                pipeline.profile_cache,
+                pipeline.profile_cache.for_backends([FrameworkEagerBackend()]),
+            ]
+        for name in names:
+            result = pipeline.optimize(builders[name]())
+            found = verify_result(result, profile_caches=caches)
+            for part in result.partitions:
+                found.extend(part.diagnostics)
+            all_diagnostics.extend(found)
+            if not args.json:
+                print(
+                    f"{name}: {result.num_kernels} kernels across "
+                    f"{len(result.partitions)} partition(s) verified, "
+                    f"{len(found)} diagnostic(s)"
+                )
+
+    num_errors = _report(all_diagnostics, args.json)
+    if not args.json:
+        print(
+            f"verify: {len(names)} model(s), {len(all_diagnostics)} diagnostic(s), "
+            f"{num_errors} error(s)"
+        )
+    return 1 if num_errors else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over the Korch reproduction: plan/rewrite "
+        "verification and the concurrency linter.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="concurrency-lint Python sources")
+    lint.add_argument("paths", nargs="*", help="files/directories (default: the repro package)")
+    lint.add_argument("--json", action="store_true", help="emit findings as JSON")
+    lint.set_defaults(fn=cmd_lint)
+
+    verify = sub.add_parser("verify", help="optimize models and verify their plans")
+    verify.add_argument("--model", action="append", help="model name (repeatable)")
+    verify.add_argument("--zoo", action="store_true", help="verify every known model")
+    verify.add_argument("--gpu", default="V100", help="GPU spec name (default V100)")
+    verify.add_argument("--cache-dir", default=None, help="persistent cache directory; "
+                        "enables the profile-cache key agreement check")
+    verify.add_argument(
+        "--level",
+        choices=("off", "plan", "full"),
+        default="full",
+        help="engine verify_level during optimization (default full)",
+    )
+    verify.add_argument("--json", action="store_true", help="emit findings as JSON")
+    verify.set_defaults(fn=cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)

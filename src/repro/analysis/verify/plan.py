@@ -1,0 +1,320 @@
+"""Layer 2 — plan verifier.
+
+Statically checks an assembled kernel execution plan (an
+:class:`~repro.orchestration.strategy.OrchestrationStrategy`, or every
+partition strategy of a :class:`~repro.engine.KorchResult`) against the
+invariants the BLP and the kernel identifier are supposed to establish:
+
+* **kernel well-formedness** — every kernel executes a non-empty, known,
+  convex primitive set, its declared external inputs match the node set, and
+  every materialized output is produced inside the kernel;
+* **tensor cover** — every required graph output is materialized by at least
+  one selected kernel (Equation 3) and every non-source external input a
+  kernel reads is materialized by some selected kernel (Equation 4);
+* **ordering** — the kernel list respects materialization dependencies and
+  the dependency relation is acyclic;
+* **profile-key agreement** — each selected kernel's structural signature
+  resolves to a profile-cache hit (only checked when caches are supplied).
+
+The cover rules are deliberately *tensor-materialization* level, not
+primitive level: Korch's BLP only constrains what is written to device
+memory, so a primitive executed by several kernels (redundant computation,
+§4.2) or a dead primitive skipped entirely are both legal plans.  A tensor
+materialized by more than one kernel is legal too (the constraints are
+``>= 1``) but never pays off, so it is reported as a WARNING.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...diagnostics import Diagnostic, Severity
+from ...orchestration.execution_state import is_convex
+from ...orchestration.kernel import CandidateKernel
+from ...orchestration.strategy import OrchestrationStrategy
+from ...primitives.graph import PrimitiveGraph
+
+__all__ = ["verify_strategy", "verify_result"]
+
+
+def _diag(
+    rule: str,
+    location: str,
+    message: str,
+    hint: str = "",
+    severity: Severity = Severity.ERROR,
+) -> Diagnostic:
+    return Diagnostic(
+        rule=rule, severity=severity, message=message, location=location, hint=hint
+    )
+
+
+def _kernel_diagnostics(
+    pg: PrimitiveGraph, kernel: CandidateKernel, location: str
+) -> list[Diagnostic]:
+    """Well-formedness of a single selected kernel."""
+    out: list[Diagnostic] = []
+
+    if not kernel.nodes:
+        out.append(
+            _diag("plan/empty-kernel", location, "kernel executes no primitives")
+        )
+        return out
+
+    known = {node.name for node in pg.nodes}
+    unknown = sorted(set(kernel.node_names) - known)
+    if unknown:
+        out.append(
+            _diag(
+                "plan/unknown-node",
+                location,
+                f"kernel references primitives not in the graph: {unknown}",
+            )
+        )
+        return out  # convexity / IO recomputation need real nodes
+
+    if set(n.name for n in kernel.nodes) != set(kernel.node_names):
+        out.append(
+            _diag(
+                "plan/io-mismatch",
+                location,
+                "kernel.nodes and kernel.node_names disagree",
+            )
+        )
+        return out
+
+    if not is_convex(pg, kernel.node_names):
+        out.append(
+            _diag(
+                "plan/non-convex-kernel",
+                location,
+                f"primitive set {sorted(kernel.node_names)} is not convex "
+                "(a dependency path leaves and re-enters the kernel)",
+                hint="non-convex kernels deadlock on their own intermediate results",
+            )
+        )
+
+    expected_inputs, _ = pg.subset_io(kernel.nodes)
+    if set(kernel.external_inputs) != set(expected_inputs):
+        out.append(
+            _diag(
+                "plan/io-mismatch",
+                location,
+                f"declared external inputs {sorted(kernel.external_inputs)} do not "
+                f"match the node set's actual reads {sorted(expected_inputs)}",
+            )
+        )
+
+    produced = {node.output for node in kernel.nodes}
+    for tensor in kernel.outputs:
+        if tensor not in produced:
+            out.append(
+                _diag(
+                    "plan/io-mismatch",
+                    location,
+                    f"kernel materializes {tensor!r} but no primitive in the "
+                    "kernel produces it",
+                )
+            )
+    return out
+
+
+def verify_strategy(
+    pg: PrimitiveGraph,
+    kernels: Sequence[CandidateKernel],
+    location: str = "",
+    profile_caches: Iterable = (),
+) -> list[Diagnostic]:
+    """Check an ordered kernel plan for ``pg``.
+
+    ``profile_caches`` is an optional sequence of profile-cache-like objects
+    (``.get(signature) -> (hit, profile, tuned)``); when given, every kernel's
+    recomputed structural signature must hit in at least one of them.
+    """
+    where = location or f"plan {pg.name!r}"
+    out: list[Diagnostic] = []
+
+    for position, kernel in enumerate(kernels):
+        out.extend(_kernel_diagnostics(pg, kernel, f"{where}/kernel[{position}]"))
+
+    # -------------------------------------------------------------- cover
+    materialized_by: dict[str, list[int]] = {}
+    for position, kernel in enumerate(kernels):
+        for tensor in kernel.outputs:
+            materialized_by.setdefault(tensor, []).append(position)
+
+    for tensor in pg.outputs:
+        producer = pg.producer(tensor)
+        if producer is None:
+            continue  # pass-through source tensors need no kernel
+        if tensor not in materialized_by:
+            out.append(
+                _diag(
+                    "plan/uncovered-node",
+                    where,
+                    f"required output {tensor!r} (produced by primitive "
+                    f"{producer.name}) is not materialized by any kernel",
+                    hint="Equation 3: every required graph output needs a producer kernel",
+                )
+            )
+
+    for tensor, positions in materialized_by.items():
+        if len(positions) > 1:
+            out.append(
+                _diag(
+                    "plan/double-covered-node",
+                    where,
+                    f"tensor {tensor!r} is materialized by kernels "
+                    f"{positions}; one write would suffice",
+                    hint="redundant materialization is legal but never reduces latency",
+                    severity=Severity.WARNING,
+                )
+            )
+
+    # ----------------------------------------------------------- ordering
+    dangling = False
+    for position, kernel in enumerate(kernels):
+        for tensor in kernel.external_inputs:
+            if pg.is_source_tensor(tensor):
+                continue
+            if tensor not in materialized_by:
+                dangling = True
+                out.append(
+                    _diag(
+                        "plan/dangling-input",
+                        f"{where}/kernel[{position}]",
+                        f"kernel reads {tensor!r} but no selected kernel "
+                        "materializes it",
+                        hint="Equation 4: external inputs must be materialized by the plan",
+                    )
+                )
+
+    if not dangling:
+        out.extend(_ordering_diagnostics(pg, kernels, materialized_by, where))
+
+    # -------------------------------------------------------- profile keys
+    caches = list(profile_caches)
+    if caches:
+        # Imported lazily: the profiler pulls in backend modules that the
+        # purely structural checks above must not depend on.
+        from ...gpu.profiler import KernelProfiler
+
+        for position, kernel in enumerate(kernels):
+            signature = KernelProfiler.kernel_signature(
+                pg, kernel.nodes, kernel.external_inputs, kernel.outputs
+            )
+            hit = any(cache.get(signature)[0] for cache in caches)
+            if not hit:
+                out.append(
+                    _diag(
+                        "plan/profile-key-missing",
+                        f"{where}/kernel[{position}]",
+                        f"no profile-cache entry for the kernel's structural "
+                        f"signature (backend {kernel.backend!r}, "
+                        f"{kernel.num_primitives} primitives)",
+                        hint="the plan was not produced against these caches, or the "
+                        "cache key derivation drifted",
+                    )
+                )
+    return out
+
+
+def _ordering_diagnostics(
+    pg: PrimitiveGraph,
+    kernels: Sequence[CandidateKernel],
+    materialized_by: dict[str, list[int]],
+    where: str,
+) -> list[Diagnostic]:
+    """Check that the kernel list is a valid execution order.
+
+    A kernel is runnable once every non-source tensor it reads has been
+    materialized by an earlier kernel.  If the given order violates that but
+    *some* valid order exists (greedy saturation succeeds), the plan is
+    misordered; if no order exists, the dependency relation is cyclic.
+    """
+    out: list[Diagnostic] = []
+
+    def needs(kernel: CandidateKernel) -> list[str]:
+        return [t for t in kernel.external_inputs if not pg.is_source_tensor(t)]
+
+    misordered: list[tuple[int, str]] = []
+    available: set[str] = set()
+    for position, kernel in enumerate(kernels):
+        for tensor in needs(kernel):
+            if tensor not in available:
+                misordered.append((position, tensor))
+        available.update(kernel.outputs)
+
+    if not misordered:
+        return out
+
+    # The given order is invalid; decide between misorder and cycle by
+    # checking whether any valid order exists (Kahn's algorithm with
+    # OR-dependencies: multiple kernels may materialize the same tensor).
+    remaining = set(range(len(kernels)))
+    materialized: set[str] = set()
+    progress = True
+    while progress:
+        progress = False
+        for index in sorted(remaining):
+            if all(t in materialized for t in needs(kernels[index])):
+                remaining.discard(index)
+                materialized.update(kernels[index].outputs)
+                progress = True
+
+    if remaining:
+        out.append(
+            _diag(
+                "plan/cyclic-dependency",
+                where,
+                f"kernels {sorted(remaining)} form a materialization dependency "
+                "cycle (each waits on a tensor only the others produce)",
+                hint="convex candidate kernels cannot cycle (Theorem 1); "
+                "a cycle means the plan was corrupted after ordering",
+            )
+        )
+    else:
+        for position, tensor in misordered:
+            out.append(
+                _diag(
+                    "plan/order-violation",
+                    f"{where}/kernel[{position}]",
+                    f"kernel reads {tensor!r} before any kernel materializes it "
+                    f"(producers at positions {materialized_by.get(tensor, [])})",
+                    hint="re-run order_kernels on the selected set",
+                )
+            )
+    return out
+
+
+def verify_result(result, profile_caches: Iterable = ()) -> list[Diagnostic]:
+    """Check every partition plan of a :class:`~repro.engine.KorchResult`.
+
+    ``result`` is duck-typed (needs ``graph.name`` and ``partitions`` with
+    ``orchestration.strategy``) so the compatibility wrapper's re-exported
+    result works too.
+    """
+    out: list[Diagnostic] = []
+    model = result.graph.name
+    for index, part in enumerate(result.partitions):
+        strategy: OrchestrationStrategy = part.orchestration.strategy
+        location = f"{model}/partition[{index}]"
+        if not strategy.pg.nodes:
+            if strategy.kernels:
+                out.append(
+                    _diag(
+                        "plan/empty-kernel",
+                        location,
+                        f"empty primitive graph but {len(strategy.kernels)} kernels selected",
+                    )
+                )
+            continue
+        out.extend(
+            verify_strategy(
+                strategy.pg,
+                strategy.kernels,
+                location=location,
+                profile_caches=profile_caches,
+            )
+        )
+    return out

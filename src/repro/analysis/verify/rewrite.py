@@ -1,0 +1,230 @@
+"""Layer 1 — rewrite verifier.
+
+Statically checks that the semantics-preserving rewrites of the pipeline
+actually preserve the graph *interface* and remain well formed:
+
+* **operator fission** (:class:`repro.fission.FissionEngine`): the primitive
+  graph must expose exactly the operator graph's inputs, params and outputs,
+  with identical tensor types, and every shared tensor name must keep its
+  operator-level type;
+* **primitive-graph substitutions** (:mod:`repro.transforms`): each applied
+  rewrite must yield a structurally valid graph whose interface tensors —
+  graph inputs, params and outputs — are exactly those of the graph it was
+  derived from (new *constants* are allowed: transforms such as
+  ``ReduceSumToMatMul`` legitimately introduce literal tensors).
+
+On top of the interface checks, every primitive node's output type is
+re-inferred from its input types through ``Primitive.infer_type`` and must
+agree with the declared tensor type — a rewrite that silently changed a shape
+or dtype is caught here even when the graph is otherwise well formed.
+
+All findings are :class:`~repro.diagnostics.Diagnostic` records; nothing in
+this module raises on a bad graph.
+"""
+
+from __future__ import annotations
+
+from ...diagnostics import Diagnostic, DiagnosticError, Severity, errors
+from ...ir.graph import Graph
+from ...primitives.graph import PrimitiveGraph, PrimitiveGraphError
+
+__all__ = [
+    "pg_diagnostics",
+    "verify_rewrite",
+    "verify_fission",
+    "checked_rewrite",
+    "checked_fission",
+]
+
+
+def _diag(rule: str, location: str, message: str, hint: str = "") -> Diagnostic:
+    return Diagnostic(
+        rule=rule, severity=Severity.ERROR, message=message, location=location, hint=hint
+    )
+
+
+def pg_diagnostics(pg: PrimitiveGraph, location: str | None = None) -> list[Diagnostic]:
+    """Structural and type diagnostics of one primitive graph.
+
+    Structure reuses :meth:`PrimitiveGraph.validate` (declared tensors,
+    single producers, acyclicity); types are re-inferred per node and
+    compared with the declared tensor types.
+    """
+    where = location or f"pg {pg.name!r}"
+    out: list[Diagnostic] = []
+    try:
+        pg.validate()
+    except PrimitiveGraphError as exc:
+        out.append(_diag("rewrite/invalid-graph", where, str(exc)))
+        return out  # type checks assume structural validity
+
+    for node in pg.nodes:
+        input_types = [pg.tensor_type(t) for t in node.inputs]
+        try:
+            inferred = node.prim.infer_type(input_types)
+        except Exception as exc:  # noqa: BLE001 - any inference failure is a finding
+            out.append(
+                _diag(
+                    "rewrite/inference-failed",
+                    where,
+                    f"node {node.name} ({node.prim.op}): type inference failed: {exc}",
+                )
+            )
+            continue
+        declared = pg.tensor_type(node.output)
+        if inferred.shape != declared.shape or inferred.dtype != declared.dtype:
+            out.append(
+                _diag(
+                    "rewrite/type-mismatch",
+                    where,
+                    f"node {node.name} ({node.prim.op}): declared type "
+                    f"{declared} of {node.output!r} does not match re-inferred {inferred}",
+                    hint="the rewrite changed a tensor's shape/dtype without redeclaring it",
+                )
+            )
+    return out
+
+
+def _interface_diagnostics(
+    rule_prefix: str,
+    location: str,
+    before_inputs: dict,
+    before_params: dict,
+    before_outputs: list[str],
+    before_types,
+    after: PrimitiveGraph,
+) -> list[Diagnostic]:
+    """Shared interface-preservation check.
+
+    ``before_types(name)`` returns the original type of an interface tensor.
+    The rewritten graph must consume exactly the original inputs/params and
+    produce exactly the original outputs, each with its original type.
+    """
+    out: list[Diagnostic] = []
+
+    if set(after.inputs) != set(before_inputs):
+        out.append(
+            _diag(
+                f"{rule_prefix}/interface-input",
+                location,
+                f"graph inputs changed: {sorted(before_inputs)} -> {sorted(after.inputs)}",
+            )
+        )
+    if set(after.params) != set(before_params):
+        out.append(
+            _diag(
+                f"{rule_prefix}/interface-input",
+                location,
+                f"graph params changed: {sorted(before_params)} -> {sorted(after.params)}",
+            )
+        )
+    if list(after.outputs) != list(before_outputs):
+        out.append(
+            _diag(
+                f"{rule_prefix}/interface-output",
+                location,
+                f"graph outputs changed: {before_outputs} -> {after.outputs}",
+                hint="rewrites must keep output tensor names and order stable",
+            )
+        )
+
+    shared = [
+        name
+        for name in list(before_inputs) + list(before_params) + list(before_outputs)
+        if name in after.tensors
+    ]
+    for name in shared:
+        original = before_types(name)
+        current = after.tensors[name]
+        if original != current:
+            out.append(
+                _diag(
+                    f"{rule_prefix}/interface-type",
+                    location,
+                    f"interface tensor {name!r} changed type: {original} -> {current}",
+                )
+            )
+    return out
+
+
+def verify_rewrite(
+    before: PrimitiveGraph, after: PrimitiveGraph, label: str = ""
+) -> list[Diagnostic]:
+    """Check one primitive-graph rewrite ``before -> after``.
+
+    ``label`` names the transform and site (e.g. ``"merge_matmuls@mm_3"``)
+    for diagnostic locations.
+    """
+    location = f"rewrite {label or after.name!r}"
+    out = pg_diagnostics(after, location)
+    out.extend(
+        _interface_diagnostics(
+            "rewrite",
+            location,
+            {n: None for n in before.inputs},
+            dict(before.params),
+            list(before.outputs),
+            lambda name: before.tensors[name],
+            after,
+        )
+    )
+    return out
+
+
+def verify_fission(graph: Graph, pg: PrimitiveGraph) -> list[Diagnostic]:
+    """Check one operator-fission result ``graph -> pg``.
+
+    Operator-level tensor names are preserved by the fission engine, so on
+    top of the interface check every operator tensor that survives into the
+    primitive graph must keep its exact type.
+    """
+    location = f"fission {graph.name!r}"
+    out = pg_diagnostics(pg, location)
+    out.extend(
+        _interface_diagnostics(
+            "fission",
+            location,
+            {n: None for n in graph.inputs},
+            dict(graph.params),
+            list(graph.outputs),
+            lambda name: graph.tensors[name],
+            pg,
+        )
+    )
+    # Operator-level intermediates reused verbatim must keep their types.
+    for name, ttype in graph.tensors.items():
+        if name in pg.tensors and pg.tensors[name] != ttype:
+            already = any(d.rule == "fission/interface-type" and name in d.message for d in out)
+            if not already:
+                out.append(
+                    _diag(
+                        "fission/tensor-type",
+                        location,
+                        f"operator tensor {name!r} changed type across fission: "
+                        f"{ttype} -> {pg.tensors[name]}",
+                    )
+                )
+    return out
+
+
+def checked_rewrite(before: PrimitiveGraph, after: PrimitiveGraph, label: str = "") -> None:
+    """:func:`verify_rewrite` escalated to :class:`DiagnosticError`.
+
+    Matches the ``verifier`` hook signature of
+    :class:`~repro.transforms.PrimitiveGraphOptimizer`; installed by the
+    engine's ``verify_level="full"`` debug mode.
+    """
+    bad = errors(verify_rewrite(before, after, label))
+    if bad:
+        raise DiagnosticError(
+            f"rewrite {label or after.name!r} failed verification", bad
+        )
+
+
+def checked_fission(graph: Graph, pg: PrimitiveGraph) -> None:
+    """:func:`verify_fission` escalated to :class:`DiagnosticError`."""
+    bad = errors(verify_fission(graph, pg))
+    if bad:
+        raise DiagnosticError(
+            f"fission of {graph.name!r} failed verification", bad
+        )

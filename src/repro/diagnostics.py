@@ -1,0 +1,115 @@
+"""Structured diagnostics shared by the verification and linting layers.
+
+Every static check in the repository — graph validation
+(:mod:`repro.ir.validation`), the rewrite/plan verifiers and the concurrency
+linter (:mod:`repro.analysis.verify`) — reports findings as
+:class:`Diagnostic` records instead of bare exceptions: a stable rule id, a
+severity, a human-readable message, a location, and a fix hint.  Callers that
+want exception semantics raise :class:`DiagnosticError`, which carries the
+full record list, so nothing is lost when a check escalates.
+
+This module is a dependency leaf on purpose: the IR layer and the analysis
+layer both import it, and it imports nothing from ``repro``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticError",
+    "errors",
+    "has_errors",
+    "format_diagnostics",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; gates (CI, verify_level) fail on ERROR only."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static check.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier, namespaced by layer — e.g.
+        ``"graph/multi-producer"``, ``"plan/uncovered-node"``,
+        ``"conc/global-mutation"``.  Tests and suppression pragmas key on it.
+    severity:
+        :class:`Severity`; gates fail on :attr:`Severity.ERROR` only.
+    message:
+        Human-readable statement of the violation.
+    location:
+        Where it was found: ``"file.py:42"`` for lint findings,
+        ``"candy/partition[0]/kernel[3]"`` for plan findings,
+        ``"graph 'candy'"`` for graph findings.
+    hint:
+        Optional fix hint shown alongside the message.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: str = ""
+    hint: str = ""
+
+    def format(self) -> str:
+        """``location: severity[rule] message (hint)`` single-line rendering."""
+        prefix = f"{self.location}: " if self.location else ""
+        suffix = f" (hint: {self.hint})" if self.hint else ""
+        return f"{prefix}{self.severity.value}[{self.rule}] {self.message}{suffix}"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+
+def errors(diagnostics: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """The ERROR-severity subset of ``diagnostics``."""
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    """True when any diagnostic is ERROR severity."""
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def format_diagnostics(diagnostics: Sequence[Diagnostic]) -> str:
+    """Multi-line rendering, one finding per line."""
+    return "\n".join(d.format() for d in diagnostics)
+
+
+@dataclass
+class DiagnosticError(RuntimeError):
+    """A check failed with one or more ERROR-severity diagnostics.
+
+    The exception message lists every finding (not just the first), and the
+    structured records stay available on :attr:`diagnostics`.
+    """
+
+    summary: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        details = format_diagnostics(self.diagnostics)
+        message = f"{self.summary}\n{details}" if details else self.summary
+        super().__init__(message)

@@ -51,6 +51,14 @@ class KorchEngineConfig:
     #: Process-wide cap on concurrently open cache stores (see
     #: :mod:`repro.engine.registry`); the LRU store beyond it is closed.
     max_open_stores: int = 32
+    #: Opt-in verification debug mode (see :mod:`repro.analysis.verify`):
+    #: ``"off"`` (default) — no checks; ``"plan"`` — statically verify every
+    #: assembled kernel plan; ``"full"`` — additionally verify each fission
+    #: result and every applied graph rewrite.  Verification never changes
+    #: results (it only observes them, raising
+    #: :class:`~repro.diagnostics.DiagnosticError` on violations), which is
+    #: why the knob lives here and stays out of every cache key.
+    verify_level: str = "off"
 
 
 @dataclass

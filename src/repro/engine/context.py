@@ -77,6 +77,10 @@ class StageContext:
     #: Wall-clock seconds per stage name, recorded by ``run_stages``.
     timings: dict[str, float] = field(default_factory=dict)
 
+    #: Verification findings accumulated by the ``verify_level`` debug mode
+    #: (:mod:`repro.analysis.verify`); plain data, picklable.
+    diagnostics: list = field(default_factory=list)
+
     #: Fields that never cross a process boundary: collaborators bound to the
     #: engine's process (caches, locks, SQLite handles ride inside them).
     _UNPICKLABLE = ("fission", "optimizer", "graph_optimizer", "identify_memo")

@@ -133,6 +133,19 @@ class EngineStats:
         }
 
 
+def _rewrite_verifier(config: KorchConfig):
+    """The per-rewrite check hook for ``verify_level="full"``, else ``None``.
+
+    Module-level (and resolved from the config alone) so the process-pool
+    prologue worker installs the identical hook from its shipped config.
+    """
+    if config.engine.verify_level != "full":
+        return None
+    from ..analysis.verify import checked_rewrite
+
+    return checked_rewrite
+
+
 class _ReuseTrackingCache:
     """Profile-cache wrapper attributing each entry to the engine run that
     first wrote it, so hits from a *different* run count as cross-model
@@ -425,7 +438,10 @@ class KorchEngine:
                 tuning_authoritative=False,
             )
             graph_optimizer = PrimitiveGraphOptimizer(
-                self.spec, config=self.config.graph_optimizer, profiler=profiler
+                self.spec,
+                config=self.config.graph_optimizer,
+                profiler=profiler,
+                verifier=_rewrite_verifier(self.config),
             )
 
         return StageContext(

@@ -37,6 +37,9 @@ class PartitionResult:
     executable: Executable
     #: Wall-clock seconds spent in each engine stage for this partition.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Non-fatal verification findings (``verify_level`` debug mode); ERROR
+    #: findings raise during the run instead of landing here.
+    diagnostics: list = field(default_factory=list)
 
     @property
     def latency_s(self) -> float:

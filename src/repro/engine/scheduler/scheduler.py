@@ -254,6 +254,20 @@ class Scheduler:
             if key not in state:
                 visit(key)
 
+        # Resource-ordering check: two tasks declaring the same
+        # ``meta["resources"]`` entry (e.g. a store namespace) must be
+        # dependency-ordered or their accesses race.  Imported lazily so the
+        # scheduler pays nothing when no task declares resources.
+        if any(task.meta.get("resources") for task in tasks):
+            from ...analysis.verify.concurrency import check_task_resources
+
+            findings = check_task_resources(tasks)
+            if findings:
+                raise SchedulerError(
+                    "unordered shared-resource access:\n"
+                    + "\n".join(d.format() for d in findings)
+                )
+
     def _pump_locked(self) -> None:
         """Dispatch ready tasks up to the admission cap.
 

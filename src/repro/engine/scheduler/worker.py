@@ -98,6 +98,7 @@ _WORKER_MEMO: IdentifyMemo | None = None
 def _worker_memo(max_entries: int) -> IdentifyMemo:
     global _WORKER_MEMO
     if _WORKER_MEMO is None or _WORKER_MEMO.max_entries != max_entries:
+        # korch-lint: ignore[conc/global-mutation] one memo per worker process; pool workers are single-threaded
         _WORKER_MEMO = IdentifyMemo(max_entries)
     return _WORKER_MEMO
 
@@ -114,9 +115,17 @@ def run_partition_prologue(
     timings: dict[str, float] = {}
     writes: list[tuple] = []
 
+    verify_full = config.engine.verify_level == "full"
+
     started = time.perf_counter()
     pg, fission_report = FissionEngine().run(partition.graph)
     timings["fission"] = time.perf_counter() - started
+    if verify_full:
+        # Lazy: the verify package is debug-mode-only; default workers must
+        # not import it.  DiagnosticError pickles and fails the task's future.
+        from ...analysis.verify import checked_fission
+
+        checked_fission(partition.graph, pg)
 
     optimizer_report = None
     profiler_stats = ProfilerStats()
@@ -127,8 +136,13 @@ def run_partition_prologue(
             persistent_cache=_RecordingProfileCache(writes),
             tuning_authoritative=False,
         )
+        verifier = None
+        if verify_full:
+            from ...analysis.verify import checked_rewrite
+
+            verifier = checked_rewrite
         graph_optimizer = PrimitiveGraphOptimizer(
-            spec, config=config.graph_optimizer, profiler=profiler
+            spec, config=config.graph_optimizer, profiler=profiler, verifier=verifier
         )
         pg, optimizer_report = graph_optimizer.optimize(pg)
         profiler_stats.merge(profiler.stats)

@@ -63,6 +63,12 @@ class FissionStage(Stage):
 
     def run(self, ctx: StageContext) -> StageContext:
         ctx.pg, ctx.fission_report = ctx.fission.run(ctx.partition.graph)
+        if ctx.config.engine.verify_level == "full":
+            # Imported lazily: verification is opt-in debug tooling and the
+            # default path must not load the analysis package.
+            from ..analysis.verify import checked_fission
+
+            checked_fission(ctx.partition.graph, ctx.pg)
         return ctx
 
 
@@ -150,6 +156,8 @@ class AssembleStage(Stage):
     name = "assemble"
 
     def run(self, ctx: StageContext) -> StageContext:
+        if ctx.config.engine.verify_level in ("plan", "full"):
+            self._verify_plan(ctx)
         ctx.executable = Executable.from_strategy(ctx.orchestration.strategy)
         ctx.result = PartitionResult(
             partition=ctx.partition,
@@ -158,8 +166,32 @@ class AssembleStage(Stage):
             orchestration=ctx.orchestration,
             executable=ctx.executable,
             timings=ctx.timings,
+            diagnostics=list(ctx.diagnostics),
         )
         return ctx
+
+    @staticmethod
+    def _verify_plan(ctx: StageContext) -> None:
+        """Statically check the assembled strategy (``verify_level`` debug
+        mode); ERROR findings raise, WARNING/INFO ride along on the result."""
+        from ..diagnostics import DiagnosticError, errors
+        from ..analysis.verify import verify_strategy
+
+        strategy = ctx.orchestration.strategy
+        if not strategy.pg.nodes:
+            return
+        found = verify_strategy(
+            strategy.pg,
+            strategy.kernels,
+            location=f"{ctx.partition.graph.name}",
+        )
+        ctx.diagnostics.extend(found)
+        bad = errors(found)
+        if bad:
+            raise DiagnosticError(
+                f"plan verification failed for partition {ctx.partition.graph.name!r}",
+                bad,
+            )
 
 
 #: The Figure 1 flow; replace or extend to customize the engine.

@@ -25,6 +25,7 @@ def register_fission_rule(op_type: str, rule: FissionRule) -> FissionRule:
     """Register ``rule`` for ``op_type``; duplicate registration is an error."""
     if op_type in FISSION_RULES:
         raise ValueError(f"fission rule for {op_type!r} already registered")
+    # korch-lint: ignore[conc/global-mutation] import-time registration only
     FISSION_RULES[op_type] = rule
     return rule
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from ...primitives.elementwise import ElementwisePrimitive
+
 from ...primitives.reduce_broadcast import ReducePrimitive, WindowReducePrimitive
 from ..context import FissionContext
 from ..registry import fission_rule

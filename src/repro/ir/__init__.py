@@ -7,7 +7,7 @@ from .ops import REGISTRY, OpKind, OpSpec, get_op, register_op
 from .serialization import graph_from_dict, graph_to_dict, load_graph, save_graph
 from .shape_inference import broadcast_shapes, infer_graph_types, infer_node_types
 from .tensor_type import TensorType
-from .validation import validate_graph
+from .validation import graph_diagnostics, validate_graph
 
 __all__ = [
     "DataType",
@@ -21,6 +21,7 @@ __all__ = [
     "Graph",
     "GraphError",
     "GraphBuilder",
+    "graph_diagnostics",
     "validate_graph",
     "infer_node_types",
     "infer_graph_types",

@@ -23,6 +23,7 @@ _INFERENCE: dict[str, _InferFn] = {}
 def _register(*names: str) -> Callable[[_InferFn], _InferFn]:
     def decorator(fn: _InferFn) -> _InferFn:
         for name in names:
+            # korch-lint: ignore[conc/global-mutation] import-time registration only
             _INFERENCE[name] = fn
         return fn
 

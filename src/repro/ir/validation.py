@@ -3,15 +3,24 @@
 Checks are deliberately strict: a graph that passes :func:`validate_graph`
 can be consumed by the fission engine, the baselines and the functional
 executor without further defensive checks.
+
+Two entry points share one implementation: :func:`graph_diagnostics` collects
+*every* structural and type error as structured
+:class:`~repro.diagnostics.Diagnostic` records (the verification layers in
+:mod:`repro.analysis.verify` build on this), and :func:`validate_graph`
+raises a :class:`~repro.ir.graph.GraphError` naming the graph and listing all
+findings at once — a malformed graph reports everything wrong with it, not
+just the first problem hit.
 """
 
 from __future__ import annotations
 
+from ..diagnostics import Diagnostic, Severity, format_diagnostics
 from .graph import Graph, GraphError
 from .ops import REGISTRY
 from .shape_inference import infer_node_types
 
-__all__ = ["validate_graph"]
+__all__ = ["graph_diagnostics", "validate_graph"]
 
 
 def validate_graph(graph: Graph) -> None:
@@ -19,53 +28,143 @@ def validate_graph(graph: Graph) -> None:
 
     Validates operator names, arity, tensor declarations, single-producer
     discipline, acyclicity, output reachability and consistency of declared
-    tensor types with shape inference.
+    tensor types with shape inference.  The raised error names the graph and
+    lists every violation found, not only the first.
     """
-    _check_structure(graph)
-    _check_types(graph)
+    diagnostics = graph_diagnostics(graph)
+    if diagnostics:
+        raise GraphError(
+            f"graph {graph.name!r} failed validation with "
+            f"{len(diagnostics)} error(s):\n{format_diagnostics(diagnostics)}"
+        )
 
 
-def _check_structure(graph: Graph) -> None:
+def graph_diagnostics(graph: Graph) -> list[Diagnostic]:
+    """All structural and type errors of ``graph`` as diagnostics.
+
+    Collect-and-report: one malformed node does not mask the next.  Checks
+    that depend on earlier invariants (type inference needs an acyclic,
+    fully-produced graph) are skipped once their prerequisites failed, so no
+    spurious cascade errors are reported.
+    """
+    diagnostics = _structure_diagnostics(graph)
+    if not diagnostics:
+        diagnostics.extend(_type_diagnostics(graph))
+    return diagnostics
+
+
+def _diag(rule: str, graph: Graph, message: str, hint: str = "") -> Diagnostic:
+    return Diagnostic(
+        rule=rule,
+        severity=Severity.ERROR,
+        message=message,
+        location=f"graph {graph.name!r}",
+        hint=hint,
+    )
+
+
+def _structure_diagnostics(graph: Graph) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
     produced: set[str] = set()
     for node in graph.nodes:
         if node.op_type not in REGISTRY:
-            raise GraphError(f"node {node.name}: unknown operator {node.op_type!r}")
-        node.spec.validate_arity(len(node.inputs), len(node.outputs))
+            out.append(
+                _diag(
+                    "graph/unknown-op",
+                    graph,
+                    f"node {node.name}: unknown operator {node.op_type!r}",
+                    hint="register the operator in repro.ir.ops",
+                )
+            )
+            continue  # arity/type checks need the spec
+        try:
+            node.spec.validate_arity(len(node.inputs), len(node.outputs))
+        except ValueError as exc:  # validate_arity raises plain ValueError
+            out.append(_diag("graph/arity", graph, f"node {node.name}: {exc}"))
         for tensor in node.inputs + node.outputs:
             if tensor not in graph.tensors:
-                raise GraphError(f"node {node.name}: undeclared tensor {tensor!r}")
+                out.append(
+                    _diag(
+                        "graph/undeclared-tensor",
+                        graph,
+                        f"node {node.name}: undeclared tensor {tensor!r}",
+                        hint="declare it with add_tensor/add_input/add_param first",
+                    )
+                )
         for tensor in node.outputs:
             if tensor in produced:
-                raise GraphError(f"tensor {tensor!r} has multiple producers")
+                out.append(
+                    _diag(
+                        "graph/multi-producer",
+                        graph,
+                        f"tensor {tensor!r} has multiple producers",
+                    )
+                )
             if graph.is_source_tensor(tensor):
-                raise GraphError(f"node {node.name} writes to source tensor {tensor!r}")
+                out.append(
+                    _diag(
+                        "graph/source-write",
+                        graph,
+                        f"node {node.name} writes to source tensor {tensor!r}",
+                    )
+                )
             produced.add(tensor)
 
     for tensor in graph.outputs:
         if tensor not in graph.tensors:
-            raise GraphError(f"graph output {tensor!r} is not a declared tensor")
-        if tensor not in produced and not graph.is_source_tensor(tensor):
-            raise GraphError(f"graph output {tensor!r} has no producer")
+            out.append(
+                _diag(
+                    "graph/undeclared-tensor",
+                    graph,
+                    f"graph output {tensor!r} is not a declared tensor",
+                )
+            )
+        elif tensor not in produced and not graph.is_source_tensor(tensor):
+            out.append(
+                _diag(
+                    "graph/missing-producer",
+                    graph,
+                    f"graph output {tensor!r} has no producer",
+                )
+            )
 
     for node in graph.nodes:
         for tensor in node.inputs:
             if tensor not in produced and not graph.is_source_tensor(tensor):
-                raise GraphError(
-                    f"node {node.name}: input {tensor!r} is neither produced nor a graph source"
+                out.append(
+                    _diag(
+                        "graph/missing-producer",
+                        graph,
+                        f"node {node.name}: input {tensor!r} is neither produced "
+                        "nor a graph source",
+                    )
                 )
 
-    # topological_order raises on cycles
-    graph.topological_order()
+    try:
+        graph.topological_order()
+    except GraphError:
+        out.append(_diag("graph/cycle", graph, "graph contains a dependency cycle"))
+    return out
 
 
-def _check_types(graph: Graph) -> None:
+def _type_diagnostics(graph: Graph) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
     for node in graph.topological_order():
         input_types = [graph.tensor_type(t) for t in node.inputs]
-        inferred = infer_node_types(node, input_types)
+        try:
+            inferred = infer_node_types(node, input_types)
+        except GraphError as exc:
+            out.append(_diag("graph/inference-failed", graph, f"node {node.name}: {exc}"))
+            continue
         for tensor, expected in zip(node.outputs, inferred):
             declared = graph.tensor_type(tensor)
             if declared.shape != expected.shape:
-                raise GraphError(
-                    f"node {node.name}: declared shape {declared.shape} of {tensor!r} "
-                    f"does not match inferred {expected.shape}"
+                out.append(
+                    _diag(
+                        "graph/shape-mismatch",
+                        graph,
+                        f"node {node.name}: declared shape {declared.shape} of "
+                        f"{tensor!r} does not match inferred {expected.shape}",
+                    )
                 )
+    return out

@@ -15,7 +15,7 @@ model; partition boundary tensors flow through the shared memory dictionary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

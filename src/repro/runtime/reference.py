@@ -27,6 +27,7 @@ _OPS: dict[str, _OpFn] = {}
 def _register(*names: str) -> Callable[[_OpFn], _OpFn]:
     def decorator(fn: _OpFn) -> _OpFn:
         for name in names:
+            # korch-lint: ignore[conc/global-mutation] import-time registration only
             _OPS[name] = fn
         return fn
 

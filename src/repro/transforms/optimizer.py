@@ -15,7 +15,7 @@ search needs to prefer graphs with less work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..gpu.profiler import KernelProfiler
 from ..gpu.specs import GpuSpec
@@ -75,11 +75,17 @@ class PrimitiveGraphOptimizer:
         transforms: Sequence[Transform] | None = None,
         config: GraphOptimizerConfig | None = None,
         profiler: KernelProfiler | None = None,
+        verifier: Callable[[PrimitiveGraph, PrimitiveGraph, str], None] | None = None,
     ) -> None:
         self.spec = spec
         self.transforms = list(transforms or default_transforms())
         self.config = config or GraphOptimizerConfig()
         self._profiler = profiler if profiler is not None else KernelProfiler(spec)
+        #: Optional rewrite checker ``verifier(before, after, label)`` invoked
+        #: on every applied substitution; the engine's ``verify_level="full"``
+        #: debug mode installs :func:`repro.analysis.verify.checked_rewrite`,
+        #: which raises on interface or type violations.
+        self.verifier = verifier
 
     @property
     def profiler(self) -> KernelProfiler:
@@ -97,11 +103,13 @@ class PrimitiveGraphOptimizer:
         beam: list[tuple[float, PrimitiveGraph, list[str]]] = [(best_cost, pg, [])]
         for _ in range(self.config.max_iterations):
             expansions: list[tuple[float, PrimitiveGraph, list[str]]] = []
-            for cost, graph, trail in beam:
+            for _cost, graph, trail in beam:
                 for transform in self.transforms:
                     for site in transform.find_sites(graph):
                         candidate = transform.apply(graph, site)
                         candidate.validate()
+                        if self.verifier is not None:
+                            self.verifier(graph, candidate, f"{transform.name}@{site.anchor}")
                         candidate_cost = self.graph_cost(candidate)
                         report.candidates_evaluated += 1
                         expansions.append(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..primitives.elementwise import ElementwisePrimitive
 from ..primitives.graph import PrimitiveGraph
 from ..primitives.layout import LayoutPrimitive
-from .base import Transform, TransformSite, redirect_tensor, remove_dead_nodes, replace_with
+from .base import Transform, TransformSite, replace_with
 
 __all__ = ["IdentityElimination", "TransposePairElimination", "ConstantLayoutFolding"]
 

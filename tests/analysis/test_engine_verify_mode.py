@@ -1,0 +1,77 @@
+"""Engine debug-mode tests: ``verify_level`` observes, never changes results."""
+
+from __future__ import annotations
+
+
+from repro.analysis.verify import verify_result
+from repro.engine import KorchConfig, KorchEngine, KorchEngineConfig
+from repro.ir import GraphBuilder
+
+
+def attention_model(name: str, heads: int = 4):
+    b = GraphBuilder(name)
+    x = b.input("x", (1, heads, 32, 16))
+    w = b.param("w", (1, heads, 16, 32))
+    v = b.param("v", (1, heads, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+def optimize(level: str, name: str = "verify_mode", **engine_kwargs):
+    config = KorchConfig(
+        gpu="V100",
+        engine=KorchEngineConfig(verify_level=level, **engine_kwargs),
+    )
+    with KorchEngine(config) as engine:
+        return engine.optimize(attention_model(name))
+
+
+class TestBitIdentical:
+    def test_full_verification_is_bit_identical_to_default(self):
+        """Acceptance: verify_level="full" never changes the plan."""
+        reference = optimize("off")
+        verified = optimize("full")
+        assert strategy_fingerprint(verified) == strategy_fingerprint(reference)
+        assert verified.latency_s == reference.latency_s
+
+    def test_plan_level_is_bit_identical_too(self):
+        reference = optimize("off")
+        verified = optimize("plan")
+        assert strategy_fingerprint(verified) == strategy_fingerprint(reference)
+
+    def test_full_verification_in_process_mode(self):
+        """The worker prologue installs the same hooks as the thread path."""
+        reference = optimize("off")
+        verified = optimize("full", executor="process", process_workers=1)
+        assert strategy_fingerprint(verified) == strategy_fingerprint(reference)
+
+
+class TestDiagnosticsPlumbing:
+    def test_default_level_records_no_diagnostics(self):
+        result = optimize("off", "no_diag")
+        assert all(part.diagnostics == [] for part in result.partitions)
+
+    def test_verified_run_records_clean_diagnostics(self):
+        """A healthy model produces zero diagnostics at every level."""
+        result = optimize("full", "clean_diag")
+        assert all(part.diagnostics == [] for part in result.partitions)
+        assert verify_result(result) == []
+
+    def test_verify_level_stays_out_of_cache_keys(self):
+        """Debug mode must share plan/profile caches with default runs."""
+        plain = KorchConfig(gpu="V100")
+        debug = KorchConfig(
+            gpu="V100", engine=KorchEngineConfig(verify_level="full")
+        )
+        assert plain.fingerprint() == debug.fingerprint()

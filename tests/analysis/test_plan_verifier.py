@@ -1,0 +1,234 @@
+"""Layer 2 adversarial tests: mutated plans must trip the right rules.
+
+Each test starts from a small hand-built primitive graph, fabricates kernel
+lists with one specific defect, and asserts the verifier reports exactly the
+expected rule id (acceptance: dropped cover entry, double cover, cyclic
+dependency, removed dependency edge / misorder, swapped interface tensors).
+"""
+
+from __future__ import annotations
+
+
+from repro.analysis.verify import verify_result, verify_strategy
+from repro.diagnostics import Severity, errors
+from repro.engine import KorchConfig, KorchEngine
+from repro.gpu.cost_model import CostBreakdown
+from repro.gpu.features import KernelFeatures
+from repro.gpu.profiler import KernelProfile, KernelProfiler
+from repro.ir import GraphBuilder, TensorType
+from repro.orchestration.kernel import CandidateKernel
+from repro.primitives import ElementwisePrimitive, PrimitiveGraph
+
+
+def _profile(latency: float = 1e-5, backend: str = "test") -> KernelProfile:
+    return KernelProfile(
+        latency_s=latency,
+        backend=backend,
+        breakdown=CostBreakdown(latency, 0.0, 0.0, latency, 0, 0, 1.0, 1.0),
+        features=KernelFeatures(),
+    )
+
+
+def chain_pg(depth: int = 2) -> PrimitiveGraph:
+    """x -> n0 -> t0 -> n1 -> t1 [... ] with the last tensor as output."""
+    pg = PrimitiveGraph("chain")
+    tensor = pg.add_input("x", TensorType((4,)))
+    for index in range(depth):
+        node = pg.add_node(
+            ElementwisePrimitive("Relu"), [tensor], output=f"t{index}", name=f"n{index}"
+        )
+        tensor = node.output
+    pg.add_output(tensor)
+    return pg
+
+
+def make_kernel(pg, names, index=0, external_inputs=None, outputs=None):
+    """CandidateKernel over ``names`` with honest IO unless overridden."""
+    names = set(names)
+    nodes = [n for n in pg.nodes if n.name in names]
+    ins, outs = pg.subset_io(nodes)
+    return CandidateKernel(
+        index=index,
+        node_names=frozenset(names),
+        nodes=nodes,
+        external_inputs=list(ins) if external_inputs is None else list(external_inputs),
+        outputs=list(outs) if outputs is None else list(outputs),
+        profile=_profile(),
+    )
+
+
+def rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+class TestCover:
+    def test_clean_single_kernel_plan(self):
+        pg = chain_pg()
+        assert verify_strategy(pg, [make_kernel(pg, {"n0", "n1"})]) == []
+
+    def test_clean_two_kernel_plan(self):
+        pg = chain_pg()
+        plan = [make_kernel(pg, {"n0"}, 0), make_kernel(pg, {"n1"}, 1)]
+        assert verify_strategy(pg, plan) == []
+
+    def test_dropped_cover_entry_is_uncovered_node(self):
+        """Acceptance mutation: remove the kernel materializing an output."""
+        pg = chain_pg()
+        plan = [make_kernel(pg, {"n0"})]  # nobody materializes t1
+        found = verify_strategy(pg, plan)
+        assert rules(found) == ["plan/uncovered-node"]
+        assert found[0].severity is Severity.ERROR
+        assert "t1" in found[0].message
+
+    def test_double_covered_node_is_warning(self):
+        """Redundant materialization is legal under the >=1 BLP constraints."""
+        pg = chain_pg()
+        plan = [
+            make_kernel(pg, {"n0", "n1"}, 0),
+            make_kernel(pg, {"n0", "n1"}, 1),
+        ]
+        found = verify_strategy(pg, plan)
+        assert rules(found) == ["plan/double-covered-node"]
+        assert found[0].severity is Severity.WARNING
+        assert errors(found) == []
+
+    def test_dangling_input(self):
+        pg = chain_pg()
+        found = verify_strategy(pg, [make_kernel(pg, {"n1"})])
+        assert rules(found) == ["plan/dangling-input"]
+        assert "t0" in found[0].message
+
+
+class TestOrdering:
+    def test_removed_dependency_edge_is_order_violation(self):
+        """Acceptance mutation: a reversed (misordered) but orderable plan."""
+        pg = chain_pg()
+        plan = [make_kernel(pg, {"n1"}, 0), make_kernel(pg, {"n0"}, 1)]
+        found = verify_strategy(pg, plan)
+        assert rules(found) == ["plan/order-violation"]
+        assert "t0" in found[0].message
+
+    def test_cyclic_kernel_dependency(self):
+        """Acceptance mutation: two kernels waiting on each other's output."""
+        pg = chain_pg()
+        # k0 fabricates a read of k1's output; the declared IO also disagrees
+        # with the node set (io-mismatch) but the greedy saturation must still
+        # classify the deadlock as a cycle, not a misorder.
+        k0 = make_kernel(pg, {"n0"}, 0, external_inputs=["x", "t1"], outputs=["t0"])
+        k1 = make_kernel(pg, {"n1"}, 1, external_inputs=["t0"], outputs=["t1"])
+        found = verify_strategy(pg, [k0, k1])
+        assert "plan/cyclic-dependency" in rules(found)
+        assert "plan/order-violation" not in rules(found)
+
+
+class TestKernelWellFormedness:
+    def test_swapped_interface_tensor_is_io_mismatch(self):
+        """Acceptance mutation: swap a kernel's declared external input."""
+        pg = chain_pg()
+        kernel = make_kernel(pg, {"n1"}, external_inputs=["x"])
+        k0 = make_kernel(pg, {"n0"}, 1)
+        found = verify_strategy(pg, [k0, kernel])
+        assert rules(found) == ["plan/io-mismatch"]
+        assert "t0" in found[0].message
+
+    def test_foreign_output_is_io_mismatch(self):
+        pg = chain_pg()
+        kernel = make_kernel(pg, {"n0", "n1"}, outputs=["t1", "t0", "x"])
+        found = verify_strategy(pg, [kernel])
+        assert "plan/io-mismatch" in rules(found)
+
+    def test_empty_kernel(self):
+        pg = chain_pg()
+        empty = CandidateKernel(
+            index=0, node_names=frozenset(), nodes=[], external_inputs=[],
+            outputs=[], profile=_profile(),
+        )
+        found = verify_strategy(pg, [empty, make_kernel(pg, {"n0", "n1"}, 1)])
+        assert "plan/empty-kernel" in rules(found)
+
+    def test_unknown_node(self):
+        pg = chain_pg()
+        ghost = CandidateKernel(
+            index=0, node_names=frozenset({"nope"}), nodes=[pg.nodes[0]],
+            external_inputs=[], outputs=[], profile=_profile(),
+        )
+        found = verify_strategy(pg, [ghost, make_kernel(pg, {"n0", "n1"}, 1)])
+        assert "plan/unknown-node" in rules(found)
+
+    def test_non_convex_kernel(self):
+        pg = chain_pg(depth=3)
+        found = verify_strategy(pg, [make_kernel(pg, {"n0", "n2"})])
+        assert "plan/non-convex-kernel" in rules(found)
+
+
+class _MissCache:
+    def get(self, signature, key=None):
+        return False, None, False
+
+
+class _HitCache:
+    def get(self, signature, key=None):
+        return True, _profile(), True
+
+
+class TestProfileKeys:
+    def test_missing_profile_key(self):
+        pg = chain_pg()
+        found = verify_strategy(
+            pg, [make_kernel(pg, {"n0", "n1"})], profile_caches=[_MissCache()]
+        )
+        assert rules(found) == ["plan/profile-key-missing"]
+
+    def test_any_cache_hit_satisfies(self):
+        pg = chain_pg()
+        found = verify_strategy(
+            pg,
+            [make_kernel(pg, {"n0", "n1"})],
+            profile_caches=[_MissCache(), _HitCache()],
+        )
+        assert found == []
+
+    def test_signature_agrees_with_profiler(self):
+        """The verifier recomputes the exact profiler cache signature."""
+        pg = chain_pg()
+        kernel = make_kernel(pg, {"n0", "n1"})
+        expected = KernelProfiler.kernel_signature(
+            pg, kernel.nodes, kernel.external_inputs, kernel.outputs
+        )
+
+        seen = []
+
+        class _Spy(_HitCache):
+            def get(self, signature, key=None):
+                seen.append(signature)
+                return super().get(signature, key)
+
+        assert verify_strategy(pg, [kernel], profile_caches=[_Spy()]) == []
+        assert seen == [expected]
+
+
+def _attention_model(name: str):
+    b = GraphBuilder(name)
+    x = b.input("x", (1, 4, 32, 16))
+    w = b.param("w", (1, 4, 16, 32))
+    v = b.param("v", (1, 4, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+class TestVerifyResult:
+    def test_engine_plan_verifies_clean(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            result = engine.optimize(_attention_model("verify_clean"))
+        assert verify_result(result) == []
+
+    def test_mutated_engine_plan_is_flagged(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            result = engine.optimize(_attention_model("verify_mutated"))
+        strategy = result.partitions[0].orchestration.strategy
+        assert strategy.kernels, "expected at least one selected kernel"
+        strategy.kernels[-1].outputs.clear()
+        found = verify_result(result)
+        assert any(d.rule in {"plan/uncovered-node", "plan/io-mismatch",
+                              "plan/dangling-input"} for d in found)
+        assert result.graph.name in found[0].location

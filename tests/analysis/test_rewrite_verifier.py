@@ -1,0 +1,169 @@
+"""Layer 1 tests: fission/rewrite verification and the optimizer hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import (
+    checked_fission,
+    checked_rewrite,
+    pg_diagnostics,
+    verify_fission,
+    verify_rewrite,
+)
+from repro.diagnostics import DiagnosticError, Severity
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.ir import GraphBuilder, TensorType
+from repro.ir.dtype import DataType
+from repro.primitives import ElementwisePrimitive, PrimitiveGraph
+from repro.transforms import PrimitiveGraphOptimizer
+from repro.transforms.base import Transform, TransformSite
+
+
+def _attention_graph():
+    b = GraphBuilder("attn")
+    x = b.input("x", (1, 4, 32, 16))
+    w = b.param("w", (1, 4, 16, 32))
+    v = b.param("v", (1, 4, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def _chain_pg(name: str = "chain") -> PrimitiveGraph:
+    pg = PrimitiveGraph(name)
+    tensor = pg.add_input("x", TensorType((4,)))
+    for index in range(2):
+        node = pg.add_node(
+            ElementwisePrimitive("Relu"), [tensor], output=f"t{index}", name=f"n{index}"
+        )
+        tensor = node.output
+    pg.add_output(tensor)
+    return pg
+
+
+def rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+class TestPgDiagnostics:
+    def test_clean_graph(self):
+        assert pg_diagnostics(_chain_pg()) == []
+
+    def test_type_mutation_is_caught(self):
+        """A rewrite that silently changes a tensor's shape is flagged."""
+        pg = _chain_pg()
+        pg.tensors["t0"] = TensorType((8,))
+        found = pg_diagnostics(pg)
+        # t0's declared type disagrees with n0's inference, and n1's output
+        # re-infers to (8,) against the declared (4,).
+        assert set(rules(found)) == {"rewrite/type-mismatch"}
+        assert any("t0" in d.message for d in found)
+
+    def test_structurally_invalid_graph(self):
+        pg = _chain_pg()
+        pg.nodes[0].inputs = ["ghost"]
+        assert rules(pg_diagnostics(pg)) == ["rewrite/invalid-graph"]
+
+
+class TestVerifyRewrite:
+    def test_identity_rewrite_is_clean(self):
+        pg = _chain_pg()
+        assert verify_rewrite(pg, pg.copy(), "identity@n0") == []
+
+    def test_swapped_interface_tensor(self):
+        """Acceptance mutation: rename a graph output across the rewrite."""
+        before = _chain_pg()
+        after = before.copy()
+        after.rename_output(after.nodes[-1], "renamed")
+        found = verify_rewrite(before, after, "swap@n1")
+        assert "rewrite/interface-output" in rules(found)
+        assert all(d.severity is Severity.ERROR for d in found)
+        assert "swap@n1" in found[0].location
+
+    def test_dropped_input_is_interface_violation(self):
+        before = _chain_pg()
+        after = before.copy()
+        after.inputs.remove("x")
+        found = verify_rewrite(before, after)
+        assert "rewrite/interface-input" in rules(found)
+
+    def test_interface_type_change(self):
+        before = _chain_pg()
+        after = before.copy()
+        after.tensors["x"] = TensorType((4,), DataType.FLOAT16)
+        found = verify_rewrite(before, after)
+        assert "rewrite/interface-type" in rules(found)
+
+    def test_checked_rewrite_raises_diagnostic_error(self):
+        before = _chain_pg()
+        after = before.copy()
+        after.rename_output(after.nodes[-1], "renamed")
+        with pytest.raises(DiagnosticError) as excinfo:
+            checked_rewrite(before, after, "swap@n1")
+        assert excinfo.value.diagnostics
+        assert "rewrite/interface-output" in str(excinfo.value)
+
+    def test_checked_rewrite_clean_returns_none(self):
+        pg = _chain_pg()
+        assert checked_rewrite(pg, pg.copy(), "identity") is None
+
+
+class TestVerifyFission:
+    def test_real_fission_is_clean(self):
+        graph = _attention_graph()
+        pg, _ = FissionEngine().run(graph)
+        assert verify_fission(graph, pg) == []
+        checked_fission(graph, pg)  # must not raise
+
+    def test_operator_tensor_type_drift(self):
+        graph = _attention_graph()
+        pg, _ = FissionEngine().run(graph)
+        # Corrupt a preserved operator-level intermediate's type in the pg.
+        shared = next(
+            name
+            for name in graph.tensors
+            if name in pg.tensors
+            and name not in graph.inputs
+            and name not in graph.params
+            and name not in graph.outputs
+        )
+        pg.tensors[shared] = TensorType((1,), DataType.FLOAT16)
+        found = verify_fission(graph, pg)
+        assert "fission/tensor-type" in rules(found)
+
+    def test_dropped_output_raises_in_checked_mode(self):
+        graph = _attention_graph()
+        pg, _ = FissionEngine().run(graph)
+        pg.outputs.clear()
+        with pytest.raises(DiagnosticError):
+            checked_fission(graph, pg)
+
+
+class _BreakingTransform(Transform):
+    """A deliberately unsound rewrite: renames the graph output."""
+
+    name = "break_output"
+
+    def find_sites(self, pg):
+        return [TransformSite(self.name, pg.nodes[-1].name)]
+
+    def apply(self, pg, site):
+        out = pg.copy()
+        out.rename_output(out.nodes[-1], "broken")
+        return out
+
+
+class TestOptimizerHook:
+    def test_verifier_hook_catches_unsound_transform(self):
+        pg = _chain_pg("hooked")
+        optimizer = PrimitiveGraphOptimizer(
+            V100, transforms=[_BreakingTransform()], verifier=checked_rewrite
+        )
+        with pytest.raises(DiagnosticError) as excinfo:
+            optimizer.optimize(pg)
+        assert "break_output" in str(excinfo.value)
+
+    def test_no_verifier_by_default(self):
+        optimizer = PrimitiveGraphOptimizer(V100)
+        assert optimizer.verifier is None

@@ -1,6 +1,5 @@
 """Fusion baselines: grouping policies, costing, and comparison with Korch."""
 
-import pytest
 
 from repro.baselines import (
     DnnFusionBaseline,

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import sqlite3
 
-import numpy as np
 import pytest
 
 from repro.engine import registry

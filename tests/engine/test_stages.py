@@ -2,17 +2,14 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.engine import (
     DEFAULT_STAGES,
-    AssembleStage,
     FissionStage,
     GraphOptStage,
     IdentifyStage,
     KorchConfig,
     ProfileStage,
-    SolveStage,
     StageContext,
     run_stages,
 )

@@ -5,7 +5,6 @@ import pytest
 
 from repro.backends import (
     CublasBackend,
-    CudnnBackend,
     FrameworkEagerBackend,
     TensorRTBackend,
     TvmMetaScheduleBackend,
@@ -28,7 +27,7 @@ from repro.gpu import (
     synthesize_tensor,
 )
 from repro.ir import DataType, GraphBuilder, TensorType
-from repro.primitives import ElementwisePrimitive, MatMulPrimitive, PrimitiveGraph, ReducePrimitive
+from repro.primitives import MatMulPrimitive, PrimitiveGraph, ReducePrimitive
 
 
 class TestSpecs:

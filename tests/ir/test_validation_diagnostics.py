@@ -1,0 +1,91 @@
+"""Collect-all graph validation: structured diagnostics instead of fail-fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics import Severity
+from repro.ir import Graph, GraphError, Node, TensorType
+from repro.ir.validation import graph_diagnostics, validate_graph
+
+
+def rules(diagnostics):
+    return [d.rule for d in diagnostics]
+
+
+def inject(graph: Graph, node: Node) -> None:
+    """Insert a node bypassing ``add_node``'s eager checks.
+
+    The collect-all validator exists exactly for graphs that arrive broken
+    (deserialized, hand-mutated); the builder API refuses to construct them.
+    """
+    graph.nodes.append(node)
+    graph._nodes_by_name[node.name] = node
+
+
+class TestGraphDiagnostics:
+    def test_clean_graph_has_no_diagnostics(self, attention_graph):
+        assert graph_diagnostics(attention_graph) == []
+
+    def test_multiple_defects_all_reported(self):
+        """One malformed node does not mask the next (collect-all)."""
+        g = Graph("broken")
+        g.add_input("x", TensorType((4,)))
+        g.add_tensor("y", TensorType((4,)))
+        inject(g, Node("bad_op", "NoSuchOp", ["x"], ["y"]))
+        g.add_tensor("x2", TensorType((4,)))
+        inject(g, Node("bad_arity", "Relu", [], ["x2"]))
+        g.outputs.append("dangling")
+        found = graph_diagnostics(g)
+        assert "graph/unknown-op" in rules(found)
+        assert "graph/arity" in rules(found)
+        assert "graph/undeclared-tensor" in rules(found)
+        assert all(d.severity is Severity.ERROR for d in found)
+        assert all(d.location == "graph 'broken'" for d in found)
+
+    def test_cycle_rule(self):
+        g = Graph("cyclic")
+        g.add_tensor("a", TensorType((2,)))
+        g.add_tensor("b", TensorType((2,)))
+        g.add_node(Node("n1", "Relu", ["b"], ["a"]))
+        g.add_node(Node("n2", "Relu", ["a"], ["b"]))
+        found = graph_diagnostics(g)
+        assert "graph/cycle" in rules(found)
+        # a and b are consumed before being "produced" in scan order, so the
+        # missing-producer scan stays quiet; the cycle rule carries the news.
+
+    def test_shape_mismatch_needs_clean_structure(self):
+        """Type checks run only once the structure is sound (no cascades)."""
+        g = Graph("shapes")
+        g.add_input("x", TensorType((2, 3)))
+        g.add_tensor("y", TensorType((9, 9)))
+        g.add_node(Node("n", "Relu", ["x"], ["y"]))
+        g.add_output("y")
+        assert rules(graph_diagnostics(g)) == ["graph/shape-mismatch"]
+
+    def test_source_write_rule(self):
+        g = Graph("writes_param")
+        g.add_input("x", TensorType((2,)))
+        g.add_param("w", TensorType((2,)))
+        g.add_node(Node("n", "Relu", ["x"], ["w"]))
+        g.add_output("w")
+        assert "graph/source-write" in rules(graph_diagnostics(g))
+
+
+class TestValidateGraph:
+    def test_error_names_graph_and_lists_every_finding(self):
+        g = Graph("multi_fault")
+        g.add_input("x", TensorType((4,)))
+        g.add_tensor("y", TensorType((4,)))
+        inject(g, Node("bad_op", "NoSuchOp", ["x"], ["y"]))
+        g.outputs.append("ghost")
+        with pytest.raises(GraphError) as excinfo:
+            validate_graph(g)
+        message = str(excinfo.value)
+        assert "'multi_fault'" in message
+        assert "graph/unknown-op" in message
+        assert "graph/undeclared-tensor" in message
+        assert "2 error(s)" in message
+
+    def test_clean_graph_passes(self, attention_graph):
+        validate_graph(attention_graph)

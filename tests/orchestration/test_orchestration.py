@@ -4,9 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fission import FissionEngine
-from repro.gpu import V100
-from repro.ir import GraphBuilder, TensorType
+from repro.ir import TensorType
 from repro.orchestration import (
     KernelIdentifier,
     KernelIdentifierConfig,

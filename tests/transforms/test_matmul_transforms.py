@@ -12,7 +12,6 @@ reference executor.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.fission import FissionEngine
 from repro.gpu import V100
