@@ -10,11 +10,15 @@ model in isolation re-pays the dominant cost over and over.  The stack here:
 * ``KorchService`` turns that into an async front-end: ``submit`` returns a
   future immediately, requests queue by priority class, and each request
   carries its own ``ServiceStats`` (queue wait, stage times, cache hits).
+* Every layer reports into one ``MetricRegistry``: queue-wait / run-time
+  histograms with p50/p95/p99, queue-depth samples, cache hit counters —
+  exported as JSON (``service.metrics()``) or Prometheus text
+  (``service.metrics_text()``) for scraping.
 
 Run:  PYTHONPATH=src python examples/multi_model_serving.py
 """
 
-from repro import KorchConfig, KorchService, Priority
+from repro import AdmissionConfig, KorchConfig, KorchService, Priority
 from repro.models import (
     build_efficientvit_attention_block,
     build_segformer_attention_block,
@@ -22,7 +26,12 @@ from repro.models import (
 
 
 def main() -> None:
-    with KorchService(config=KorchConfig(gpu="V100"), workers=2) as service:
+    # The admission controller shrinks the effective pending cap when p99
+    # queue wait breaches the SLO, and grows it back as the queue drains.
+    admission = AdmissionConfig(slo_p99_queue_wait_s=30.0, max_pending=64)
+    with KorchService(
+        config=KorchConfig(gpu="V100"), workers=2, admission=admission
+    ) as service:
         # Futures come back immediately; the service worker pool drives the
         # engine behind the scenes.  An interactive model jumps the queue.
         requests = service.submit_many(
@@ -58,8 +67,23 @@ def main() -> None:
         for key, value in engine.stats.as_dict().items():
             print(f"  {key}: {value}")
         print("\n=== service report ===")
-        for key, value in service.report.as_dict().items():
+        report = service.report.as_dict()
+        for key, value in report.items():
+            if key == "histograms":
+                continue
             print(f"  {key}: {value}")
+        print("\n=== latency summaries (from the metric registry) ===")
+        for name, summary in report["histograms"].items():
+            print(
+                f"  {name:<16} count={summary['count']:3d} "
+                f"p50={summary['p50']:.4f} p95={summary['p95']:.4f} "
+                f"p99={summary['p99']:.4f}"
+            )
+        print("\n=== Prometheus scrape (excerpt) ===")
+        lines = service.metrics_text().splitlines()
+        for line in lines:
+            if "queue_wait_seconds" in line or line.startswith("# TYPE"):
+                print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,8 @@ from .fission import FissionEngine, apply_operator_fission
 from .gpu import A100, H100, P100, V100, GpuSpec, get_gpu
 from .orchestration import KernelOrchestrationOptimizer, OrchestrationStrategy
 from .engine import (
+    AdmissionConfig,
+    AdmissionController,
     EngineStats,
     KorchEngine,
     KorchEngineConfig,
@@ -29,6 +31,7 @@ from .engine import (
     Priority,
     ServiceRequest,
 )
+from .metrics import MetricRegistry
 from .pipeline import KorchConfig, KorchPipeline, KorchResult, optimize_model
 from .primitives import Primitive, PrimitiveCategory, PrimitiveGraph
 
@@ -61,6 +64,9 @@ __all__ = [
     "KorchService",
     "Priority",
     "ServiceRequest",
+    "AdmissionConfig",
+    "AdmissionController",
+    "MetricRegistry",
     "EngineStats",
     "KorchResult",
     "optimize_model",

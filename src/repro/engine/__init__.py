@@ -19,6 +19,7 @@ per-request statistics.
 API as thin wrappers over a short-lived engine.
 """
 
+from .admission import AdmissionConfig, AdmissionController
 from .config import KorchConfig, KorchEngineConfig
 from .context import StageContext
 from .engine import EngineStats, KorchEngine
@@ -49,6 +50,7 @@ from .service import (
     KorchService,
     Priority,
     ServiceClosed,
+    ServiceDeadlineExceeded,
     ServiceOverloaded,
     ServiceReport,
     ServiceRequest,
@@ -98,9 +100,12 @@ __all__ = [
     "ProcessExecutor",
     "Scheduler",
     "SchedulerError",
+    "AdmissionConfig",
+    "AdmissionController",
     "KorchService",
     "Priority",
     "ServiceClosed",
+    "ServiceDeadlineExceeded",
     "ServiceOverloaded",
     "ServiceReport",
     "ServiceRequest",

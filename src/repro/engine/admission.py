@@ -1,0 +1,129 @@
+"""SLO-driven admission control for :class:`~repro.engine.service.KorchService`.
+
+A static ``max_pending`` knob protects memory but not latency: with a slow
+engine, a full-but-legal queue means every accepted request blows its
+latency budget anyway.  The :class:`AdmissionController` closes the loop
+from *observed* queue wait to the *effective* pending cap:
+
+* the service feeds it one sample per request (the measured queue wait, at
+  the moment the request starts running);
+* every ``window`` samples the controller computes the window's p99 and
+  decides: p99 over the SLO → shrink the cap multiplicatively (fast
+  backoff), p99 comfortably under the SLO (below ``healthy_fraction`` of
+  it) → grow it additively (slow recovery), AIMD-style;
+* the cap always stays inside ``[min_pending, max_pending]``.
+
+Decisions are functions of the observed samples alone — no timers, no
+wall-clock reads — so the controller is deterministic under synthetic
+inputs and directly unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounds and SLO of one admission-control loop."""
+
+    #: The queue-wait p99 objective, in seconds.  A decision window whose
+    #: p99 exceeds this shrinks the effective pending cap.
+    slo_p99_queue_wait_s: float
+    #: The floor the cap can shrink to (never reject everything).
+    min_pending: int = 1
+    #: The ceiling the cap can recover to (the old static ``max_pending``).
+    max_pending: int = 64
+    #: Queue-wait samples per decision.
+    window: int = 32
+    #: Multiplicative shrink on an SLO breach (0 < factor < 1).
+    shrink_factor: float = 0.5
+    #: Additive growth per healthy window.
+    grow_step: int = 1
+    #: A window counts as healthy (eligible for growth) when its p99 is
+    #: below ``healthy_fraction * slo`` — hysteresis against cap flapping.
+    healthy_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.slo_p99_queue_wait_s <= 0:
+            raise ValueError("slo_p99_queue_wait_s must be positive")
+        if self.min_pending < 1:
+            raise ValueError("min_pending must be at least 1")
+        if self.max_pending < self.min_pending:
+            raise ValueError("max_pending must be >= min_pending")
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < self.shrink_factor < 1.0:
+            raise ValueError("shrink_factor must be in (0, 1)")
+        if self.grow_step < 1:
+            raise ValueError("grow_step must be at least 1")
+        if not 0.0 < self.healthy_fraction <= 1.0:
+            raise ValueError("healthy_fraction must be in (0, 1]")
+
+
+class AdmissionController:
+    """AIMD effective-pending-cap controller driven by queue-wait samples."""
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._cap = config.max_pending
+        self._window: list[float] = []
+        self.shrinks = 0
+        self.grows = 0
+        #: p99 of the last completed decision window (diagnostic).
+        self.last_window_p99_s: float | None = None
+
+    @property
+    def cap(self) -> int:
+        """The current effective pending cap."""
+        with self._lock:
+            return self._cap
+
+    def observe(self, queue_wait_s: float) -> str | None:
+        """Feed one queue-wait sample; returns ``"shrink"``/``"grow"`` when
+        this sample completed a window that changed the cap, else ``None``."""
+        config = self.config
+        with self._lock:
+            self._window.append(float(queue_wait_s))
+            if len(self._window) < config.window:
+                return None
+            samples = sorted(self._window)
+            self._window.clear()
+            # Nearest-rank p99 over the window.
+            rank = max(1, math.ceil(0.99 * len(samples)))
+            p99 = samples[rank - 1]
+            self.last_window_p99_s = p99
+            if p99 > config.slo_p99_queue_wait_s:
+                shrunk = max(
+                    config.min_pending,
+                    min(self._cap - 1, int(self._cap * config.shrink_factor)),
+                )
+                if shrunk < self._cap:
+                    self._cap = shrunk
+                    self.shrinks += 1
+                    return "shrink"
+                return None
+            if p99 <= config.slo_p99_queue_wait_s * config.healthy_fraction:
+                grown = min(config.max_pending, self._cap + config.grow_step)
+                if grown > self._cap:
+                    self._cap = grown
+                    self.grows += 1
+                    return "grow"
+            return None
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        with self._lock:
+            return {
+                "cap": self._cap,
+                "min_pending": self.config.min_pending,
+                "max_pending": self.config.max_pending,
+                "slo_p99_queue_wait_s": self.config.slo_p99_queue_wait_s,
+                "shrinks": self.shrinks,
+                "grows": self.grows,
+                "last_window_p99_s": self.last_window_p99_s,
+            }

@@ -61,6 +61,7 @@ from ..fission import FissionEngine
 from ..gpu.profiler import KernelProfiler, ProfilerStats
 from ..ir.graph import Graph
 from ..ir.serialization import graph_to_dict
+from ..metrics import MetricRegistry
 from ..orchestration import KernelOrchestrationOptimizer
 from ..partition import GraphPartitioner, Partition
 from ..runtime.executable import ModelExecutable
@@ -218,6 +219,7 @@ class KorchEngine:
         config: KorchConfig | None = None,
         backends: Sequence[KernelBackend] | None = None,
         share_profiles: bool = True,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         self.config = config or KorchConfig()
         if self.config.engine.executor not in ("serial", "thread", "process"):
@@ -234,6 +236,16 @@ class KorchEngine:
         self.partitioner = GraphPartitioner(self.config.partition)
         self.fission = FissionEngine()
         self.stats = EngineStats()
+        #: Shared metric registry (service/scheduler/cache metrics land in
+        #: the same export).  One engine per registry: the export-time
+        #: collector writes engine-wide gauges by fixed names.
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self._stage_hist = self.metrics.histogram(
+            "korch_engine_stage_seconds",
+            "Per-partition wall-clock seconds by engine stage",
+            labelnames=("stage",),
+        )
+        self.metrics.add_collector(self._collect_metrics)
 
         self._lock = threading.Lock()
         # Executor management has its own lock: creating/growing executors
@@ -313,7 +325,7 @@ class KorchEngine:
         if num_partitions:
             tasks, finish_keys = self._build_tasks(pending)
             executors, admission_cap = self._executors_for(workers)
-            scheduler = Scheduler(executors, admission_cap=admission_cap)
+            scheduler = Scheduler(executors, admission_cap=admission_cap, metrics=self.metrics)
             try:
                 results = scheduler.run(tasks)
             finally:
@@ -551,11 +563,11 @@ class KorchEngine:
     ) -> StageContext:
         ctx = self._make_context(partition, plan, run)
         prologue, _, _ = self._stage_split()
-        return run_stages(ctx, prologue)
+        return run_stages(ctx, prologue, observe=self._observe_stage)
 
     def _task_identify(self, ctx: StageContext) -> StageContext:
         _, identify, _ = self._stage_split()
-        ctx = run_stages(ctx, identify)
+        ctx = run_stages(ctx, identify, observe=self._observe_stage)
         if ctx.identify_memo_hit:
             with self._lock:
                 self.stats.identify_memo_hits += 1
@@ -584,6 +596,7 @@ class KorchEngine:
         ctx.worker_profiler_stats = payload.profiler_stats
         for name, seconds in payload.timings.items():
             ctx.timings[name] = ctx.timings.get(name, 0.0) + seconds
+            self._observe_stage(name, seconds)  # worker-side stage time
         if payload.cache_writes and self._graph_opt_cache is not None:
             tracked = _ReuseTrackingCache(self._graph_opt_cache, self, run.run_id)
             for signature, profile, tuned in payload.cache_writes:
@@ -604,7 +617,7 @@ class KorchEngine:
 
     def _task_finish(self, ctx: StageContext) -> tuple[PartitionResult, ProfilerStats]:
         _, _, epilogue = self._stage_split()
-        ctx = run_stages(ctx, epilogue)
+        ctx = run_stages(ctx, epilogue, observe=self._observe_stage)
         stats = ctx.optimizer.profiler_stats
         if ctx.graph_optimizer is not None:
             stats.merge(ctx.graph_optimizer.profiler.stats)
@@ -769,6 +782,26 @@ class KorchEngine:
                 )
             executor = self._process_executor
         executor.warm_up()
+
+    # --------------------------------------------------------------- metrics
+    def _observe_stage(self, name: str, seconds: float) -> None:
+        self._stage_hist.labels(stage=name).observe(seconds)
+
+    def _collect_metrics(self) -> None:
+        """Export-time collector: snapshot engine statistics (memo and
+        plan/profile hit counters) and the cache store's hit/miss/eviction
+        accounting into gauges, so the hot paths stay uninstrumented."""
+        with self._lock:
+            stats = self.stats.as_dict()
+        for name, value in stats.items():
+            self.metrics.gauge(f"korch_engine_{name}").set(value)
+        if self.store is not None:
+            for name, value in self.store.stats.as_dict().items():
+                self.metrics.gauge(f"korch_cache_store_{name}").set(value)
+        if self.plan_cache is not None:
+            self.metrics.gauge("korch_cache_plan_entries").set(len(self.plan_cache))
+        if self.profile_cache is not None:
+            self.metrics.gauge("korch_cache_profile_entries").set(len(self.profile_cache))
 
     # ------------------------------------------------------- reuse tracking
     def _note_profile_write(self, key: str, run_id: int) -> None:

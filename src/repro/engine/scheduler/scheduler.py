@@ -25,10 +25,12 @@ dispatch keeps the task from running and cancels its dependents.
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import CancelledError, Future
 from typing import Any, Mapping, Sequence
 
+from ...metrics import MetricRegistry
 from .executors import Executor
 from .task import Dep, DependencyFailed, Task, TaskCancelled
 
@@ -95,6 +97,7 @@ class Scheduler:
         self,
         executors: Executor | Mapping[str, Executor],
         admission_cap: int | None = None,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         if isinstance(executors, Executor):
             executors = {"default": executors}
@@ -102,6 +105,25 @@ class Scheduler:
             raise SchedulerError("scheduler needs a 'default' executor")
         self.executors: dict[str, Executor] = dict(executors)
         self.admission_cap = admission_cap if admission_cap is None else max(1, admission_cap)
+        self.metrics = metrics
+        self._dispatch_wait_hist = self._ready_gauge = self._in_flight_gauge = None
+        self._task_seconds_hist = None
+        if metrics is not None:
+            self._dispatch_wait_hist = metrics.histogram(
+                "korch_scheduler_dispatch_wait_seconds",
+                "Seconds tasks spent ready before dispatching to an executor",
+            )
+            self._task_seconds_hist = metrics.histogram(
+                "korch_scheduler_task_seconds",
+                "Executor-side task seconds by task kind",
+                labelnames=("kind",),
+            )
+            self._ready_gauge = metrics.gauge(
+                "korch_scheduler_ready_depth", "Tasks ready but not yet dispatched"
+            )
+            self._in_flight_gauge = metrics.gauge(
+                "korch_scheduler_in_flight", "Tasks currently running on executors"
+            )
 
         self._lock = threading.RLock()
         self._futures: dict[str, Future] = {}
@@ -114,6 +136,9 @@ class Scheduler:
         self._remaining: dict[str, set[str]] = {}  # key -> unfinished deps
         self._dependents: dict[str, list[str]] = {}
         self._ready = _ReadyQueue()
+        #: Metrics bookkeeping: when each key became ready / was dispatched.
+        self._ready_since: dict[str, float] = {}
+        self._dispatched_at: dict[str, float] = {}
         self._in_flight = 0
         self._pumping = False
         self._closed = False
@@ -146,7 +171,7 @@ class Scheduler:
                 if pending:
                     self._remaining[task.key] = pending
                 else:
-                    self._ready.push(task)
+                    self._push_ready_locked(task)
             self._pump_locked()
             return futures
 
@@ -182,7 +207,7 @@ class Scheduler:
                 return False
             if not future.cancel():
                 return False
-            self._ready.remove(key)
+            self._remove_ready_locked(key)
             self._remaining.pop(key, None)
             self._settle_locked(key, cancelled=True)
             self._pump_locked()
@@ -205,7 +230,7 @@ class Scheduler:
                 for key, future in list(self._futures.items()):
                     settled = key in self._results or key in self._failures
                     if not settled and future.cancel():
-                        self._ready.remove(key)
+                        self._remove_ready_locked(key)
                         self._remaining.pop(key, None)
                         self._settle_locked(key, cancelled=True)
         if wait:
@@ -236,23 +261,32 @@ class Scheduler:
                     f"task {task.key!r} has kind {task.kind!r} but no such executor"
                 )
         # Cycle check (within the batch; completed tasks cannot form cycles).
-        state: dict[str, int] = {}
-
-        def visit(key: str) -> None:
-            state[key] = 1
-            for dep in batch[key].deps:
-                if dep not in batch:
-                    continue
-                mark = state.get(dep)
-                if mark == 1:
-                    raise SchedulerError(f"dependency cycle through {dep!r}")
-                if mark is None:
-                    visit(dep)
-            state[key] = 2
-
-        for key in batch:
-            if key not in state:
-                visit(key)
+        # Iterative three-color DFS with an explicit stack: dependency chains
+        # come from real model graphs and routinely run thousands of tasks
+        # deep, far past the interpreter recursion limit.
+        state: dict[str, int] = {}  # 1 = on the stack, 2 = fully explored
+        for root in batch:
+            if root in state:
+                continue
+            state[root] = 1
+            stack = [(root, iter(batch[root].deps))]
+            while stack:
+                key, deps = stack[-1]
+                advanced = False
+                for dep in deps:
+                    if dep not in batch:
+                        continue
+                    mark = state.get(dep)
+                    if mark == 1:
+                        raise SchedulerError(f"dependency cycle through {dep!r}")
+                    if mark is None:
+                        state[dep] = 1
+                        stack.append((dep, iter(batch[dep].deps)))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[key] = 2
+                    stack.pop()
 
         # Resource-ordering check: two tasks declaring the same
         # ``meta["resources"]`` entry (e.g. a store namespace) must be
@@ -285,6 +319,11 @@ class Scheduler:
                 task = self._ready.pop()
                 if task is None:
                     return
+                if self._dispatch_wait_hist is not None:
+                    became_ready = self._ready_since.pop(task.key, None)
+                    if became_ready is not None:
+                        self._dispatch_wait_hist.observe(time.perf_counter() - became_ready)
+                    self._ready_gauge.set(len(self._ready))
                 self._dispatch_locked(task)
         finally:
             self._pumping = False
@@ -305,11 +344,21 @@ class Scheduler:
             self._settle_locked(task.key, error=exc)
             return
         self._in_flight += 1
+        if self._task_seconds_hist is not None:
+            self._dispatched_at[task.key] = time.perf_counter()
+            self._in_flight_gauge.set(self._in_flight)
         inner.add_done_callback(lambda done, key=task.key: self._on_done(key, done))
 
     def _on_done(self, key: str, inner: Future) -> None:
         with self._lock:
             self._in_flight -= 1
+            if self._task_seconds_hist is not None:
+                dispatched = self._dispatched_at.pop(key, None)
+                if dispatched is not None:
+                    self._task_seconds_hist.labels(kind=self._tasks[key].kind).observe(
+                        time.perf_counter() - dispatched
+                    )
+                self._in_flight_gauge.set(self._in_flight)
             future = self._futures[key]
             error = inner.exception()
             if error is not None:
@@ -321,6 +370,19 @@ class Scheduler:
                 self._settle_locked(key, result=result)
             self._pump_locked()
 
+    def _push_ready_locked(self, task: Task) -> None:
+        self._ready.push(task)
+        if self._dispatch_wait_hist is not None:
+            self._ready_since[task.key] = time.perf_counter()
+            self._ready_gauge.set(len(self._ready))
+
+    def _remove_ready_locked(self, key: str) -> Task | None:
+        task = self._ready.remove(key)
+        self._ready_since.pop(key, None)
+        if task is not None and self._ready_gauge is not None:
+            self._ready_gauge.set(len(self._ready))
+        return task
+
     def _settle_locked(
         self,
         key: str,
@@ -328,35 +390,58 @@ class Scheduler:
         error: BaseException | None = None,
         cancelled: bool = False,
     ) -> None:
-        """Record an outcome and release or fail the task's dependents."""
-        failed = error is not None or cancelled
-        if failed:
-            self._failures[key] = (error, cancelled)
-        else:
-            self._results[key] = result
-        for dependent in self._dependents.pop(key, []):
+        """Record an outcome and release or fail the task's dependents.
+
+        Failure propagation walks the dependent graph with an explicit
+        worklist: a failing root of a thousands-deep chain must fail every
+        transitive dependent without recursing once per edge.
+        """
+        worklist: list[tuple[str, Any, BaseException | None, bool]] = [
+            (key, result, error, cancelled)
+        ]
+        while worklist:
+            key, result, error, cancelled = worklist.pop()
+            failed = error is not None or cancelled
             if failed:
-                self._fail_dependent_locked(dependent, key, error, cancelled)
-                continue
-            pending = self._remaining.get(dependent)
-            if pending is None:
-                continue
-            pending.discard(key)
-            if not pending:
-                del self._remaining[dependent]
-                self._ready.push(self._tasks[dependent])
+                self._failures[key] = (error, cancelled)
+            else:
+                self._results[key] = result
+            for dependent in self._dependents.pop(key, []):
+                if failed:
+                    exc = self._fail_one_locked(dependent, key, error, cancelled)
+                    if exc is not None:
+                        # The dependent failed with ``exc``; its own
+                        # dependents see a plain dependency failure.
+                        worklist.append((dependent, None, exc, False))
+                    continue
+                pending = self._remaining.get(dependent)
+                if pending is None:
+                    continue
+                pending.discard(key)
+                if not pending:
+                    del self._remaining[dependent]
+                    self._push_ready_locked(self._tasks[dependent])
         self._idle.notify_all()
 
-    def _fail_dependent_locked(
+    def _fail_one_locked(
         self, key: str, dep: str, error: BaseException | None, cancelled: bool
-    ) -> None:
+    ) -> BaseException | None:
+        """Fail one task because its dependency settled badly; returns the
+        exception set on its future (``None`` when it was already settled)."""
         self._remaining.pop(key, None)
-        self._ready.remove(key)
+        self._remove_ready_locked(key)
         future = self._futures[key]
         if future.cancelled() or future.done():
-            return
+            return None
         exc: BaseException = (
             TaskCancelled(key, dep) if cancelled else DependencyFailed(key, dep, error)
         )
         future.set_exception(exc)
-        self._settle_locked(key, error=exc)
+        return exc
+
+    def _fail_dependent_locked(
+        self, key: str, dep: str, error: BaseException | None, cancelled: bool
+    ) -> None:
+        exc = self._fail_one_locked(key, dep, error, cancelled)
+        if exc is not None:
+            self._settle_locked(key, error=exc)

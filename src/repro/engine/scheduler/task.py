@@ -35,7 +35,14 @@ class DependencyFailed(TaskError):
     """A task could not run because one of its dependencies failed."""
 
     def __init__(self, key: str, dep: str, cause: BaseException | None = None) -> None:
-        super().__init__(f"task {key!r} skipped: dependency {dep!r} failed ({cause!r})")
+        # Truncate the cause's repr: failure propagation chains one
+        # DependencyFailed inside the next, and embedding each full message
+        # in its successor makes a thousands-deep chain build
+        # quadratically-sized strings.
+        cause_repr = repr(cause)
+        if len(cause_repr) > 200:
+            cause_repr = cause_repr[:200] + "...'"
+        super().__init__(f"task {key!r} skipped: dependency {dep!r} failed ({cause_repr})")
         self.key = key
         self.dep = dep
         self.cause = cause

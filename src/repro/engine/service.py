@@ -11,16 +11,33 @@ and callers want futures, not stalls.  ``KorchService`` provides that:
 * ``submit_many`` for batches, ``cancel`` for queued requests,
   ``drain()`` to quiesce gracefully, ``close()`` to shut down.
 * per-request :class:`ServiceStats` — queue wait, run time, per-stage
-  seconds, cache accounting — and an aggregate :class:`ServiceReport`.
+  seconds, cache accounting — and an aggregate :class:`ServiceReport`
+  embedding the service-level histogram summaries.
+* an aggregate metrics surface (:mod:`repro.metrics`): queue-wait / run /
+  per-stage latency histograms, queue depth sampled on submit and pop,
+  rejection counters by cause — exported via :meth:`KorchService.metrics`
+  (JSON) and :meth:`KorchService.metrics_text` (Prometheus text).
+
+Overload control is layered:
+
+* ``max_pending`` — a static bound on the effective pending count, beyond
+  which ``submit`` raises :class:`ServiceOverloaded` (explicit, not an OOM).
+* an optional :class:`~repro.engine.admission.AdmissionController` — feeds
+  on observed queue waits and shrinks/grows the *effective* cap between
+  configured bounds when the p99 queue wait violates the SLO.
+* ``submit(..., deadline_s=...)`` — deadline-aware rejection: when the
+  predicted queue wait (measured mean run time × requests ahead ÷ workers)
+  already exceeds the caller's deadline, the request is rejected up front
+  with :class:`ServiceDeadlineExceeded` instead of being served late.
 
 Results are **bit-identical** to ``KorchEngine.optimize`` on the same
 graph: the service adds queueing and bookkeeping, never a different code
-path.  ``max_pending`` bounds the queue; beyond it ``submit`` raises
-:class:`ServiceOverloaded` so overload is explicit, not an OOM.
+path.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import threading
@@ -31,6 +48,8 @@ from enum import IntEnum
 from typing import Callable, Sequence
 
 from ..ir.graph import Graph
+from ..metrics import MetricRegistry
+from .admission import AdmissionConfig, AdmissionController
 from .config import KorchConfig
 from .engine import KorchEngine
 from .result import KorchResult
@@ -42,6 +61,7 @@ __all__ = [
     "ServiceRequest",
     "ServiceClosed",
     "ServiceOverloaded",
+    "ServiceDeadlineExceeded",
     "KorchService",
 ]
 
@@ -59,12 +79,21 @@ class ServiceClosed(RuntimeError):
 
 
 class ServiceOverloaded(RuntimeError):
-    """Submission rejected: the pending queue is at ``max_pending``."""
+    """Submission rejected: the pending queue is at the effective cap."""
+
+
+class ServiceDeadlineExceeded(ServiceOverloaded):
+    """Submission rejected: the predicted queue wait exceeds the deadline."""
 
 
 @dataclass
 class ServiceStats:
-    """Per-request accounting, filled in as the request moves through."""
+    """Per-request accounting, filled in as the request moves through.
+
+    The ``*_at`` timestamps are Unix epoch seconds (``time.time``), so
+    exports join cleanly with external traces; durations are computed from
+    monotonic anchors and are immune to clock steps.
+    """
 
     model: str
     priority: Priority
@@ -77,6 +106,8 @@ class ServiceStats:
     queue_wait_s: float | None = None
     #: Seconds spent inside the engine.
     run_s: float | None = None
+    #: The caller's queue-wait budget, when one was given to ``submit``.
+    deadline_s: float | None = None
     #: Wall-clock seconds per engine stage (from the result).
     stage_seconds: dict[str, float] = field(default_factory=dict)
     plan_cache: str | None = None
@@ -84,14 +115,21 @@ class ServiceStats:
     profile_cache_hits: int | None = None
     backend_estimate_calls: int | None = None
     error: str | None = None
+    #: Monotonic anchors for duration math (not part of the export).
+    _submitted_pc: float = field(default=0.0, repr=False, compare=False)
+    _started_pc: float = field(default=0.0, repr=False, compare=False)
 
     def as_dict(self) -> dict:
         return {
             "model": self.model,
             "priority": self.priority.name,
             "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
             "queue_wait_s": self.queue_wait_s,
             "run_s": self.run_s,
+            "deadline_s": self.deadline_s,
             "stage_seconds": dict(self.stage_seconds),
             "plan_cache": self.plan_cache,
             "partitions_replayed": self.partitions_replayed,
@@ -103,7 +141,12 @@ class ServiceStats:
 
 @dataclass
 class ServiceReport:
-    """Aggregate lifetime counters of one service."""
+    """Aggregate lifetime counters of one service.
+
+    ``histograms`` carries the queue-wait / run / queue-depth summaries
+    (count, mean, p50/p95/p99) at snapshot time; it is filled in by
+    :attr:`KorchService.report` and empty on a bare instance.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -111,8 +154,9 @@ class ServiceReport:
     cancelled: int = 0
     rejected: int = 0
     max_queue_depth: int = 0
+    histograms: dict[str, dict] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -120,6 +164,7 @@ class ServiceReport:
             "cancelled": self.cancelled,
             "rejected": self.rejected,
             "max_queue_depth": self.max_queue_depth,
+            "histograms": {name: dict(summary) for name, summary in self.histograms.items()},
         }
 
 
@@ -131,12 +176,26 @@ class ServiceRequest:
     ``add_done_callback``), so it drops into ``as_completed``-style code.
     """
 
-    def __init__(self, graph: Graph, priority: Priority) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        priority: Priority,
+        service: "KorchService | None" = None,
+        deadline_s: float | None = None,
+    ) -> None:
         self.graph = graph
         self.stats = ServiceStats(
-            model=graph.name, priority=priority, submitted_at=time.perf_counter()
+            model=graph.name,
+            priority=priority,
+            submitted_at=time.time(),
+            deadline_s=deadline_s,
+            _submitted_pc=time.perf_counter(),
         )
         self._future: Future = Future()
+        self._service = service
+        #: Whether the owning service has accounted this request's
+        #: cancellation (guards double counting; mutated under its lock).
+        self._cancel_accounted = False
 
     # ------------------------------------------------------- future protocol
     def result(self, timeout: float | None = None) -> KorchResult:
@@ -155,10 +214,17 @@ class ServiceRequest:
         return self._future.cancelled()
 
     def cancel(self) -> bool:
-        """Cancel the request if it has not started running."""
+        """Cancel the request if it has not started running.
+
+        Takes effect immediately: the owning service discounts the entry
+        from its pending accounting and aggregate report right away, rather
+        than when a worker happens to pop the stale heap entry.
+        """
         if self._future.cancel():
             self.stats.status = "cancelled"
-            self.stats.finished_at = time.perf_counter()
+            self.stats.finished_at = time.time()
+            if self._service is not None:
+                self._service._note_cancelled(self)
             return True
         return False
 
@@ -178,6 +244,14 @@ class KorchService:
     ``workers`` bounds *requests* optimized concurrently — within each
     request the engine's own scheduler still parallelizes partitions, so
     total parallelism is the product of the two layers.
+
+    ``admission`` (an :class:`~repro.engine.admission.AdmissionConfig` or a
+    prebuilt controller) enables SLO-driven overload control: the effective
+    pending cap then comes from the controller instead of ``max_pending``.
+
+    ``metrics`` shares a :class:`~repro.metrics.MetricRegistry`; by default
+    the service adopts the engine's registry (so engine/scheduler/cache
+    metrics land in the same export) or creates a private one.
     """
 
     def __init__(
@@ -186,23 +260,88 @@ class KorchService:
         config: KorchConfig | None = None,
         workers: int = 2,
         max_pending: int | None = None,
+        admission: AdmissionConfig | AdmissionController | None = None,
+        metrics: MetricRegistry | None = None,
     ) -> None:
         if engine is not None and config is not None:
             raise ValueError("pass either an engine or a config, not both")
         self._owns_engine = engine is None
-        self.engine = engine if engine is not None else KorchEngine(config or KorchConfig())
+        if metrics is not None:
+            self.registry = metrics
+        elif engine is not None and isinstance(getattr(engine, "metrics", None), MetricRegistry):
+            self.registry = engine.metrics
+        else:
+            self.registry = MetricRegistry()
+        self.engine = (
+            engine
+            if engine is not None
+            else KorchEngine(config or KorchConfig(), metrics=self.registry)
+        )
         self.max_pending = max_pending
-        self.report = ServiceReport()
+        self.admission = (
+            AdmissionController(admission) if isinstance(admission, AdmissionConfig) else admission
+        )
 
-        self._lock = threading.Lock()
+        # The lock is re-entrant: ``close(cancel_pending=True)`` cancels
+        # queued requests while holding it, and each cancellation re-enters
+        # through ``_note_cancelled``.
+        self._lock = threading.RLock()
         self._wakeup = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._queue: list[tuple[int, int, ServiceRequest]] = []  # heap
+        #: Entries still in the heap whose request was already cancelled;
+        #: they are skipped (and discounted here) when a worker pops them.
+        self._cancelled_pending = 0
         self._seq = itertools.count()
         self._running = 0
-        self._draining = False
+        self._drainers = 0
         self._closing = False
         self._closed = False
+        self._engine_closed = False
+        self._report = ServiceReport()
+
+        registry = self.registry
+        self._queue_wait_hist = registry.histogram(
+            "korch_service_queue_wait_seconds", "Seconds requests waited in the service queue"
+        )
+        self._run_hist = registry.histogram(
+            "korch_service_run_seconds", "Seconds requests spent inside the engine"
+        )
+        self._stage_hist = registry.histogram(
+            "korch_service_stage_seconds",
+            "Per-engine-stage seconds of served requests",
+            labelnames=("stage",),
+        )
+        self._depth_hist = registry.histogram(
+            "korch_service_queue_depth",
+            "Effective queue depth, sampled on submit and pop",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        )
+        self._depth_gauge = registry.gauge(
+            "korch_service_queue_depth_current", "Effective queue depth right now"
+        )
+        self._requests_total = registry.counter(
+            "korch_service_requests_total",
+            "Requests by terminal outcome (submitted counts acceptance)",
+            labelnames=("outcome",),
+        )
+        self._rejections_total = registry.counter(
+            "korch_service_rejections_total", "Rejected submissions by cause",
+            labelnames=("cause",),
+        )
+        self._cap_gauge = registry.gauge(
+            "korch_service_effective_pending_cap",
+            "Effective pending cap (admission-controlled when enabled)",
+        )
+        self._cap_adjustments = registry.counter(
+            "korch_service_admission_adjustments_total",
+            "Admission-controller cap changes by direction",
+            labelnames=("direction",),
+        )
+        initial_cap = self.admission.cap if self.admission is not None else max_pending
+        if initial_cap is not None:
+            self._cap_gauge.set(initial_cap)
+
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"korch-service-{index}", daemon=True
@@ -213,78 +352,128 @@ class KorchService:
             worker.start()
 
     # ------------------------------------------------------------------- api
-    def submit(self, graph: Graph, priority: Priority = Priority.NORMAL) -> ServiceRequest:
-        """Enqueue one model; returns a future resolving to its result."""
-        request = ServiceRequest(graph, Priority(priority))
+    def submit(
+        self,
+        graph: Graph,
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
+    ) -> ServiceRequest:
+        """Enqueue one model; returns a future resolving to its result.
+
+        ``deadline_s`` is the caller's queue-wait budget: when the predicted
+        wait (measured mean run time × requests ahead ÷ workers) already
+        exceeds it, the request is rejected with
+        :class:`ServiceDeadlineExceeded` instead of being served late.
+        """
+        request = ServiceRequest(graph, Priority(priority), service=self, deadline_s=deadline_s)
         with self._lock:
-            if self._closed or self._draining:
-                self.report.rejected += 1
+            if self._closed or self._closing or self._drainers:
+                self._reject_locked("closed")
                 raise ServiceClosed("service is not accepting submissions")
-            if self.max_pending is not None and len(self._queue) >= self.max_pending:
-                self.report.rejected += 1
-                raise ServiceOverloaded(
-                    f"pending queue is full ({self.max_pending} requests)"
-                )
+            cap = self.admission.cap if self.admission is not None else self.max_pending
+            if cap is not None and self._effective_pending_locked() >= cap:
+                self._reject_locked("overloaded")
+                raise ServiceOverloaded(f"pending queue is full ({cap} requests)")
+            if deadline_s is not None:
+                predicted = self._predicted_queue_wait_locked()
+                if predicted > deadline_s:
+                    self._reject_locked("deadline")
+                    raise ServiceDeadlineExceeded(
+                        f"predicted queue wait {predicted:.3f}s exceeds "
+                        f"deadline {deadline_s:.3f}s"
+                    )
             heapq.heappush(self._queue, (int(request.stats.priority), next(self._seq), request))
-            self.report.submitted += 1
-            self.report.max_queue_depth = max(self.report.max_queue_depth, len(self._queue))
+            self._report.submitted += 1
+            self._requests_total.labels(outcome="submitted").inc()
+            depth = self._effective_pending_locked()
+            self._report.max_queue_depth = max(self._report.max_queue_depth, depth)
+            self._observe_depth_locked(depth)
             self._wakeup.notify()
         return request
 
     def submit_many(
-        self, graphs: Sequence[Graph], priority: Priority = Priority.NORMAL
+        self,
+        graphs: Sequence[Graph],
+        priority: Priority = Priority.NORMAL,
+        deadline_s: float | None = None,
     ) -> list[ServiceRequest]:
-        return [self.submit(graph, priority) for graph in graphs]
+        return [self.submit(graph, priority, deadline_s=deadline_s) for graph in graphs]
 
     def drain(self, timeout: float | None = None) -> bool:
         """Serve everything already accepted, rejecting new submissions
         meanwhile; returns whether the service quiesced within ``timeout``.
-        The service accepts submissions again after a completed drain."""
+        The service accepts submissions again once every concurrent drainer
+        has returned (and no close started meanwhile) — one drainer timing
+        out never reopens intake under another still waiting."""
         with self._lock:
-            self._draining = True
+            self._drainers += 1
             try:
-                return self._idle.wait_for(
-                    lambda: not self._queue and self._running == 0, timeout=timeout
-                )
+                return self._idle.wait_for(self._quiescent_locked, timeout=timeout)
             finally:
-                # Reopen intake only if no close() started meanwhile — a
-                # returning drain must never re-admit work under a closer
-                # that is still waiting for quiescence.
-                if not self._closing:
-                    self._draining = False
+                self._drainers -= 1
 
-    def close(self, cancel_pending: bool = False, timeout: float | None = None) -> None:
-        """Stop the service: optionally cancel queued requests, then wait
-        for in-flight ones and shut the workers down.  Idempotent."""
+    def close(self, cancel_pending: bool = False, timeout: float | None = None) -> bool:
+        """Stop the service: optionally cancel queued requests, wait for
+        in-flight ones, then shut the workers (and a privately-owned engine)
+        down.  Idempotent.
+
+        ``timeout`` bounds the *whole* close: one deadline covers the
+        quiescence wait and every worker join.  When it expires with work
+        still in flight, close returns ``False`` without marking the service
+        closed and — crucially — without closing a privately-owned engine
+        under running requests; intake stays shut and a later ``close`` can
+        finish the job.  Returns ``True`` once fully closed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> float | None:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
+
         with self._lock:
-            if self._closed:
-                return
-            self._closing = True
-            self._draining = True
-            if cancel_pending:
-                remaining = []
-                for entry in self._queue:
-                    request = entry[2]
-                    if request.cancel():
-                        self.report.cancelled += 1
-                    else:  # pragma: no cover - race with a starting worker
-                        remaining.append(entry)
-                self._queue = remaining
-                heapq.heapify(self._queue)
-            self._idle.wait_for(
-                lambda: not self._queue and self._running == 0, timeout=timeout
-            )
-            self._closed = True
-            self._wakeup.notify_all()
+            if not self._closed:
+                self._closing = True
+                if cancel_pending:
+                    for entry in list(self._queue):
+                        entry[2].cancel()  # lazily discounted; workers discard
+                if not self._idle.wait_for(self._quiescent_locked, timeout=remaining()):
+                    return False
+                self._closed = True
+                self._wakeup.notify_all()
         for worker in self._workers:
-            worker.join(timeout=timeout)
-        if self._owns_engine:
+            worker.join(timeout=remaining())
+        if any(worker.is_alive() for worker in self._workers):
+            return False
+        if self._owns_engine and not self._engine_closed:
+            self._engine_closed = True
             self.engine.close()
+        return True
+
+    def metrics(self) -> dict[str, dict]:
+        """The JSON metrics export (service + engine + scheduler + caches)."""
+        return self.registry.as_dict()
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the shared registry."""
+        return self.registry.render_prometheus()
+
+    @property
+    def report(self) -> ServiceReport:
+        """A snapshot of the aggregate counters, with histogram summaries."""
+        with self._lock:
+            snapshot = dataclasses.replace(self._report)
+        snapshot.histograms = {
+            "queue_wait_s": self._queue_wait_hist.summary(),
+            "run_s": self._run_hist.summary(),
+            "queue_depth": self._depth_hist.summary(),
+        }
+        return snapshot
 
     @property
     def pending(self) -> int:
         with self._lock:
-            return len(self._queue)
+            return self._effective_pending_locked()
 
     @property
     def active(self) -> int:
@@ -298,6 +487,45 @@ class KorchService:
         self.close()
 
     # ------------------------------------------------------------- internals
+    def _effective_pending_locked(self) -> int:
+        return len(self._queue) - self._cancelled_pending
+
+    def _quiescent_locked(self) -> bool:
+        return self._effective_pending_locked() == 0 and self._running == 0
+
+    def _observe_depth_locked(self, depth: int | None = None) -> None:
+        depth = self._effective_pending_locked() if depth is None else depth
+        self._depth_hist.observe(depth)
+        self._depth_gauge.set(depth)
+
+    def _reject_locked(self, cause: str) -> None:
+        self._report.rejected += 1
+        self._rejections_total.labels(cause=cause).inc()
+
+    def _predicted_queue_wait_locked(self) -> float:
+        """Expected queue wait of a request submitted right now: measured
+        mean run time × requests ahead of it ÷ worker count.  Zero until
+        the first request completes (no data, no rejection)."""
+        completed = self._run_hist.count
+        if completed == 0:
+            return 0.0
+        mean_run_s = self._run_hist.sum / completed
+        ahead = self._effective_pending_locked() + self._running
+        return mean_run_s * ahead / max(1, len(self._workers))
+
+    def _note_cancelled(self, request: ServiceRequest) -> None:
+        """A queued request was cancelled: account for it immediately (its
+        heap entry is discarded lazily when a worker pops it)."""
+        with self._lock:
+            if request._cancel_accounted:
+                return
+            request._cancel_accounted = True
+            self._cancelled_pending += 1
+            self._report.cancelled += 1
+            self._requests_total.labels(outcome="cancelled").inc()
+            self._observe_depth_locked()
+            self._idle.notify_all()
+
     def _worker_loop(self) -> None:
         while True:
             with self._lock:
@@ -307,40 +535,66 @@ class KorchService:
                     return
                 _, _, request = heapq.heappop(self._queue)
                 if not request._future.set_running_or_notify_cancel():
-                    # Cancelled while queued; account for it and move on.
-                    self.report.cancelled += 1
+                    # Cancelled while queued; drop the stale entry.  The
+                    # normal path already accounted it at cancel() time.
+                    if request._cancel_accounted:
+                        self._cancelled_pending -= 1
+                    else:  # future cancelled behind the service's back
+                        request._cancel_accounted = True
+                        self._report.cancelled += 1
+                        self._requests_total.labels(outcome="cancelled").inc()
+                    self._observe_depth_locked()
                     self._idle.notify_all()
                     continue
                 self._running += 1
+                self._observe_depth_locked()
             self._serve(request)
             with self._lock:
                 self._running -= 1
                 self._idle.notify_all()
 
+    def _observe_admission(self, queue_wait_s: float) -> None:
+        controller = self.admission
+        if controller is None:
+            return
+        decision = controller.observe(queue_wait_s)
+        if decision is not None:
+            self._cap_adjustments.labels(direction=decision).inc()
+        self._cap_gauge.set(controller.cap)
+
     def _serve(self, request: ServiceRequest) -> None:
         stats = request.stats
-        stats.started_at = time.perf_counter()
-        stats.queue_wait_s = stats.started_at - stats.submitted_at
+        stats._started_pc = time.perf_counter()
+        stats.started_at = time.time()
+        stats.queue_wait_s = stats._started_pc - stats._submitted_pc
         stats.status = "running"
+        self._queue_wait_hist.observe(stats.queue_wait_s)
+        self._observe_admission(stats.queue_wait_s)
         try:
             result = self.engine.optimize(request.graph)
         except BaseException as exc:  # noqa: BLE001 - routed into the future
             stats.status = "failed"
             stats.error = repr(exc)
-            stats.finished_at = time.perf_counter()
-            stats.run_s = stats.finished_at - stats.started_at
+            stats.finished_at = time.time()
+            stats.run_s = time.perf_counter() - stats._started_pc
+            self._run_hist.observe(stats.run_s)
             with self._lock:
-                self.report.failed += 1
+                self._report.failed += 1
+            self._requests_total.labels(outcome="failed").inc()
             request._future.set_exception(exc)
             return
-        stats.finished_at = time.perf_counter()
-        stats.run_s = stats.finished_at - stats.started_at
+        stats.finished_at = time.time()
+        stats.run_s = time.perf_counter() - stats._started_pc
         stats.status = "done"
         stats.stage_seconds = result.stage_seconds
         stats.plan_cache = result.cache.plan_cache
         stats.partitions_replayed = result.cache.partitions_replayed
         stats.profile_cache_hits = result.cache.profile_cache_hits
         stats.backend_estimate_calls = result.cache.backend_estimate_calls
+        self._run_hist.observe(stats.run_s)
+        for stage, seconds in stats.stage_seconds.items():
+            self._stage_hist.labels(stage=stage).observe(seconds)
         with self._lock:
-            self.report.completed += 1
+            self._report.completed += 1
+        self._requests_total.labels(outcome="completed").inc()
         request._future.set_result(result)

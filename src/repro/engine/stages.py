@@ -24,7 +24,7 @@ one stage instance can serve concurrent partitions.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..orchestration import KernelIdentifierReport
 from ..runtime.executable import Executable
@@ -205,12 +205,23 @@ DEFAULT_STAGES: tuple[Stage, ...] = (
 )
 
 
-def run_stages(ctx: StageContext, stages: Sequence[Stage] = DEFAULT_STAGES) -> StageContext:
-    """Run ``stages`` in order, recording per-stage wall-clock time."""
+def run_stages(
+    ctx: StageContext,
+    stages: Sequence[Stage] = DEFAULT_STAGES,
+    observe: Callable[[str, float], None] | None = None,
+) -> StageContext:
+    """Run ``stages`` in order, recording per-stage wall-clock time.
+
+    ``observe(stage_name, seconds)`` is called once per stage when given —
+    the hook the engine uses to feed its per-stage latency histograms
+    without the stages knowing about metrics.  It must stay ``None`` on
+    process-pool workers (the prologue ships timings back instead).
+    """
     for stage in stages:
         started = time.perf_counter()
         ctx = stage.run(ctx)
-        ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + (
-            time.perf_counter() - started
-        )
+        elapsed = time.perf_counter() - started
+        ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + elapsed
+        if observe is not None:
+            observe(stage.name, elapsed)
     return ctx

@@ -1,0 +1,23 @@
+"""Production observability: counters, gauges, histograms, registries.
+
+See :mod:`repro.metrics.core` for the primitives and
+``python -m repro.metrics dump`` (:mod:`repro.metrics.cli`) for an
+end-to-end export of a short serving session.  This package never imports
+the engine — the engine (and service, scheduler, caches) import *it*.
+"""
+
+from .core import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+]

@@ -1,0 +1,389 @@
+"""Lock-cheap metrics primitives: counters, gauges, histograms, a registry.
+
+A serving system is blind without aggregate timing truth: per-request stats
+tell you what *one* request saw, but admission control and capacity planning
+need distributions — p99 queue wait, stage-latency histograms, cache hit
+rates over time.  This module provides the minimal production trio:
+
+* :class:`Counter` — monotonically increasing totals (requests, rejections).
+* :class:`Gauge` — last-written values (queue depth, effective caps).
+* :class:`Histogram` — fixed-bucket latency histograms with interpolated
+  quantile estimation (p50/p95/p99) and min/max clamping, so tails are
+  readable without storing samples.
+
+Metrics live in a :class:`MetricRegistry`, addressed by name and optional
+label sets (``family.labels(stage="solve")``), and export two ways:
+``as_dict()`` for JSON consumers and ``render_prometheus()`` in the
+Prometheus text exposition format.  Registered *collectors* run just before
+either export, which is how point-in-time sources (engine statistics, cache
+store counters) surface as gauges without instrumenting their hot paths.
+
+Every mutation takes one short per-metric lock — no global lock on the hot
+path — so instrumented code pays nanoseconds, not contention.  This module
+deliberately imports nothing from the engine; the engine imports it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+]
+
+#: Log-spaced seconds buckets covering sub-millisecond kernels through
+#: multi-minute optimization runs; the terminal +inf bucket is implicit.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def as_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def as_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimation.
+
+    Buckets are cumulative-upper-bound style (Prometheus semantics): an
+    observation lands in the first bucket whose bound is >= the value, with
+    an implicit +inf terminal bucket.  ``quantile`` linearly interpolates
+    within the target bucket and clamps to the observed min/max, which keeps
+    estimates honest when a bucket is much wider than the data inside it.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] | None = None) -> None:
+        bounds = tuple(sorted(float(b) for b in (buckets or DEFAULT_LATENCY_BUCKETS)))
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+inf is implicit)")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self._lock = threading.Lock()
+        self.bounds: tuple[float, ...] = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +inf bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Bisect by hand: bucket counts are small tuples and the lock must
+        # cover the whole update anyway.
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def _snapshot(self) -> tuple[list[int], int, float, float, float]:
+        with self._lock:
+            return list(self._counts), self._count, self._sum, self._min, self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        counts, total, _, minimum, maximum = self._snapshot()
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, counts):
+            if count and cumulative + count >= rank:
+                fraction = (rank - cumulative) / count
+                estimate = lower + (bound - lower) * min(1.0, max(0.0, fraction))
+                return min(maximum, max(minimum, estimate))
+            cumulative += count
+            lower = bound
+        return maximum  # the +inf bucket: the best point estimate is the max
+
+    def summary(self) -> dict[str, float | int]:
+        """JSON-friendly digest: count, sum, mean, min/max, p50/p95/p99."""
+        counts, total, total_sum, minimum, maximum = self._snapshot()
+        del counts
+        if total == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {
+            "count": total,
+            "sum": total_sum,
+            "mean": total_sum / total,
+            "min": minimum,
+            "max": maximum,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with +inf."""
+        counts, _, _, _, _ = self._snapshot()
+        cumulative = 0
+        pairs: list[tuple[float, int]] = []
+        for bound, count in zip((*self.bounds, math.inf), counts):
+            cumulative += count
+            pairs.append((bound, cumulative))
+        return pairs
+
+    def as_value(self) -> dict[str, float | int]:
+        return self.summary()
+
+
+class _Family:
+    """One named metric and its labeled children (one child when unlabeled)."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: tuple[str, ...],
+        factory: Callable[[], Counter | Gauge | Histogram],
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.labelnames = labelnames
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def labels(self, **labels: str) -> Counter | Gauge | Histogram:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames!r}, got {tuple(labels)!r}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._factory()
+                self._children[key] = child
+            return child
+
+    def samples(self) -> list[tuple[dict[str, str], Counter | Gauge | Histogram]]:
+        with self._lock:
+            children = dict(self._children)
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in sorted(children.items())
+        ]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels.items(), *extra]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label_value(str(value))}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricRegistry:
+    """Named metric families plus export-time collectors.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    with a name defines kind, help and labels, later calls must agree and
+    return the same family.  For unlabeled metrics the call returns the
+    metric itself; with ``labelnames`` it returns the family, and children
+    are addressed via ``family.labels(stage="solve")``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # ----------------------------------------------------------- definition
+    def _family(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labelnames: Sequence[str],
+        factory: Callable[[], Counter | Gauge | Histogram],
+    ):
+        labelnames = tuple(str(label) for label in labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, help, kind, labelnames, factory)
+                self._families[name] = family
+            elif family.kind != kind or family.labelnames != labelnames:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind} with "
+                    f"labels {family.labelnames!r}"
+                )
+        return family if labelnames else family.labels()
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return self._family(name, help, "counter", labelnames, Counter)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return self._family(name, help, "gauge", labelnames, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ):
+        return self._family(
+            name, help, "histogram", labelnames, lambda: Histogram(buckets)
+        )
+
+    def add_collector(self, collect: Callable[[], None]) -> None:
+        """Register a zero-arg callable run before every export; collectors
+        refresh gauges from point-in-time sources (engine stats, cache
+        counters) so instrumenting their hot paths is unnecessary."""
+        with self._lock:
+            self._collectors.append(collect)
+
+    def families(self) -> Iterable[_Family]:
+        with self._lock:
+            return list(self._families.values())
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collect in collectors:
+            collect()
+
+    # --------------------------------------------------------------- export
+    def as_dict(self) -> dict[str, dict]:
+        """JSON-safe export: every family, every labeled child."""
+        self._run_collectors()
+        payload: dict[str, dict] = {}
+        for family in sorted(self.families(), key=lambda f: f.name):
+            values = []
+            for labels, metric in family.samples():
+                entry: dict = {"labels": labels}
+                if isinstance(metric, Histogram):
+                    entry.update(metric.summary())
+                else:
+                    entry["value"] = metric.value
+                values.append(entry)
+            payload[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "values": values,
+            }
+        return payload
+
+    def render_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        self._run_collectors()
+        lines: list[str] = []
+        for family in sorted(self.families(), key=lambda f: f.name):
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, metric in family.samples():
+                if isinstance(metric, Histogram):
+                    for bound, cumulative in metric.bucket_counts():
+                        suffix = _format_labels(labels, (("le", _format_value(bound)),))
+                        lines.append(f"{family.name}_bucket{suffix} {cumulative}")
+                    base = _format_labels(labels)
+                    lines.append(f"{family.name}_sum{base} {_format_value(metric.sum)}")
+                    lines.append(f"{family.name}_count{base} {metric.count}")
+                else:
+                    suffix = _format_labels(labels)
+                    lines.append(f"{family.name}{suffix} {_format_value(metric.value)}")
+        return "\n".join(lines) + "\n"

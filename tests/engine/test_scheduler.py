@@ -309,3 +309,52 @@ class TestProcessExecutor:
             assert futures["cube"].result(timeout=60) == 27
         finally:
             executor.shutdown()
+
+
+def _bump(value: int = 0) -> int:
+    return value + 1
+
+
+def _boom() -> None:
+    raise RuntimeError("boom")
+
+
+def _chain(depth: int, root_fn) -> list[Task]:
+    tasks = [Task(key="t0", fn=root_fn)]
+    for index in range(1, depth):
+        prev = f"t{index - 1}"
+        tasks.append(Task(key=f"t{index}", fn=_bump, args=(Dep(prev),), deps=(prev,)))
+    return tasks
+
+
+class TestDeepChains:
+    def test_5000_deep_chain_completes_without_recursion_error(self):
+        """Regression: cycle validation recursed one frame per dependency
+        edge, so deep-but-acyclic chains overflowed the interpreter stack
+        before a single task ran."""
+        depth = 5000
+        scheduler = Scheduler(SerialExecutor())
+        results = scheduler.run(_chain(depth, _bump))
+        assert results[f"t{depth - 1}"] == depth
+
+    def test_deep_chain_cycle_is_still_detected(self):
+        depth = 5000
+        tasks = _chain(depth, _bump)
+        # Close the loop: the root now depends on the deepest task.
+        tasks[0] = Task(key="t0", fn=_bump, deps=(f"t{depth - 1}",))
+        scheduler = Scheduler(SerialExecutor())
+        with pytest.raises(SchedulerError):
+            scheduler.run(tasks)
+
+    def test_deep_failure_chain_propagates_without_recursion(self):
+        """Regression: failure propagation walked dependents recursively and
+        nested each full error message inside the next, going quadratic on
+        deep chains."""
+        depth = 2000
+        scheduler = Scheduler(SerialExecutor())
+        futures = scheduler.submit(_chain(depth, _boom))
+        assert isinstance(futures["t0"].exception(timeout=60), RuntimeError)
+        last = futures[f"t{depth - 1}"].exception(timeout=60)
+        assert isinstance(last, DependencyFailed)
+        # The cause repr is truncated, so messages stay bounded at any depth.
+        assert len(str(last)) < 1000

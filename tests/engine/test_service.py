@@ -10,11 +10,13 @@ from concurrent.futures import CancelledError
 import pytest
 
 from repro.engine import (
+    AdmissionConfig,
     KorchConfig,
     KorchEngine,
     KorchService,
     Priority,
     ServiceClosed,
+    ServiceDeadlineExceeded,
     ServiceOverloaded,
 )
 from repro.ir import GraphBuilder
@@ -234,3 +236,332 @@ class TestLifecycle:
     def test_engine_and_config_are_mutually_exclusive(self):
         with pytest.raises(ValueError):
             KorchService(engine=_StubEngine(), config=KorchConfig(gpu="V100"))
+
+
+class _SlowStub:
+    """Engine stub with a fixed per-request service time (for deadline and
+    admission tests that need a measurable mean run time)."""
+
+    def __init__(self, delay: float):
+        self.delay = delay
+        self.served: list[str] = []
+
+    def optimize(self, graph):
+        time.sleep(self.delay)
+        self.served.append(graph.name)
+        return _StubResult(graph.name)
+
+    def close(self):
+        pass
+
+
+class TestCancelledSlotReuse:
+    def test_cancelled_request_frees_its_slot_immediately(self):
+        """Regression: a cancelled heap entry used to count against
+        ``max_pending`` until a worker happened to pop it, so overload
+        rejections fired with the queue effectively empty."""
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1, max_pending=1)
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)  # worker picks it up; the one slot is free
+            victim = service.submit(attention_model("victim"))
+            assert service.pending == 1
+            assert victim.cancel()
+            # The slot is reusable right now, not after the next pop.
+            assert service.pending == 0
+            assert service.report.cancelled == 1
+            replacement = service.submit(attention_model("replacement"))
+            stub.block.set()
+            assert replacement.result(timeout=10).name == "replacement"
+            service.drain(timeout=10)
+            assert stub.served == ["running", "replacement"]
+        finally:
+            service.close()
+
+    def test_double_cancel_accounts_once(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)
+            victim = service.submit(attention_model("victim"))
+            assert victim.cancel()
+            assert victim.cancel()  # Future.cancel() keeps returning True
+            assert service.report.cancelled == 1
+            assert service.pending == 0
+            stub.block.set()
+        finally:
+            service.close()
+
+
+class TestCloseTimeout:
+    def test_close_timeout_returns_false_and_leaves_owned_engine_open(self):
+        """Regression: ``close(timeout=)`` used to mark the service closed
+        and close a privately-owned engine even when in-flight requests were
+        still inside it."""
+        service = KorchService(config=KorchConfig(gpu="V100"), workers=1)
+        engine = service.engine
+        release = threading.Event()
+        original = engine.optimize
+
+        def blocking_optimize(graph):
+            release.wait(30)
+            return original(graph)
+
+        engine.optimize = blocking_optimize
+        request = service.submit(attention_model("slow"))
+        time.sleep(0.05)  # worker enters the blocked engine call
+        assert service.close(timeout=0.2) is False
+        with pytest.raises(ServiceClosed):  # intake stays shut...
+            service.submit(attention_model("late"))
+        release.set()  # ...but the in-flight request still completes
+        assert request.result(timeout=300).graph.name == "slow"
+        assert service.close(timeout=30) is True
+        with pytest.raises(RuntimeError):
+            original(attention_model("after-close"))  # engine closed only now
+
+    def test_close_timeout_is_one_deadline_not_per_worker(self):
+        """Regression: the timeout used to be applied to the quiescence wait
+        and then again to each worker join, so ``close(timeout=t)`` could
+        block for ``(1 + workers) * t``."""
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=4)
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)
+            started = time.perf_counter()
+            assert service.close(timeout=0.3) is False
+            elapsed = time.perf_counter() - started
+            assert elapsed < 1.0  # one deadline, not (1 + 4) * 0.3
+        finally:
+            stub.block.set()
+            service.close()
+
+
+class TestConcurrentDrain:
+    def test_drainer_timeout_does_not_reopen_intake_under_another(self):
+        """Regression: drain() used a boolean flag, so the first of two
+        concurrent drainers to return flipped it off and re-admitted
+        submissions under the drainer still waiting."""
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)  # worker picks it up and blocks
+            outcome: dict[str, bool] = {}
+
+            def long_drain():
+                outcome["drained"] = service.drain(timeout=10)
+
+            drainer = threading.Thread(target=long_drain)
+            drainer.start()
+            time.sleep(0.05)
+            assert service.drain(timeout=0.05) is False  # short drainer times out
+            with pytest.raises(ServiceClosed):  # long drainer still holds intake
+                service.submit(attention_model("sneaky"))
+            stub.block.set()
+            drainer.join(timeout=10)
+            assert not drainer.is_alive()
+            assert outcome["drained"] is True
+            # All drainers gone: the service accepts work again.
+            after = service.submit(attention_model("after"))
+            assert after.result(timeout=10).name == "after"
+        finally:
+            stub.block.set()
+            service.close()
+
+
+class TestDeadline:
+    def test_deadline_accepted_when_no_run_data(self):
+        stub = _SlowStub(delay=0.0)
+        service = KorchService(engine=stub, workers=1)
+        try:
+            request = service.submit(attention_model("first"), deadline_s=0.0001)
+            request.result(timeout=10)
+            assert request.stats.deadline_s == 0.0001
+            assert request.stats.as_dict()["deadline_s"] == 0.0001
+        finally:
+            service.close()
+
+    def test_deadline_rejects_predicted_late_request(self):
+        stub = _SlowStub(delay=0.2)
+        service = KorchService(engine=stub, workers=1)
+        try:
+            # Establish the measured mean run time (~0.2 s).
+            service.submit(attention_model("warmup")).result(timeout=10)
+            # Keep the single worker busy and one request queued: two
+            # requests ahead → predicted wait ≈ 0.4 s.
+            inflight = service.submit(attention_model("inflight"))
+            queued = service.submit(attention_model("queued"))
+            with pytest.raises(ServiceDeadlineExceeded):
+                service.submit(attention_model("impatient"), deadline_s=0.01)
+            assert service.report.rejected == 1
+            # A deadline-rejection is a ServiceOverloaded subclass, so
+            # existing overload handling catches it too.
+            with pytest.raises(ServiceOverloaded):
+                service.submit(attention_model("impatient"), deadline_s=0.01)
+            patient = service.submit(attention_model("patient"), deadline_s=30.0)
+            for request in (inflight, queued, patient):
+                request.result(timeout=10)
+            rejections = service.metrics()["korch_service_rejections_total"]
+            by_cause = {v["labels"]["cause"]: v["value"] for v in rejections["values"]}
+            assert by_cause["deadline"] == 2.0
+        finally:
+            service.close()
+
+
+class TestServiceMetrics:
+    def test_metrics_nonzero_after_real_session(self):
+        """Queue-wait/run histograms and cache-hit counters are non-zero
+        after a small multi-request session against a real engine."""
+        with KorchService(config=KorchConfig(gpu="V100"), workers=2) as service:
+            requests = service.submit_many(
+                [
+                    attention_model("twin"),
+                    attention_model("twin"),
+                    attention_model("other", heads=2),
+                ]
+            )
+            for request in requests:
+                request.result(timeout=600)
+            service.drain(timeout=60)
+            metrics = service.metrics()
+            text = service.metrics_text()
+            report = service.report
+
+        def value(name):
+            return metrics[name]["values"][0]["value"]
+
+        # Service layer: histograms saw every request.
+        wait = metrics["korch_service_queue_wait_seconds"]["values"][0]
+        assert wait["count"] == 3
+        run = metrics["korch_service_run_seconds"]["values"][0]
+        assert run["count"] == 3 and run["sum"] > 0.0
+        # Engine layer: per-stage histograms and cache hits flowed in.
+        assert "korch_engine_stage_seconds" in metrics
+        assert value("korch_cache_store_hits") > 0
+        # "twin" repeats share structure: the engine reports reuse.
+        assert value("korch_engine_models_optimized") == 3.0
+        # Prometheus text exposition carries the same families.
+        assert "# TYPE korch_service_queue_wait_seconds histogram" in text
+        assert 'korch_service_requests_total{outcome="completed"} 3' in text
+        # The report embeds the summaries.
+        assert report.histograms["queue_wait_s"]["count"] == 3
+        assert report.histograms["run_s"]["p99"] is not None
+
+    def test_request_timestamps_are_ordered(self):
+        stub = _SlowStub(delay=0.01)
+        service = KorchService(engine=stub, workers=1)
+        try:
+            request = service.submit(attention_model("timed"))
+            request.result(timeout=10)
+            stats = request.stats.as_dict()
+            assert stats["submitted_at"] <= stats["started_at"] <= stats["finished_at"]
+            assert stats["started_at"] > 1e9  # epoch seconds, not perf_counter
+        finally:
+            service.close()
+
+    def test_shared_registry_with_wrapped_engine(self):
+        """Wrapping a real engine adopts its registry, so engine metrics and
+        service metrics land in one export."""
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            service = KorchService(engine=engine, workers=1)
+            try:
+                assert service.registry is engine.metrics
+                service.submit(attention_model("shared")).result(timeout=300)
+                metrics = service.metrics()
+                assert "korch_service_run_seconds" in metrics
+                assert "korch_engine_stage_seconds" in metrics
+            finally:
+                service.close()
+
+
+class _SlowEngineProxy:
+    """Delegates to a real engine after a fixed delay: realistic results,
+    controllable service time."""
+
+    def __init__(self, engine: KorchEngine, delay: float):
+        self._engine = engine
+        self.delay = delay
+
+    def optimize(self, graph):
+        time.sleep(self.delay)
+        return self._engine.optimize(graph)
+
+    def close(self):
+        pass
+
+
+class TestAdmissionIntegration:
+    def test_controller_shrinks_under_load_and_recovers(self):
+        """End to end: a burst against a slow engine breaches the queue-wait
+        SLO and shrinks the effective cap; a calm sequential phase grows it
+        back — and served results stay bit-identical to the direct engine."""
+        admission = AdmissionConfig(
+            slo_p99_queue_wait_s=0.05,
+            min_pending=1,
+            max_pending=16,
+            window=4,
+            healthy_fraction=0.5,
+        )
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            direct = engine.optimize(attention_model("admitted"))
+            proxy = _SlowEngineProxy(engine, delay=0.15)
+            service = KorchService(engine=proxy, workers=1, admission=admission)
+            try:
+                controller = service.admission
+                assert controller.cap == 16
+                # Burst: the single slow worker makes later requests wait
+                # far beyond the 50 ms SLO.
+                burst = service.submit_many(
+                    [attention_model("admitted") for _ in range(8)]
+                )
+                burst_results = [request.result(timeout=600) for request in burst]
+                cap_after_burst = controller.cap
+                assert cap_after_burst < 16
+                assert controller.shrinks >= 1
+                # Calm phase: sequential submits never queue, every window
+                # is healthy, and the cap walks back up.
+                proxy.delay = 0.0
+                for _ in range(8):
+                    service.submit(attention_model("admitted")).result(timeout=600)
+                assert controller.grows >= 1
+                assert controller.cap > cap_after_burst
+                # Admission control changed scheduling only, not results.
+                for result in burst_results:
+                    assert strategy_fingerprint(result) == strategy_fingerprint(direct)
+                adjustments = service.metrics()[
+                    "korch_service_admission_adjustments_total"
+                ]
+                by_direction = {
+                    v["labels"]["direction"]: v["value"] for v in adjustments["values"]
+                }
+                assert by_direction.get("shrink", 0) >= 1
+                assert by_direction.get("grow", 0) >= 1
+            finally:
+                service.close()
+
+    def test_shrunk_cap_rejects_submissions(self):
+        from repro.engine import AdmissionController
+
+        stub = _StubEngine()
+        # Pre-shrink a controller (one breached window), then hand it to the
+        # service: the effective cap is 1, not max_pending = 2.
+        controller = AdmissionController(
+            AdmissionConfig(slo_p99_queue_wait_s=0.01, min_pending=1, max_pending=2, window=4)
+        )
+        for _ in range(4):
+            controller.observe(5.0)
+        assert controller.cap == 1
+        service = KorchService(engine=stub, workers=1, admission=controller)
+        try:
+            service.submit(attention_model("running"))
+            time.sleep(0.05)  # worker picks it up
+            service.submit(attention_model("queued"))
+            with pytest.raises(ServiceOverloaded):
+                service.submit(attention_model("over-cap"))
+            assert service.report.rejected == 1
+        finally:
+            stub.block.set()
+            service.close()

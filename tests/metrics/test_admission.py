@@ -1,0 +1,114 @@
+"""Unit tests for the AIMD admission controller (deterministic, no timers)."""
+
+import pytest
+
+from repro.engine import AdmissionConfig, AdmissionController
+
+
+def feed(controller, samples):
+    """Feed samples; return the list of non-None decisions."""
+    return [d for d in (controller.observe(s) for s in samples) if d is not None]
+
+
+class TestAdmissionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_p99_queue_wait_s=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, min_pending=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, min_pending=8, max_pending=4)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, healthy_fraction=0.0)
+
+
+class TestAdmissionController:
+    def test_starts_at_max_pending(self):
+        c = AdmissionController(AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=8))
+        assert c.cap == 8
+
+    def test_no_decision_until_window_fills(self):
+        c = AdmissionController(
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=8, window=4)
+        )
+        assert feed(c, [5.0, 5.0, 5.0]) == []
+        assert c.cap == 8
+        assert c.observe(5.0) == "shrink"
+
+    def test_multiplicative_shrink_on_breach(self):
+        c = AdmissionController(
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=8, window=4)
+        )
+        assert feed(c, [5.0] * 4) == ["shrink"]
+        assert c.cap == 4
+        assert feed(c, [5.0] * 4) == ["shrink"]
+        assert c.cap == 2
+        assert c.last_window_p99_s == pytest.approx(5.0)
+        assert c.shrinks == 2
+
+    def test_shrink_respects_min_pending(self):
+        c = AdmissionController(
+            AdmissionConfig(
+                slo_p99_queue_wait_s=1.0, min_pending=2, max_pending=8, window=2
+            )
+        )
+        feed(c, [5.0] * 8)
+        assert c.cap == 2
+        # Once at the floor the controller reports no further change.
+        assert feed(c, [5.0] * 2) == []
+        assert c.cap == 2
+
+    def test_additive_growth_when_healthy(self):
+        c = AdmissionController(
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=8, window=4)
+        )
+        feed(c, [5.0] * 8)  # shrink to 2
+        assert c.cap == 2
+        assert feed(c, [0.1] * 4) == ["grow"]
+        assert c.cap == 3
+        assert c.grows == 1
+
+    def test_hysteresis_band_makes_no_change(self):
+        # p99 between healthy_fraction*slo and slo: neither shrink nor grow.
+        c = AdmissionController(
+            AdmissionConfig(
+                slo_p99_queue_wait_s=1.0, max_pending=8, window=4, healthy_fraction=0.5
+            )
+        )
+        feed(c, [5.0] * 8)  # shrink to 2
+        assert feed(c, [0.8] * 4) == []
+        assert c.cap == 2
+
+    def test_growth_capped_at_max_pending(self):
+        c = AdmissionController(
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=4, window=2)
+        )
+        assert feed(c, [0.1] * 6) == []
+        assert c.cap == 4
+
+    def test_p99_is_nearest_rank_not_mean(self):
+        # Nearest-rank p99 of a 100-sample window is the 99th order statistic:
+        # a single outlier is tolerated, two slow requests trigger backoff.
+        config = AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=8, window=100)
+        tolerant = AdmissionController(config)
+        assert feed(tolerant, [0.01] * 99 + [10.0]) == []
+        assert tolerant.last_window_p99_s == pytest.approx(0.01)
+        strict = AdmissionController(config)
+        assert feed(strict, [0.01] * 98 + [10.0, 10.0]) == ["shrink"]
+        assert strict.last_window_p99_s == pytest.approx(10.0)
+
+    def test_recovery_round_trip(self):
+        c = AdmissionController(
+            AdmissionConfig(slo_p99_queue_wait_s=1.0, max_pending=8, window=4)
+        )
+        feed(c, [5.0] * 4)
+        assert c.cap == 4
+        # Six healthy windows walk the cap back up to the ceiling.
+        feed(c, [0.1] * 24)
+        assert c.cap == 8
+        stats = c.as_dict()
+        assert stats["shrinks"] == 1
+        assert stats["grows"] == 4
+        assert stats["cap"] == 8

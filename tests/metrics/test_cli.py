@@ -1,0 +1,25 @@
+"""The ``python -m repro.metrics dump`` smoke: exports must show a live
+instrumented path (non-zero service histograms and cache activity)."""
+
+import json
+
+from repro.metrics.cli import main
+
+
+class TestDump:
+    def test_json_dump_has_live_series(self, capsys):
+        assert main(["dump", "--requests", "2", "--workers", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        run = payload["korch_service_run_seconds"]["values"][0]
+        assert run["count"] == 2 and run["sum"] > 0.0
+        wait = payload["korch_service_queue_wait_seconds"]["values"][0]
+        assert wait["count"] == 2
+        stages = payload["korch_engine_stage_seconds"]["values"]
+        assert {v["labels"]["stage"] for v in stages} >= {"fission", "solve"}
+
+    def test_prometheus_dump_is_exposition_format(self, capsys):
+        assert main(["dump", "--requests", "2", "--workers", "1", "--format", "prometheus"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE korch_service_run_seconds histogram" in text
+        assert 'korch_service_requests_total{outcome="completed"} 2' in text
+        assert "korch_service_queue_wait_seconds_bucket" in text

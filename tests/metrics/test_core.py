@@ -1,0 +1,159 @@
+"""Unit tests for the metrics primitives and registry export formats."""
+
+import json
+
+import pytest
+
+from repro.metrics import DEFAULT_LATENCY_BUCKETS, Counter, Gauge, Histogram, MetricRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            h.observe(value)
+        counts = dict(h.bucket_counts())
+        assert counts[1.0] == 1
+        assert counts[2.0] == 2
+        assert counts[4.0] == 3
+        assert counts[float("inf")] == 4
+
+    def test_quantiles_interpolate_and_clamp(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for _ in range(2):
+            h.observe(1.5)
+        for _ in range(2):
+            h.observe(3.0)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(9.0)
+        assert s["mean"] == pytest.approx(2.25)
+        # p50 falls on the boundary of the (1, 2] bucket; p99 is clamped to
+        # the observed maximum rather than the bucket upper bound (4.0).
+        assert s["p50"] == pytest.approx(2.0)
+        assert s["p99"] == pytest.approx(3.0)
+        assert s["min"] == pytest.approx(1.5)
+        assert s["max"] == pytest.approx(3.0)
+
+    def test_empty_histogram_summary_is_all_zero(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        assert s["sum"] == 0.0
+        assert s["p50"] == 0.0
+        assert s["p99"] == 0.0
+
+    def test_quantile_never_exceeds_observed_range(self):
+        h = Histogram(buckets=DEFAULT_LATENCY_BUCKETS)
+        h.observe(0.0123)
+        s = h.summary()
+        assert s["p50"] == pytest.approx(0.0123)
+        assert s["p99"] == pytest.approx(0.0123)
+
+    def test_rejects_duplicate_and_infinite_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        r = MetricRegistry()
+        a = r.counter("c", "help")
+        b = r.counter("c", "help")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        r = MetricRegistry()
+        r.counter("c", "help")
+        with pytest.raises(ValueError):
+            r.gauge("c", "help")
+
+    def test_label_mismatch_raises(self):
+        r = MetricRegistry()
+        r.counter("c", "help", labelnames=("cause",))
+        with pytest.raises(ValueError):
+            r.counter("c", "help", labelnames=("other",))
+
+    def test_labeled_family_children_are_distinct(self):
+        r = MetricRegistry()
+        fam = r.counter("rej", "help", labelnames=("cause",))
+        fam.labels(cause="overloaded").inc()
+        fam.labels(cause="closed").inc(2)
+        fam.labels(cause="overloaded").inc()
+        data = r.as_dict()["rej"]
+        by_cause = {v["labels"]["cause"]: v["value"] for v in data["values"]}
+        assert by_cause == {"overloaded": 2.0, "closed": 2.0}
+
+    def test_json_export_round_trips(self):
+        r = MetricRegistry()
+        r.gauge("g", "a gauge").set(7)
+        payload = json.loads(r.render_json())
+        assert payload["g"]["type"] == "gauge"
+        assert payload["g"]["values"][0]["value"] == 7.0
+
+    def test_prometheus_export_shape(self):
+        r = MetricRegistry()
+        h = r.histogram("lat_seconds", "latency", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        r.counter("req_total", "requests", labelnames=("outcome",)).labels(
+            outcome="ok"
+        ).inc()
+        text = r.render_prometheus()
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="1"} 0' in text
+        assert 'lat_seconds_bucket{le="2"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert 'req_total{outcome="ok"} 1' in text
+
+    def test_collectors_run_before_export(self):
+        r = MetricRegistry()
+        g = r.gauge("live", "refreshed at export")
+        state = {"value": 0}
+        r.add_collector(lambda: g.set(state["value"]))
+        state["value"] = 42
+        assert r.as_dict()["live"]["values"][0]["value"] == 42.0
+
+    def test_concurrent_observe_is_consistent(self):
+        import threading
+
+        r = MetricRegistry()
+        h = r.histogram("lat", "help", buckets=(1.0,))
+        c = r.counter("num", "help")
+
+        def work():
+            for _ in range(1000):
+                h.observe(0.5)
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000.0
+        assert h.summary()["count"] == 4000
