@@ -129,3 +129,60 @@ def test_process_executor_beats_thread_on_identify_heavy_sweep():
     if CPUS < 2:
         pytest.skip(f"single-CPU host, parallel win impossible — {record}")
     assert process_s < thread_s, f"ProcessExecutor failed to win: {record}"
+
+
+# --------------------------------------------------------------- snapshots
+def snapshot_config(executor: str, cache_dir, snapshot_entries: int) -> KorchConfig:
+    """Sweep config wired to a persistent profile store, plan cache off.
+
+    The plan cache would let a warm engine replay whole partitions and skip
+    the very stages under test; disabling it makes every run below a *cold*
+    run whose only warmth is the profile store (and, in process mode, the
+    snapshot of it shipped into the workers at ``warm_up``).
+    """
+    config = sweep_config(executor)
+    config.cache_dir = str(cache_dir)
+    config.enable_plan_cache = False
+    config.engine.worker_snapshot_entries = snapshot_entries
+    return config
+
+
+def test_warm_snapshot_process_run_is_identical_and_faster(tmp_path):
+    """Worker profile snapshots: bit-identical to serial, and on multi-core
+    hosts a snapshot-warmed cold run beats the snapshot-less baseline.
+
+    A serial run populates the persistent profile store; two process-mode
+    engines then run the same sweep cold, one broadcasting the store
+    snapshot into its workers at ``warm_up`` and one with snapshots
+    disabled (the pre-snapshot baseline).  Snapshot hits answer worker-side
+    profile reads locally instead of re-estimating, and produce no writes —
+    which is why the parent's results cannot change.
+    """
+    with KorchEngine(snapshot_config("serial", tmp_path, 0)) as engine:
+        serial_fp = [
+            strategy_fingerprint(r) for r in engine.optimize_many(sweep_models())
+        ]
+
+    timings: dict[str, float] = {}
+    fingerprints: dict[str, list] = {}
+    for label, entries in (("snapshot", 4096), ("baseline", 0)):
+        with KorchEngine(snapshot_config("process", tmp_path, entries)) as engine:
+            engine.warm_up()  # broadcasts the snapshot (when enabled)
+            engine.optimize(tiny_model(f"warm_snap_{label}"))
+            started = time.perf_counter()
+            results = engine.optimize_many(sweep_models())
+            timings[label] = time.perf_counter() - started
+        fingerprints[label] = [strategy_fingerprint(r) for r in results]
+
+    assert fingerprints["snapshot"] == serial_fp
+    assert fingerprints["baseline"] == serial_fp
+
+    record = (
+        f"warm-snapshot cold sweep ({NUM_MODELS} models, {WORKERS} workers, "
+        f"{CPUS} CPUs): snapshot={timings['snapshot']:.2f}s "
+        f"baseline={timings['baseline']:.2f}s"
+    )
+    print(f"\n{record}")
+    if CPUS < 2:
+        pytest.skip(f"single-CPU host, timing recorded not gated — {record}")
+    assert timings["snapshot"] < timings["baseline"], record

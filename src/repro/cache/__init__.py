@@ -23,7 +23,13 @@ from .keys import (
     stable_hash,
 )
 from .plan_cache import KernelPlan, ModelPlan, PartitionPlan, PlanCache
-from .profile_cache import PersistentProfileCache, decode_profile, encode_profile
+from .profile_cache import (
+    PersistentProfileCache,
+    decode_profile,
+    encode_profile,
+    export_snapshot,
+    snapshot_nbytes,
+)
 from .store import DEFAULT_DB_NAME, SCHEMA_VERSION, CacheStats, CacheStore
 
 __all__ = [
@@ -34,6 +40,8 @@ __all__ = [
     "PersistentProfileCache",
     "encode_profile",
     "decode_profile",
+    "export_snapshot",
+    "snapshot_nbytes",
     "PlanCache",
     "ModelPlan",
     "PartitionPlan",

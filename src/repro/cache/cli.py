@@ -4,9 +4,12 @@ Operates on one persistent cache directory (``--dir``, or the
 ``KORCH_CACHE_DIR`` environment variable):
 
 ``stats``
-    Per-namespace entry counts and on-disk database size.  (Hit/miss
-    counters are in-process accounting and are reported by the running
-    pipeline/engine — ``result.cache`` and ``EngineStats`` — not here.)
+    Per-namespace entry counts, on-disk database size, and the serialized
+    size of the worker profile snapshot the engine would broadcast from this
+    store (``--snapshot-entries`` caps it, like the engine's
+    ``worker_snapshot_entries``).  (Hit/miss counters are in-process
+    accounting and are reported by the running pipeline/engine —
+    ``result.cache`` and ``EngineStats`` — not here.)
 
 ``gc``
     Garbage collection.  Drops profile *and* plan entries recorded under a
@@ -28,6 +31,7 @@ import sys
 from pathlib import Path
 
 from ..backends import FrameworkEagerBackend, default_korch_backends
+from .profile_cache import export_snapshot, snapshot_nbytes
 from .store import DEFAULT_DB_NAME, CacheStore
 
 __all__ = ["main", "current_backend_versions", "stale_keys"]
@@ -94,6 +98,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print(f"size:  {_db_size_bytes(store) / 1e6:.2f} MB, {store.count()} entries")
     for namespace, count in rows.items():
         print(f"  {namespace}: {count}")
+    # The worker snapshot the engine would broadcast from this store at
+    # warm_up (capped like the default KorchEngineConfig), so the per-worker
+    # shipping cost of the process executor is observable offline.
+    snapshot = export_snapshot(store, args.snapshot_entries)
+    print(
+        f"worker snapshot: {len(snapshot)} entries, "
+        f"{snapshot_nbytes(snapshot) / 1e6:.2f} MB serialized "
+        f"(cap {args.snapshot_entries})"
+    )
     store.close()
     return 0
 
@@ -137,7 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         help="cache directory (default: $KORCH_CACHE_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("stats", help="per-namespace entry counts and database size")
+    stats = sub.add_parser(
+        "stats", help="per-namespace entry counts, database and snapshot size"
+    )
+    stats.add_argument(
+        "--snapshot-entries",
+        type=int,
+        default=4096,
+        help="worker-snapshot entry cap to size (default matches the engine: 4096)",
+    )
     gc = sub.add_parser("gc", help="drop stale MODEL_VERSION entries and the LRU tail")
     gc.add_argument(
         "--keep",

@@ -14,6 +14,8 @@ per process.
 
 from __future__ import annotations
 
+import json
+import pickle
 from typing import Any, Sequence
 
 from ..gpu.cost_model import CostBreakdown
@@ -23,7 +25,13 @@ from ..ir.dtype import DataType
 from .keys import backend_fingerprint, profile_key
 from .store import CacheStore
 
-__all__ = ["PersistentProfileCache", "encode_profile", "decode_profile"]
+__all__ = [
+    "PersistentProfileCache",
+    "encode_profile",
+    "decode_profile",
+    "export_snapshot",
+    "snapshot_nbytes",
+]
 
 _NAMESPACE = "kernel-profiles"
 #: Payload format version; bump when the encoded shape of a profile changes.
@@ -127,6 +135,40 @@ def decode_profile(payload: dict[str, Any]) -> tuple[bool, KernelProfile | None]
         return False, None
 
 
+# --------------------------------------------------------------- snapshots
+def export_snapshot(store: CacheStore, max_entries: int | None = None) -> dict[str, dict]:
+    """``{key: payload}`` snapshot of the profile namespace, for shipping.
+
+    This is what the engine broadcasts to freshly spawned process-pool
+    workers (:meth:`repro.engine.scheduler.executors.ProcessExecutor.warm_up`)
+    so they start with the parent's profile knowledge instead of re-deriving
+    every kernel cost.  Keys are the content-addressed profile keys — they
+    already embed GPU spec and backend set, so a worker under any context
+    simply misses on entries that do not apply.  ``max_entries`` keeps the
+    pickled payload bounded; the *newest* entries win (``store.items`` yields
+    oldest-first), matching the store's own LRU preference.  Undecodable
+    payloads are dropped rather than shipped.
+    """
+    items = store.items(_NAMESPACE)
+    if max_entries is not None and len(items) > max_entries:
+        items = items[-max_entries:]
+    snapshot: dict[str, dict] = {}
+    for key, payload in items:
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(decoded, dict):
+            snapshot[key] = decoded
+    return snapshot
+
+
+def snapshot_nbytes(snapshot: dict[str, dict]) -> int:
+    """Serialized size of a snapshot — the bytes :meth:`warm_up` actually
+    ships to each worker (pickle, protocol matching the process pool's)."""
+    return len(pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 # ------------------------------------------------------------------- cache
 class PersistentProfileCache:
     """Profile cache bound to one (store, GPU spec, backend set) context.
@@ -185,3 +227,9 @@ class PersistentProfileCache:
 
     def __len__(self) -> int:
         return self.store.count(_NAMESPACE)
+
+    def export_snapshot(self, max_entries: int | None = None) -> dict[str, dict]:
+        """Shippable ``{key: payload}`` view of this cache's namespace (the
+        whole namespace — keys are self-describing, see
+        :func:`export_snapshot`)."""
+        return export_snapshot(self.store, max_entries)

@@ -48,6 +48,23 @@ class KorchEngineConfig:
     #: Entry cap of the identify-stage memo (enumeration results keyed on
     #: primitive-graph structure); 0 disables memoization.
     identify_memo_entries: int = 512
+    #: Entry cap of the dominance memo (specs the profiler discarded, keyed
+    #: on structure + tensor types); repeats skip pricing those specs.  The
+    #: surviving candidate set is provably unchanged, so this is a pure
+    #: speed knob; 0 disables it.
+    dominance_memo_entries: int = 512
+    #: Entry cap of the solve memo backing the near-miss warm incumbents
+    #: (see ``KorchConfig.solver_near_miss_incumbents``); 0 disables it.
+    solve_memo_entries: int = 128
+    #: Maximum symmetric node-set difference for a memoized solution to
+    #: count as a near-miss neighbor of a new partition.
+    solve_memo_max_delta: int = 4
+    #: Entry cap of the profile-cache snapshot :meth:`KorchEngine.warm_up`
+    #: broadcasts into process-pool workers (newest entries win), so spawned
+    #: workers answer graph-optimizer pricing from the parent's cache instead
+    #: of re-deriving it; 0 disables the broadcast.  Pure speed knob: a
+    #: snapshot hit returns byte-for-byte what the parent would have read.
+    worker_snapshot_entries: int = 4096
     #: Process-wide cap on concurrently open cache stores (see
     #: :mod:`repro.engine.registry`); the LRU store beyond it is closed.
     max_open_stores: int = 32
@@ -76,6 +93,19 @@ class KorchConfig:
     #: Relative optimality gap accepted per subgraph BLP (0 = prove optimal).
     #: The default trades <2% of modeled latency for a large solver speedup.
     solver_mip_rel_gap: float = 0.02
+    #: Evaluation core of the in-repo solvers: ``"bitset"`` (default) packs
+    #: the ±1 incidence structure into machine-word masks, ``"reference"``
+    #: keeps the original dict-of-sets scans.  Bit-identical answers either
+    #: way (asserted in tests), so the knob stays out of :meth:`fingerprint`.
+    solver_core: str = "bitset"
+    #: Opt-in: seed branch and bound with a memoized near-miss neighbor's
+    #: solution as a warm incumbent (see :class:`repro.engine.memo.SolveMemo`).
+    #: The objective stays exact, but among *equal-cost* optima the returned
+    #: selection may follow the seed — i.e. depend on which partitions were
+    #: solved earlier — so this result-affecting knob defaults to off and is
+    #: part of :meth:`fingerprint`.  No effect on the scipy MILP path, which
+    #: has no incumbent-injection API.
+    solver_near_miss_incumbents: bool = False
     #: Directory of the persistent profile/plan cache; ``None`` disables
     #: persistence (profiles are still memoized per process, as before).
     cache_dir: str | Path | None = None
@@ -117,4 +147,14 @@ class KorchConfig:
             "solver_method": self.solver_method,
             "solver_time_limit_s": self.solver_time_limit_s,
             "solver_mip_rel_gap": self.solver_mip_rel_gap,
+            "solver_near_miss_incumbents": self.solver_near_miss_incumbents,
         }
+
+    def solver_config(self):
+        """The :class:`repro.solver.SolverConfig` this pipeline solves with."""
+        from ..solver import SolverConfig
+
+        return SolverConfig(
+            core=self.solver_core,
+            near_miss_incumbents=self.solver_near_miss_incumbents,
+        )

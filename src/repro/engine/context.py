@@ -56,6 +56,13 @@ class StageContext:
     #: Engine-owned memo of enumeration results (see
     #: :class:`repro.engine.memo.IdentifyMemo`); ``None`` disables lookups.
     identify_memo: object | None = None
+    #: Engine-owned memo of profiler-discarded specs keyed on structure +
+    #: tensor types (:class:`repro.engine.memo.DominanceMemo`); ``None``
+    #: disables the memo-guided pruning.
+    dominance_memo: object | None = None
+    #: Engine-owned memo of BLP solutions for near-miss warm incumbents
+    #: (:class:`repro.engine.memo.SolveMemo`); ``None`` disables seeding.
+    solve_memo: object | None = None
 
     # --- artifacts (filled in by successive stages)
     pg: PrimitiveGraph | None = None
@@ -70,6 +77,9 @@ class StageContext:
 
     #: Whether the identify stage was answered from the memo.
     identify_memo_hit: bool = False
+    #: ``pg_profile_key`` of ``ctx.pg``, computed lazily by the first memo
+    #: consumer and shared by the rest (plain string, picklable).
+    profile_key: str | None = None
     #: Profiler accounting carried back from a process-pool prologue worker
     #: (merged into the partition's stats by the finish task).
     worker_profiler_stats: "object | None" = None
@@ -83,7 +93,14 @@ class StageContext:
 
     #: Fields that never cross a process boundary: collaborators bound to the
     #: engine's process (caches, locks, SQLite handles ride inside them).
-    _UNPICKLABLE = ("fission", "optimizer", "graph_optimizer", "identify_memo")
+    _UNPICKLABLE = (
+        "fission",
+        "optimizer",
+        "graph_optimizer",
+        "identify_memo",
+        "dominance_memo",
+        "solve_memo",
+    )
 
     def __getstate__(self) -> dict:
         state = dict(self.__dict__)

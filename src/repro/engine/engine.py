@@ -55,6 +55,7 @@ from ..cache import (
     PersistentProfileCache,
     PlanCache,
     backend_fingerprint,
+    export_snapshot,
     plan_key,
 )
 from ..fission import FissionEngine
@@ -68,7 +69,7 @@ from ..runtime.executable import ModelExecutable
 from ..transforms import PrimitiveGraphOptimizer
 from .config import KorchConfig
 from .context import StageContext
-from .memo import IdentifyMemo
+from .memo import DominanceMemo, IdentifyMemo, SolveMemo
 from .registry import shared_store
 from .result import CacheReport, KorchResult, PartitionResult
 from .scheduler import (
@@ -81,7 +82,7 @@ from .scheduler import (
     ThreadExecutor,
     run_partition_prologue,
 )
-from .scheduler.worker import PrologueResult
+from .scheduler.worker import PrologueResult, install_profile_snapshot
 from .stages import (
     DEFAULT_STAGES,
     FissionStage,
@@ -257,6 +258,8 @@ class KorchEngine:
         self._thread_executor: ThreadExecutor | None = None
         self._process_executor: ProcessExecutor | None = None
         self.identify_memo = IdentifyMemo(self.config.engine.identify_memo_entries)
+        self.dominance_memo = DominanceMemo(self.config.engine.dominance_memo_entries)
+        self.solve_memo = SolveMemo(self.config.engine.solve_memo_entries)
         self._owns_store = False
         self._closed = False
 
@@ -431,6 +434,7 @@ class KorchEngine:
             solver_method=self.config.solver_method,
             solver_time_limit_s=self.config.solver_time_limit_s,
             solver_mip_rel_gap=self.config.solver_mip_rel_gap,
+            solver_config=self.config.solver_config(),
             persistent_cache=profile_cache,
             tuning_model=run.tuning_model,
         )
@@ -465,6 +469,8 @@ class KorchEngine:
             graph_optimizer=graph_optimizer,
             plan=plan,
             identify_memo=self.identify_memo if self.identify_memo.enabled else None,
+            dominance_memo=self.dominance_memo if self.dominance_memo.enabled else None,
+            solve_memo=self.solve_memo if self.solve_memo.enabled else None,
         )
 
     def stages(self) -> Sequence[Stage]:
@@ -769,7 +775,15 @@ class KorchEngine:
 
     def warm_up(self) -> None:
         """Start the process pool's workers eagerly (no-op in thread mode),
-        keeping worker spawn cost off the first request's critical path."""
+        keeping worker spawn cost off the first request's critical path.
+
+        When the engine has a cache store with profile entries, a snapshot
+        of the newest ``worker_snapshot_entries`` of them rides along on the
+        warm-up broadcast, so every worker starts with the parent's profile
+        knowledge (see :class:`~repro.engine.scheduler.worker._SnapshotProfileCache`).
+        Call again after warming the cache to refresh worker snapshots —
+        re-broadcasting is cheap and replaces the previous snapshot.
+        """
         engine_cfg = self.config.engine
         if engine_cfg.executor != "process":
             return
@@ -781,7 +795,13 @@ class KorchEngine:
                     engine_cfg.process_workers, engine_cfg.process_start_method
                 )
             executor = self._process_executor
-        executor.warm_up()
+        snapshot: dict[str, dict] = {}
+        if self.store is not None and engine_cfg.worker_snapshot_entries > 0:
+            snapshot = export_snapshot(self.store, engine_cfg.worker_snapshot_entries)
+        if snapshot:
+            executor.warm_up(install_profile_snapshot, (snapshot,))
+        else:
+            executor.warm_up()
 
     # --------------------------------------------------------------- metrics
     def _observe_stage(self, name: str, seconds: float) -> None:

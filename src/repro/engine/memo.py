@@ -28,7 +28,30 @@ from ..orchestration import KernelIdentifierConfig, KernelIdentifierReport
 from ..orchestration.identifier import CandidateSpec
 from ..primitives.graph import PrimitiveGraph
 
-__all__ = ["pg_structure_key", "IdentifyMemo"]
+__all__ = [
+    "pg_structure_key",
+    "pg_profile_key",
+    "IdentifyMemo",
+    "DominanceMemo",
+    "SolveMemo",
+    "SolveMemoEntry",
+]
+
+
+def _structure_payload(pg: PrimitiveGraph, config: KernelIdentifierConfig) -> dict:
+    return {
+        "nodes": [
+            (node.name, list(node.prim.signature()), list(node.inputs), node.output)
+            for node in pg.nodes
+        ],
+        "outputs": list(pg.outputs),
+        "config": dataclasses.asdict(config),
+    }
+
+
+def _digest(payload: dict) -> str:
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def pg_structure_key(pg: PrimitiveGraph, config: KernelIdentifierConfig) -> str:
@@ -38,16 +61,24 @@ def pg_structure_key(pg: PrimitiveGraph, config: KernelIdentifierConfig) -> str:
     (name, primitive signature, inputs, output); graph outputs close the
     payload.  Two partitions with equal keys enumerate identical spec lists.
     """
-    payload = {
-        "nodes": [
-            (node.name, list(node.prim.signature()), list(node.inputs), node.output)
-            for node in pg.nodes
-        ],
-        "outputs": list(pg.outputs),
-        "config": dataclasses.asdict(config),
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return _digest(_structure_payload(pg, config))
+
+
+def pg_profile_key(pg: PrimitiveGraph, config: KernelIdentifierConfig) -> str:
+    """Canonical hash of everything enumeration *and profiling* read.
+
+    Strictly finer than :func:`pg_structure_key`: primitive signatures carry
+    no tensor shapes or dtypes, but profiled latencies — and therefore which
+    candidates the dominance prune discards and which kernels the solver
+    selects — depend on them.  Memos whose payloads embed profile-derived
+    facts (:class:`DominanceMemo`, :class:`SolveMemo`) must key on this, not
+    on the structure key.
+    """
+    payload = _structure_payload(pg, config)
+    payload["tensors"] = sorted(
+        (name, str(t.dtype), list(t.shape)) for name, t in pg.tensors.items()
+    )
+    return _digest(payload)
 
 
 class IdentifyMemo:
@@ -99,6 +130,150 @@ class IdentifyMemo:
         with self._lock:
             self._entries.pop(key, None)
             self._entries[key] = (list(specs), copy.deepcopy(report))
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+#: Canonical identity of a candidate spec, as produced by
+#: :func:`repro.orchestration.identifier.spec_key`.
+SpecKey = tuple[frozenset, tuple]
+
+
+class DominanceMemo:
+    """LRU memo of specs that profiling discarded, keyed on profile key.
+
+    After the profile stage prices a partition's specs, any spec that yields
+    no surviving candidate — dominated by a cheaper candidate with the same
+    I/O, or rejected by every backend — is recorded here.  A later partition
+    with an equal :func:`pg_profile_key` skips those specs *before* pricing
+    (and, when enumeration runs fresh, before even constructing them):
+    profiling is deterministic in (structure, tensor types, backends, GPU),
+    so the skipped specs would be discarded again, and the surviving
+    candidate list — the only thing downstream stages see — is unchanged.
+
+    Entries are recorded only for partitions whose enumeration and profiling
+    ran un-truncated (no ``max_candidates`` cap binding), so a memo-guided
+    run can never consider specs a cold run would not have reached.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, frozenset[SpecKey]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, profile_key: str) -> frozenset[SpecKey] | None:
+        if not self.enabled:
+            return None
+        with self._lock:
+            entry = self._entries.get(profile_key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries[profile_key] = self._entries.pop(profile_key)  # LRU touch
+            self.hits += 1
+            return entry
+
+    def put(self, profile_key: str, pruned: frozenset[SpecKey]) -> None:
+        """Record ``pruned``, merging with any earlier entry: a memo-guided
+        run discovers pruned specs *on top of* the ones it already skipped."""
+        if not self.enabled:
+            return
+        with self._lock:
+            existing = self._entries.pop(profile_key, None)
+            if existing is not None:
+                pruned = pruned | existing
+            self._entries[profile_key] = frozenset(pruned)
+            while len(self._entries) > self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class SolveMemoEntry:
+    """One solved partition: its node names, selection, and objective."""
+
+    node_names: frozenset[str]
+    selected: tuple[SpecKey, ...]
+    objective: float
+
+
+class SolveMemo:
+    """LRU memo of BLP solutions for near-miss warm incumbents.
+
+    Keyed on :func:`pg_profile_key` for identity, but queried by *node-set
+    distance*: when a new partition's nodes differ from a memoized one's by
+    at most ``max_delta`` names (partition-boundary jitter — a lookback
+    window shifting one or two nodes between neighboring partitions), the
+    neighbor's selected kernels that still exist among the new candidates
+    seed branch and bound as a warm incumbent.  The seed is re-validated for
+    feasibility and only ever *tightens* pruning, so exact methods keep
+    their optimal objective; among equal-cost optima the returned selection
+    may be the seed's, which is why the engine gates the feature behind the
+    opt-in ``solver_near_miss_incumbents`` flag.
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: dict[str, SolveMemoEntry] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def neighbor(
+        self, node_names: frozenset[str], max_delta: int, exclude_key: str | None = None
+    ) -> SolveMemoEntry | None:
+        """The memoized partition nearest to ``node_names`` (smallest
+        symmetric node-set difference ≤ ``max_delta``); earliest-recorded
+        wins ties so the answer is deterministic for a given memo state."""
+        if not self.enabled:
+            return None
+        best: SolveMemoEntry | None = None
+        best_delta = max_delta + 1
+        with self._lock:
+            for key, entry in self._entries.items():
+                if key == exclude_key:
+                    continue
+                delta = len(entry.node_names ^ node_names)
+                if delta < best_delta:
+                    best = entry
+                    best_delta = delta
+            if best is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return best
+
+    def put(self, profile_key: str, entry: SolveMemoEntry) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._entries.pop(profile_key, None)
+            self._entries[profile_key] = entry
             while len(self._entries) > self.max_entries:
                 self._entries.pop(next(iter(self._entries)))
 

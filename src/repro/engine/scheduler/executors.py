@@ -29,6 +29,12 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 __all__ = ["Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor"]
 
+#: How long a warm-up task occupies its worker.  The sleep is a barrier: as
+#: long as every already-started worker is still sleeping, the pool has no
+#: idle worker to give the next warm-up task to and must start a fresh one,
+#: which is what guarantees the broadcast reaches *every* worker exactly once.
+_WARM_SLEEP_S = 0.2
+
 
 class Executor:
     """Minimal executor contract the scheduler dispatches onto."""
@@ -118,6 +124,27 @@ class ThreadExecutor(Executor):
                 self._size = 1
             return self._pool.submit(fn, *args)
 
+    def warm_up(self) -> None:
+        """Start every pool thread now (``ThreadPoolExecutor`` spawns lazily).
+
+        Same sleep-barrier broadcast as :meth:`ProcessExecutor.warm_up`, with
+        the shared ``_WARM_SLEEP_S`` constant.  Raises ``RuntimeError`` after
+        :meth:`shutdown` (submitting to a released pool would hang or leak);
+        calling it repeatedly on a live executor is harmless.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ThreadExecutor is shut down")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=self._prefix
+                )
+                self._size = 1
+            pool, size = self._pool, self._size
+        futures = [pool.submit(_warm) for _ in range(size)]
+        for future in futures:
+            future.result()
+
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             self._closed = True
@@ -160,13 +187,21 @@ class ProcessExecutor(Executor):
         with self._lock:
             return self._pool_locked().submit(fn, *args)
 
-    def warm_up(self) -> None:
-        """Start every worker now (spawned workers import the package once)."""
+    def warm_up(self, fn=None, args: tuple = ()) -> None:
+        """Start every worker now (spawned workers import the package once).
+
+        ``fn(*args)`` — when given — runs once in *each* worker before the
+        barrier sleep: the broadcast hook the engine uses to install
+        per-process state (e.g. a profile-cache snapshot, see
+        :func:`repro.engine.scheduler.worker.install_profile_snapshot`).
+        Both ``fn`` and ``args`` must pickle.  Raises ``RuntimeError`` after
+        :meth:`shutdown`; repeat calls on a live pool just re-broadcast.
+        """
         with self._lock:
             pool = self._pool_locked()
         # The warmers sleep briefly so no worker reports idle between the
         # submissions — that is what makes the pool spawn all of them.
-        futures = [pool.submit(_warm) for _ in range(self.workers)]
+        futures = [pool.submit(_warm_call, fn, args) for _ in range(self.workers)]
         for future in futures:
             future.result()
 
@@ -178,8 +213,15 @@ class ProcessExecutor(Executor):
             pool.shutdown(wait=wait)
 
 
-def _warm(sleep_s: float = 0.2) -> None:
+def _warm(sleep_s: float = _WARM_SLEEP_S) -> None:
     """Module-level so it pickles under the spawn start method."""
     import time
 
     time.sleep(sleep_s)
+
+
+def _warm_call(fn, args: tuple, sleep_s: float = _WARM_SLEEP_S) -> None:
+    """Run the broadcast hook (if any), then hold the worker at the barrier."""
+    if fn is not None:
+        fn(*args)
+    _warm(sleep_s)

@@ -43,7 +43,12 @@ from ..memo import IdentifyMemo
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..config import KorchConfig
 
-__all__ = ["PrologueResult", "run_partition_prologue"]
+__all__ = [
+    "PrologueResult",
+    "run_partition_prologue",
+    "install_profile_snapshot",
+    "profile_snapshot_size",
+]
 
 
 @dataclass
@@ -90,6 +95,68 @@ class _RecordingProfileCache:
         return self
 
 
+class _SnapshotProfileCache(_RecordingProfileCache):
+    """Recording cache whose reads are answered from a shipped snapshot.
+
+    The engine broadcasts a ``{profile_key: payload}`` snapshot of its
+    persistent profile cache into every worker at :meth:`warm_up`
+    (:func:`install_profile_snapshot`); reads then resolve exactly like
+    :meth:`repro.cache.PersistentProfileCache.get` — same content-addressed
+    key, same payload decoding — so a snapshot hit returns byte-for-byte
+    what the parent-side profiler would have read from the store.  Misses
+    fall through to live profiling and their writes still travel back to the
+    parent, which is what keeps results bit-identical with or without a
+    snapshot: the snapshot only moves *where* a cached answer is read.
+    """
+
+    def __init__(self, snapshot: dict[str, dict], spec, backends: Sequence, writes: list[tuple]) -> None:
+        super().__init__(writes)
+        from ...cache.keys import backend_fingerprint, profile_key
+
+        self._snapshot = snapshot
+        self._spec = spec
+        self._backend_names = backend_fingerprint(backends)
+        self._profile_key = profile_key
+
+    def get(self, signature: tuple, key: str | None = None):
+        from ...cache.profile_cache import decode_profile
+
+        payload = self._snapshot.get(
+            key or self._profile_key(signature, self._spec, self._backend_names)
+        )
+        if not isinstance(payload, dict):
+            return False, None, False
+        ok, profile = decode_profile(payload)
+        if not ok:
+            return False, None, False
+        return True, profile, bool(payload.get("tuned", True))
+
+    def for_backends(self, backends: Sequence) -> "_SnapshotProfileCache":
+        return _SnapshotProfileCache(self._snapshot, self._spec, backends, self._writes)
+
+
+#: Per-worker-process profile snapshot, installed by the warm-up broadcast.
+_WORKER_SNAPSHOT: dict[str, dict] | None = None
+
+
+def install_profile_snapshot(snapshot: dict[str, dict]) -> int:
+    """Warm-up broadcast target: adopt the parent's profile-cache snapshot.
+
+    Runs once per worker process (module-level so it pickles under spawn).
+    Re-broadcasts replace the previous snapshot wholesale — the parent's
+    store is the source of truth and its newest export wins.
+    """
+    global _WORKER_SNAPSHOT
+    # korch-lint: ignore[conc/global-mutation] one snapshot per worker process; pool workers are single-threaded
+    _WORKER_SNAPSHOT = dict(snapshot)
+    return len(_WORKER_SNAPSHOT)
+
+
+def profile_snapshot_size() -> int:
+    """Submit-able probe: entries in this process's installed snapshot."""
+    return len(_WORKER_SNAPSHOT or {})
+
+
 #: Per-worker-process identify memo; repeated partition structures arriving
 #: at the same worker skip enumeration without any cross-process traffic.
 _WORKER_MEMO: IdentifyMemo | None = None
@@ -131,9 +198,20 @@ def run_partition_prologue(
     profiler_stats = ProfilerStats()
     started = time.perf_counter()
     if config.enable_graph_optimizer:
+        if _WORKER_SNAPSHOT:
+            from ...backends import default_korch_backends
+
+            # Same backend context as the profiler below (its default set),
+            # so snapshot keys line up with what the parent's graph-opt
+            # cache wrote.
+            cache = _SnapshotProfileCache(
+                _WORKER_SNAPSHOT, spec, default_korch_backends(), writes
+            )
+        else:
+            cache = _RecordingProfileCache(writes)
         profiler = KernelProfiler(
             spec,
-            persistent_cache=_RecordingProfileCache(writes),
+            persistent_cache=cache,
             tuning_authoritative=False,
         )
         verifier = None

@@ -1,0 +1,229 @@
+"""Bit-packed view of a :class:`PrimitiveGraph` for the enumeration hot path.
+
+The kernel identifier (Algorithm 1) spends its cold-run time on set algebra:
+downward-closure checks while enumerating execution states, pairwise set
+differences for the convex subgraphs (Theorem 1), connectivity and I/O scans
+per candidate.  All of it is node-set manipulation on a graph that never
+changes during one enumeration — exactly the shape that packs into Python
+ints with one bit per node, where a subset test is ``a & ~b == 0`` and a set
+size is ``bit_count()``.
+
+:class:`BitGraph` assigns bit ``i`` to the ``i``-th node name in sorted
+order.  That choice makes mask order reproduce the reference enumeration
+order: for equal popcounts, comparing tuples of ascending set-bit indices is
+exactly comparing sorted name lists, so ``sorted(masks, key=mask_sort_key)``
+visits candidates in the same sequence as the reference's ``sorted(sets,
+key=lambda s: (len(s), sorted(s)))``.  Order identity matters — candidate
+indices feed BLP variable order and solver tie-breaking, and the engine
+promises bit-identical plans regardless of evaluation core.
+
+Everything here is pure computation on picklable data; the process-pool
+prologue uses it the same way the in-process stages do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..primitives.graph import PrimitiveGraph
+
+__all__ = ["BitGraph", "iter_bits", "mask_sort_key", "state_masks", "convex_masks"]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_sort_key(mask: int) -> tuple[int, tuple[int, ...]]:
+    """Sort key replicating the reference ``(len(s), sorted(s))`` order."""
+    return (mask.bit_count(), tuple(iter_bits(mask)))
+
+
+class BitGraph:
+    """Per-enumeration precomputation: every per-node relation as a mask."""
+
+    __slots__ = (
+        "pg",
+        "names",
+        "bit_of",
+        "num_nodes",
+        "full_mask",
+        "topo_bits",
+        "nodes_order_bits",
+        "pred_mask",
+        "succ_mask",
+        "adj_mask",
+        "linear_mask",
+        "opaque_mask",
+        "graph_output_mask",
+        "output_tensor",
+    )
+
+    def __init__(self, pg: PrimitiveGraph) -> None:
+        self.pg = pg
+        #: Bit ``i`` is the ``i``-th node name in sorted order (see module
+        #: docstring — this is what makes mask order match reference order).
+        self.names = sorted(node.name for node in pg.nodes)
+        self.bit_of = {name: i for i, name in enumerate(self.names)}
+        self.num_nodes = len(self.names)
+        self.full_mask = (1 << self.num_nodes) - 1
+
+        bit_of = self.bit_of
+        #: Node bits in the orders the reference code iterates: topological
+        #: (execution-state DFS) and graph list order (``subset_io`` scans).
+        self.topo_bits = [bit_of[node.name] for node in pg.topological_order()]
+        self.nodes_order_bits = [bit_of[node.name] for node in pg.nodes]
+
+        self.pred_mask = [0] * self.num_nodes
+        self.succ_mask = [0] * self.num_nodes
+        self.linear_mask = 0
+        self.opaque_mask = 0
+        self.graph_output_mask = 0
+        self.output_tensor = [""] * self.num_nodes
+        graph_outputs = set(pg.outputs)
+        producer_bit = {node.output: bit_of[node.name] for node in pg.nodes}
+        for node in pg.nodes:
+            bit = bit_of[node.name]
+            self.output_tensor[bit] = node.output
+            if node.is_linear:
+                self.linear_mask |= 1 << bit
+            if node.prim.category.value == "opaque":
+                self.opaque_mask |= 1 << bit
+            if node.output in graph_outputs:
+                self.graph_output_mask |= 1 << bit
+            for tensor in node.inputs:
+                pred = producer_bit.get(tensor)
+                if pred is not None:
+                    self.pred_mask[bit] |= 1 << pred
+                    self.succ_mask[pred] |= 1 << bit
+        self.adj_mask = [
+            self.pred_mask[i] | self.succ_mask[i] for i in range(self.num_nodes)
+        ]
+
+    # ------------------------------------------------------------ conversion
+    def mask_of(self, names) -> int:
+        """Pack an iterable of node names into a mask."""
+        mask = 0
+        bit_of = self.bit_of
+        for name in names:
+            mask |= 1 << bit_of[name]
+        return mask
+
+    def names_of(self, mask: int) -> frozenset[str]:
+        """Unpack a mask into the frozenset the public API speaks."""
+        names = self.names
+        return frozenset(names[i] for i in iter_bits(mask))
+
+    # -------------------------------------------------------------- queries
+    def is_connected(self, mask: int) -> bool:
+        """Weak connectivity of the induced subgraph on ``mask``."""
+        if mask == 0:
+            return True
+        adj = self.adj_mask
+        component = mask & -mask  # BFS from the lowest member
+        frontier = component
+        while frontier:
+            grow = 0
+            for bit in iter_bits(frontier):
+                grow |= adj[bit]
+            frontier = grow & mask & ~component
+            component |= frontier
+        return component == mask
+
+    def ancestors_within(self, bit: int, mask: int) -> int:
+        """Members of ``mask`` that reach node ``bit`` (inclusive), through
+        predecessor edges that stay inside ``mask``."""
+        pred = self.pred_mask
+        result = 1 << bit
+        frontier = pred[bit] & mask & ~result
+        while frontier:
+            result |= frontier
+            grow = 0
+            for member in iter_bits(frontier):
+                grow |= pred[member]
+            frontier = grow & mask & ~result
+        return result
+
+    def required_output_bits(self, mask: int) -> list[int]:
+        """Producer bits of the subset's required outputs, in the order
+        ``PrimitiveGraph.subset_io`` reports them (graph node-list order):
+        graph outputs, and tensors with a consumer outside the subset."""
+        out: list[int] = []
+        graph_out = self.graph_output_mask
+        succ = self.succ_mask
+        not_mask = ~mask
+        for bit in self.nodes_order_bits:
+            if not (mask >> bit) & 1:
+                continue
+            if (graph_out >> bit) & 1 or succ[bit] & not_mask:
+                out.append(bit)
+        return out
+
+
+def state_masks(bg: BitGraph, max_states: int) -> list[int]:
+    """Execution states of ``bg`` as masks — the bit twin of the reference
+    DFS in :func:`repro.orchestration.execution_state.enumerate_execution_states`,
+    including its overflow fallback to topological-prefix states."""
+    pred = bg.pred_mask
+    topo_bits = bg.topo_bits
+
+    states: set[int] = {0}
+    stack: list[int] = [0]
+    overflowed = False
+    while stack:
+        current = stack.pop()
+        for bit in topo_bits:
+            if (current >> bit) & 1:
+                continue
+            if pred[bit] & ~current:
+                continue  # a predecessor is missing: not downward-closed
+            successor_state = current | (1 << bit)
+            if successor_state not in states:
+                states.add(successor_state)
+                if len(states) > max_states:
+                    overflowed = True
+                    break
+                stack.append(successor_state)
+        if overflowed:
+            break
+
+    if overflowed:
+        prefix_states: list[int] = [0]
+        running = 0
+        for bit in topo_bits:
+            running |= 1 << bit
+            prefix_states.append(running)
+        return prefix_states
+
+    return list(states)
+
+
+def convex_masks(states: list[int], max_size: int | None) -> set[int]:
+    """All non-empty differences ``D2 \\ D1`` over state pairs ``D1 ⊂ D2``.
+
+    Same result set as the reference pairwise scan, but bucketed by state
+    size first: ``D1 ⊆ D2`` forces ``|D2 \\ D1| = |D2| - |D1|``, so only
+    bucket pairs within ``max_size`` of each other can contribute — a real
+    algorithmic cut on top of the cheaper per-pair mask test.
+    """
+    buckets: dict[int, list[int]] = {}
+    for state in states:
+        buckets.setdefault(state.bit_count(), []).append(state)
+    sizes = sorted(buckets)
+    results: set[int] = set()
+    for s1 in sizes:
+        for s2 in sizes:
+            if s2 <= s1:
+                continue
+            if max_size is not None and s2 - s1 > max_size:
+                continue
+            for d1 in buckets[s1]:
+                for d2 in buckets[s2]:
+                    if d1 & ~d2:
+                        continue
+                    results.add(d2 & ~d1)
+    return results

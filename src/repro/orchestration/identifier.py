@@ -20,6 +20,7 @@ from ..backends import FrameworkEagerBackend, KernelBackend
 from ..gpu.profiler import KernelProfiler
 from ..gpu.specs import GpuSpec
 from ..primitives.graph import PrimitiveGraph, PrimitiveNode
+from .bitgraph import BitGraph, convex_masks, mask_sort_key, state_masks
 from .execution_state import connected_components, convex_subgraphs_from_states, enumerate_execution_states
 from .kernel import CandidateKernel
 
@@ -29,6 +30,8 @@ __all__ = [
     "KernelIdentifierReport",
     "KernelIdentifier",
     "enumerate_candidate_specs",
+    "enumerate_candidate_specs_reference",
+    "spec_key",
 ]
 
 
@@ -159,10 +162,13 @@ class KernelIdentifier:
         return self.profile_specs(pg, specs, report), report
 
     def enumerate_specs(
-        self, pg: PrimitiveGraph, report: KernelIdentifierReport
+        self,
+        pg: PrimitiveGraph,
+        report: KernelIdentifierReport,
+        skip_specs: set | None = None,
     ) -> list[CandidateSpec]:
         """Enumeration half of Algorithm 1; see :func:`enumerate_candidate_specs`."""
-        return enumerate_candidate_specs(pg, self.config, report)
+        return enumerate_candidate_specs(pg, self.config, report, skip_specs=skip_specs)
 
     def profile_specs(
         self,
@@ -247,13 +253,119 @@ class KernelIdentifier:
 # a process-pool worker: no profiler, backends, caches or locks ride along.
 
 
+def spec_key(spec: CandidateSpec) -> tuple[frozenset[str], tuple[str, ...]]:
+    """Canonical identity of a candidate spec — the dedup key of the
+    enumeration, and the currency of the engine's dominance memo."""
+    return (spec.node_names, tuple(sorted(spec.outputs)))
+
+
 def enumerate_candidate_specs(
     pg: PrimitiveGraph,
     config: KernelIdentifierConfig,
     report: KernelIdentifierReport,
+    skip_specs: set[tuple[frozenset[str], tuple[str, ...]]] | None = None,
 ) -> list[CandidateSpec]:
-    """Enumeration half of Algorithm 1: convex sets, pruning, output
-    variants — everything except pricing the candidates.
+    """Enumeration half of Algorithm 1, on the bit-packed graph view.
+
+    Emits exactly the spec list of :func:`enumerate_candidate_specs_reference`
+    — same specs, same order, same report counters — with the set algebra
+    running on :class:`~repro.orchestration.bitgraph.BitGraph` masks instead
+    of frozensets (the cold-run hot path; see the bitgraph module docstring
+    for why the orders coincide).
+
+    ``skip_specs`` optionally names specs (by :func:`spec_key`) to omit from
+    the result — the engine's dominance memo, which has already watched the
+    profiler discard them for a structurally identical graph.  Skipped specs
+    still count toward the ``max_candidates`` truncation, so a memo-guided
+    enumeration is exactly the cold enumeration minus the named specs, never
+    a differently-truncated one.
+    """
+    bg = BitGraph(pg)
+    states = state_masks(bg, max_states=config.max_states)
+    report.num_execution_states = len(states)
+
+    convex = convex_masks(states, max_size=config.max_kernel_size)
+    # Singletons are always candidates, even if the state-pair enumeration
+    # was truncated: they are the fallback that keeps the BLP feasible.
+    for bit in range(bg.num_nodes):
+        convex.add(1 << bit)
+    report.num_convex_sets = len(convex)
+
+    specs: list[CandidateSpec] = []
+    seen: set[tuple[int, tuple[str, ...]]] = set()
+    emitted = 0  # appended + memo-skipped: keeps cap behavior cold-identical
+    skipped = 0
+    output_tensor = bg.output_tensor
+    for node_mask in sorted(convex, key=mask_sort_key):
+        if emitted >= config.max_candidates:
+            break
+        if _prune_node_mask(bg, node_mask, config, report):
+            continue
+        required = bg.required_output_bits(node_mask)
+        if not required:
+            continue
+        # Variants mirror _candidate_variants: one single-output candidate
+        # per required output (restricted to its in-set ancestors), plus the
+        # optional all-outputs candidate.
+        variants: list[tuple[int, tuple[str, ...]]] = []
+        emitted_full = False
+        for bit in required:
+            restricted = bg.ancestors_within(bit, node_mask)
+            variants.append((restricted, (output_tensor[bit],)))
+            if restricted == node_mask and len(required) == 1:
+                emitted_full = True
+        if config.allow_multi_output and len(required) > 1 and not emitted_full:
+            variants.append((node_mask, tuple(output_tensor[bit] for bit in required)))
+        for exec_mask, outputs in variants:
+            key = (exec_mask, tuple(sorted(outputs)))
+            if key in seen:
+                continue
+            seen.add(key)
+            emitted += 1
+            spec = CandidateSpec(bg.names_of(exec_mask), outputs)
+            if skip_specs is not None and spec_key(spec) in skip_specs:
+                skipped += 1
+            else:
+                specs.append(spec)
+            if emitted >= config.max_candidates:
+                break
+    if skipped:
+        report.extra["memo_dominance_skips"] = (
+            report.extra.get("memo_dominance_skips", 0) + skipped
+        )
+    return specs
+
+
+def _prune_node_mask(
+    bg: BitGraph,
+    node_mask: int,
+    config: KernelIdentifierConfig,
+    report: KernelIdentifierReport,
+) -> bool:
+    """Mask twin of :func:`_prune_node_set` — same checks, same counters
+    (including the historical quirk of counting opaque prunes as linear)."""
+    size = node_mask.bit_count()
+    if size > config.max_kernel_size:
+        report.pruned_by_size += 1
+        return True
+    if (node_mask & bg.linear_mask).bit_count() > config.max_linear_per_kernel:
+        report.pruned_by_linear += 1
+        return True
+    if node_mask & bg.opaque_mask and size > 1:
+        report.pruned_by_linear += 1
+        return True
+    if config.require_connected and size > 1 and not bg.is_connected(node_mask):
+        report.pruned_by_connectivity += 1
+        return True
+    return False
+
+
+def enumerate_candidate_specs_reference(
+    pg: PrimitiveGraph,
+    config: KernelIdentifierConfig,
+    report: KernelIdentifierReport,
+) -> list[CandidateSpec]:
+    """The original frozenset enumeration (specification of record).
 
     Deterministic in ``(pg structure, config)``; reads no tensor shapes or
     dtypes, so equal structures yield equal spec lists.  Enumeration stops at

@@ -14,7 +14,7 @@ from ..backends import FrameworkEagerBackend, KernelBackend, TuningTimeModel
 from ..gpu.profiler import KernelProfiler
 from ..gpu.specs import GpuSpec
 from ..primitives.graph import PrimitiveGraph
-from ..solver import SolveResult, solve_blp
+from ..solver import SolveResult, SolverConfig, solve_blp
 from .blp import build_orchestration_blp
 from .identifier import KernelIdentifier, KernelIdentifierConfig, KernelIdentifierReport
 from .kernel import CandidateKernel
@@ -54,6 +54,7 @@ class KernelOrchestrationOptimizer:
         solver_mip_rel_gap: float = 0.0,
         persistent_cache=None,
         tuning_model=None,
+        solver_config: SolverConfig | None = None,
     ) -> None:
         self.spec = spec
         self.identifier = KernelIdentifier(
@@ -66,6 +67,7 @@ class KernelOrchestrationOptimizer:
         self.solver_method = solver_method
         self.solver_time_limit_s = solver_time_limit_s
         self.solver_mip_rel_gap = solver_mip_rel_gap
+        self.solver_config = solver_config
         self._probe_profiler_lazy: KernelProfiler | None = None
         self._probe_fallback_lazy: KernelProfiler | None = None
 
@@ -177,12 +179,15 @@ class KernelOrchestrationOptimizer:
         pg: PrimitiveGraph,
         candidates: list[CandidateKernel],
         report: KernelIdentifierReport,
+        warm_incumbent: list[int] | None = None,
     ) -> OrchestrationResult:
         """Solve the orchestration BLP over already-profiled ``candidates``.
 
         The tail of :meth:`optimize`, exposed separately so the engine's
         solve stage can run it on candidates produced by the identify and
-        profile stages.
+        profile stages.  ``warm_incumbent`` (a 0/1 vector over candidate
+        indices) optionally seeds branch and bound — the engine's near-miss
+        solve memo; other methods ignore it.
         """
         if not candidates and pg.nodes:
             raise RuntimeError(
@@ -200,6 +205,8 @@ class KernelOrchestrationOptimizer:
             method=self.solver_method,
             time_limit_s=self.solver_time_limit_s,
             mip_rel_gap=self.solver_mip_rel_gap,
+            config=self.solver_config,
+            warm_incumbent=warm_incumbent,
         )
         if not result.is_feasible:
             raise RuntimeError(

@@ -8,6 +8,7 @@ the greedy heuristic as an explicit opt-in for quick approximate answers.
 
 from __future__ import annotations
 
+from .bitset import DEFAULT_SOLVER_CONFIG, BitsetProblem, SolverConfig
 from .branch_and_bound import BranchAndBoundSolver, solve_branch_and_bound
 from .greedy import solve_greedy
 from .problem import BinaryLinearProgram, Constraint, SolveResult, SolveStatus
@@ -16,9 +17,12 @@ from .simplex import LpResult, solve_lp
 
 __all__ = [
     "BinaryLinearProgram",
+    "BitsetProblem",
     "Constraint",
     "SolveResult",
     "SolveStatus",
+    "SolverConfig",
+    "DEFAULT_SOLVER_CONFIG",
     "solve_blp",
     "solve_with_scipy",
     "scipy_milp_available",
@@ -35,6 +39,8 @@ def solve_blp(
     method: str = "auto",
     time_limit_s: float | None = None,
     mip_rel_gap: float = 0.0,
+    config: SolverConfig | None = None,
+    warm_incumbent: list[int] | None = None,
 ) -> SolveResult:
     """Solve a binary linear program.
 
@@ -49,20 +55,34 @@ def solve_blp(
         Optional wall-clock limit passed to the scipy backend.
     mip_rel_gap:
         Optional relative optimality gap for the scipy backend.
+    config:
+        :class:`SolverConfig` selecting the evaluation core (bitset vs
+        reference) for the in-repo solvers; never changes answers.
+    warm_incumbent:
+        Optional known-good assignment to seed branch and bound with (the
+        engine's near-miss solve memo).  Ignored by the scipy backend, which
+        has no incumbent-injection API.
     """
+    config = config or DEFAULT_SOLVER_CONFIG
     if method == "auto":
         method = "scipy" if scipy_milp_available() else "branch-and-bound"
     if method == "scipy":
         result = solve_with_scipy(problem, time_limit_s=time_limit_s, mip_rel_gap=mip_rel_gap)
-        return _greedy_backstop(problem, result)
+        return _greedy_backstop(problem, result, config)
     if method == "branch-and-bound":
-        return solve_branch_and_bound(problem)
+        return solve_branch_and_bound(
+            problem, incumbent_values=warm_incumbent, config=config
+        )
     if method == "greedy":
-        return solve_greedy(problem)
+        return solve_greedy(problem, config=config)
     raise ValueError(f"unknown solver method {method!r}")
 
 
-def _greedy_backstop(problem: BinaryLinearProgram, result: SolveResult) -> SolveResult:
+def _greedy_backstop(
+    problem: BinaryLinearProgram,
+    result: SolveResult,
+    config: SolverConfig | None = None,
+) -> SolveResult:
     """Guard a time/gap-limited exact solve with the greedy heuristic.
 
     Under a wall-clock limit a MILP solver may stop at an arbitrarily bad
@@ -73,7 +93,7 @@ def _greedy_backstop(problem: BinaryLinearProgram, result: SolveResult) -> Solve
     """
     if result.status == SolveStatus.OPTIMAL:
         return result
-    greedy = solve_greedy(problem)
+    greedy = solve_greedy(problem, config=config)
     if not greedy.is_feasible:
         return result
     if not result.is_feasible or greedy.objective < result.objective:

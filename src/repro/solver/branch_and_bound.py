@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from .bitset import DEFAULT_SOLVER_CONFIG, BitsetProblem, SolverConfig
 from .greedy import solve_greedy
 from .problem import BinaryLinearProgram, SolveResult, SolveStatus
 from .simplex import solve_lp
@@ -100,25 +101,58 @@ class BranchAndBoundSolver:
         use_scipy_relaxation: bool = True,
         max_nodes: int = 20000,
         gap_tolerance: float = 1e-9,
+        config: SolverConfig | None = None,
     ) -> None:
         self.max_nodes = max_nodes
         self.gap_tolerance = gap_tolerance
+        self.config = config or DEFAULT_SOLVER_CONFIG
         self._relaxation: LpRelaxationSolver
         if use_scipy_relaxation:
             self._relaxation = _scipy_relaxation
         else:
             self._relaxation = _simplex_relaxation
 
-    def solve(self, problem: BinaryLinearProgram) -> SolveResult:
+    def solve(
+        self,
+        problem: BinaryLinearProgram,
+        incumbent_values: list[int] | None = None,
+    ) -> SolveResult:
+        """Solve ``problem`` to optimality (within ``max_nodes``).
+
+        ``incumbent_values`` optionally seeds the search with a known-good
+        assignment (e.g. a structurally-near neighbor's solution from the
+        engine's solve memo).  The seed only tightens pruning — it is
+        validated for feasibility and competes with the greedy warm start —
+        so the optimal objective is unchanged; among equal-cost optima the
+        returned selection may be the seed's.
+        """
         n = problem.num_variables
         if n == 0:
             return SolveResult(SolveStatus.OPTIMAL, 0.0, [], method="branch-and-bound")
         c, a_ub, b_ub, a_eq, b_eq = problem.to_matrices()
+        bits = (
+            BitsetProblem.from_problem(problem)
+            if self.config.core == "bitset"
+            else None
+        )
+
+        def feasible(values) -> bool:
+            if bits is not None:
+                return bits.is_feasible(BitsetProblem.mask_of(values))
+            return problem.is_feasible(values)
 
         # Warm start with the greedy heuristic.
-        incumbent = solve_greedy(problem)
+        incumbent = solve_greedy(problem, config=self.config)
         best_values = incumbent.values if incumbent.is_feasible else None
         best_objective = incumbent.objective if incumbent.is_feasible else math.inf
+
+        if incumbent_values is not None and len(incumbent_values) == n:
+            seeded = [int(round(v)) for v in incumbent_values]
+            if feasible(seeded):
+                seeded_objective = problem.objective(seeded)
+                if seeded_objective < best_objective:
+                    best_values = seeded
+                    best_objective = seeded_objective
 
         counter = itertools.count()
         root_lower = np.zeros(n)
@@ -140,7 +174,7 @@ class BranchAndBoundSolver:
             if fractional is None:
                 # Integral relaxation: new incumbent.
                 values = [int(round(v)) for v in node.relaxation]
-                if problem.is_feasible(values) and problem.objective(values) < best_objective:
+                if feasible(values) and problem.objective(values) < best_objective:
                     best_objective = problem.objective(values)
                     best_values = values
                 continue
@@ -180,6 +214,10 @@ class BranchAndBoundSolver:
         return index
 
 
-def solve_branch_and_bound(problem: BinaryLinearProgram, **kwargs) -> SolveResult:
+def solve_branch_and_bound(
+    problem: BinaryLinearProgram,
+    incumbent_values: list[int] | None = None,
+    **kwargs,
+) -> SolveResult:
     """Convenience wrapper around :class:`BranchAndBoundSolver`."""
-    return BranchAndBoundSolver(**kwargs).solve(problem)
+    return BranchAndBoundSolver(**kwargs).solve(problem, incumbent_values=incumbent_values)

@@ -8,18 +8,29 @@ coefficients on other variables are non-negative there), so repeatedly
 repairing the most violated constraint with the cheapest helpful variable
 terminates with a feasible solution whenever one exists within the candidate
 set.
+
+Two interchangeable cores implement the strategy.  The default packs the
+constraint incidence into Python-int bitsets (:mod:`repro.solver.bitset`) so
+each scan is a handful of popcounts; this module keeps the original
+dict-of-sets implementation as the readable reference, selectable via
+``SolverConfig(core="reference")`` and asserted bit-identical in tests.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .bitset import DEFAULT_SOLVER_CONFIG, BitsetProblem, SolverConfig, solve_greedy_bitset
 from .problem import BinaryLinearProgram, SolveResult, SolveStatus
 
 __all__ = ["solve_greedy"]
 
 
-def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) -> SolveResult:
+def solve_greedy(
+    problem: BinaryLinearProgram,
+    max_rounds: int | None = None,
+    config: SolverConfig | None = None,
+) -> SolveResult:
     """Greedily construct a feasible 0/1 assignment.
 
     Strategy: start from the all-zeros assignment, and while some constraint
@@ -27,16 +38,33 @@ def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) ->
     ratio among variables that help the most-violated constraint.  A final
     pruning pass unsets variables whose removal keeps feasibility, in
     descending cost order.
+
+    ``config`` selects the evaluation core (bitset by default, with automatic
+    fallback to the reference path for programs outside the ±1/integer
+    fragment); the answer is identical either way.
     """
+    config = config or DEFAULT_SOLVER_CONFIG
+    if config.core == "bitset":
+        bits = BitsetProblem.from_problem(problem)
+        if bits is not None:
+            return solve_greedy_bitset(problem, bits, max_rounds)
+    return _solve_greedy_reference(problem, max_rounds)
+
+
+def _solve_greedy_reference(
+    problem: BinaryLinearProgram, max_rounds: int | None = None
+) -> SolveResult:
+    """The original dict-of-sets implementation (specification of record)."""
     n = problem.num_variables
     costs = problem.costs
     x = np.zeros(n)
     max_rounds = max_rounds or (4 * n + 16)
 
-    for _ in range(max_rounds):
-        violated = _violated_constraints(problem, x)
-        if not violated:
-            break
+    rounds = 0
+    violated = _violated_constraints(problem, x)
+    while violated:
+        if rounds >= max_rounds:
+            return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
         # Cost-effectiveness selection (the classic set-cover greedy): among
         # the variables that help the most-violated constraint, prefer the one
         # whose cost is amortized over *all* currently-violated constraints it
@@ -62,12 +90,8 @@ def solve_greedy(problem: BinaryLinearProgram, max_rounds: int | None = None) ->
             ),
         )[0]
         x[best_idx] = 1.0
-    else:
-        if _violated_constraints(problem, x):
-            return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
-
-    if _violated_constraints(problem, x):
-        return SolveResult(SolveStatus.INFEASIBLE, float("inf"), [0] * n, method="greedy")
+        rounds += 1
+        violated = _violated_constraints(problem, x)
 
     # Pruning pass: drop selected variables that are not needed, most
     # expensive first.

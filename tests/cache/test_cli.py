@@ -64,6 +64,16 @@ class TestCommands:
         assert main(["--dir", str(tmp_path), "stats"]) == 0
         out = capsys.readouterr().out
         assert "kernel-profiles" in out and "orchestration-plans" in out
+        assert "worker snapshot:" in out and "MB serialized" in out
+
+    def test_stats_snapshot_cap(self, tmp_path, capsys):
+        store = CacheStore(tmp_path)
+        for i in range(4):
+            store.put_json("kernel-profiles", f"key{i}", {"v": 1})
+        store.close()
+        assert main(["--dir", str(tmp_path), "stats", "--snapshot-entries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worker snapshot: 2 entries" in out and "(cap 2)" in out
 
     def test_gc_drops_stale_and_trims(self, tmp_path, capsys):
         populated_cache(tmp_path)

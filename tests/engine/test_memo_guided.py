@@ -1,0 +1,216 @@
+"""Memo-guided pruning: profile keys, dominance/solve memos, engine wiring."""
+
+import threading
+
+from repro.engine import KorchConfig, KorchEngine, KorchEngineConfig
+from repro.engine.memo import (
+    DominanceMemo,
+    IdentifyMemo,
+    SolveMemo,
+    SolveMemoEntry,
+    pg_profile_key,
+    pg_structure_key,
+)
+from repro.fission import FissionEngine
+from repro.ir import GraphBuilder
+from repro.models import build_efficientvit_attention_block
+from repro.orchestration import KernelIdentifierConfig
+
+
+def small_graph(name="m", width=8):
+    b = GraphBuilder(name)
+    x = b.input("x", (4, width))
+    left = b.relu(x)
+    right = b.sigmoid(x)
+    b.output(b.add(left, right))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    return [
+        (tuple(k.node_names), tuple(k.outputs), k.latency_s, k.backend)
+        for part in result.partitions
+        for k in part.orchestration.strategy.kernels
+    ]
+
+
+class TestProfileKey:
+    def test_refines_structure_key_by_tensor_shapes(self):
+        config = KernelIdentifierConfig()
+        pg_a, _ = FissionEngine().run(small_graph(width=8))
+        pg_b, _ = FissionEngine().run(small_graph(width=16))
+        # Same structure (names, signatures, wiring) — different shapes.
+        assert pg_structure_key(pg_a, config) == pg_structure_key(pg_b, config)
+        assert pg_profile_key(pg_a, config) != pg_profile_key(pg_b, config)
+
+    def test_deterministic(self):
+        config = KernelIdentifierConfig()
+        pg, _ = FissionEngine().run(small_graph())
+        assert pg_profile_key(pg, config) == pg_profile_key(pg, config)
+
+
+class TestDominanceMemo:
+    def test_put_merges_and_get_counts(self):
+        memo = DominanceMemo(max_entries=4)
+        assert memo.get("k") is None
+        memo.put("k", frozenset({("a",)}))
+        memo.put("k", frozenset({("b",)}))
+        assert memo.get("k") == frozenset({("a",), ("b",)})
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        memo = DominanceMemo(max_entries=2)
+        memo.put("a", frozenset({1}))
+        memo.put("b", frozenset({2}))
+        assert memo.get("a") is not None  # touch: "b" is now LRU
+        memo.put("c", frozenset({3}))
+        assert memo.get("b") is None
+        assert memo.get("a") is not None
+        assert len(memo) == 2
+
+    def test_disabled_at_zero_entries(self):
+        memo = DominanceMemo(max_entries=0)
+        assert not memo.enabled
+        memo.put("k", frozenset({1}))
+        assert memo.get("k") is None
+        assert len(memo) == 0
+
+
+class TestSolveMemo:
+    def _entry(self, names, selected=()):
+        return SolveMemoEntry(
+            node_names=frozenset(names), selected=tuple(selected), objective=1.0
+        )
+
+    def test_neighbor_within_delta(self):
+        memo = SolveMemo(max_entries=8)
+        memo.put("k1", self._entry({"a", "b", "c"}))
+        found = memo.neighbor(frozenset({"a", "b", "d"}), max_delta=2)
+        assert found is not None and found.node_names == frozenset({"a", "b", "c"})
+        assert memo.neighbor(frozenset({"x", "y", "z"}), max_delta=2) is None
+        assert (memo.hits, memo.misses) == (1, 1)
+
+    def test_nearest_wins_and_ties_stay_deterministic(self):
+        memo = SolveMemo(max_entries=8)
+        memo.put("far", self._entry({"a", "b", "x", "y", "z"}))  # delta 4
+        memo.put("near", self._entry({"a", "b"}))  # delta 1
+        found = memo.neighbor(frozenset({"a", "b", "c"}), max_delta=4)
+        assert found.node_names == frozenset({"a", "b"})
+        # Equal deltas: the earliest-recorded entry wins.
+        memo2 = SolveMemo(max_entries=8)
+        memo2.put("first", self._entry({"a", "b"}))
+        memo2.put("second", self._entry({"b", "c"}))
+        found = memo2.neighbor(frozenset({"a", "c"}), max_delta=2)
+        assert found.node_names == frozenset({"a", "b"})
+
+    def test_exclude_key(self):
+        memo = SolveMemo(max_entries=8)
+        memo.put("self", self._entry({"a", "b"}))
+        assert memo.neighbor(frozenset({"a", "b"}), 2, exclude_key="self") is None
+
+
+class TestIdentifyMemoConcurrency:
+    def test_concurrent_get_put_respects_lru_cap(self):
+        """Thread-mode stages hammer the memo concurrently; the cap must
+        hold and every get must resolve to a hit or a miss, never corrupt."""
+        pgs = [FissionEngine().run(small_graph(f"g{i}", width=8 + 8 * i))[0] for i in range(6)]
+        config = KernelIdentifierConfig()
+        memo = IdentifyMemo(max_entries=3)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(120):
+                    pg = pgs[(seed + i) % len(pgs)]
+                    cached = memo.get(pg, config)
+                    if cached is None:
+                        from repro.orchestration import KernelIdentifierReport
+                        from repro.orchestration.identifier import enumerate_candidate_specs
+
+                        report = KernelIdentifierReport()
+                        specs = enumerate_candidate_specs(pg, config, report)
+                        memo.put(pg, config, specs, report)
+                    else:
+                        specs, report = cached
+                        assert specs and report.num_candidates_considered >= 0
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(memo) <= 3
+        assert memo.hits + memo.misses == 8 * 120
+
+
+class TestConfigKnobs:
+    def test_near_miss_flag_is_fingerprinted_and_core_is_not(self):
+        base = KorchConfig().fingerprint()
+        seeded = KorchConfig(solver_near_miss_incumbents=True).fingerprint()
+        assert base != seeded
+        reference = KorchConfig(solver_core="reference").fingerprint()
+        assert base == reference  # pure speed knob: same cache keys
+
+    def test_solver_config_resolution(self):
+        config = KorchConfig(solver_core="reference", solver_near_miss_incumbents=True)
+        solver_config = config.solver_config()
+        assert solver_config.core == "reference"
+        assert solver_config.near_miss_incumbents is True
+
+
+class TestEngineMemoWiring:
+    def _run(self, graph, **kwargs):
+        config = KorchConfig(num_workers=1, enable_plan_cache=False, **kwargs)
+        with KorchEngine(config) as engine:
+            first = engine.optimize(graph)
+            second = engine.optimize(graph)
+            return engine, first, second
+
+    def test_dominance_memo_hits_keep_results_identical(self):
+        # The attention block is the smallest graph whose profiling actually
+        # discards specs (same-I/O dominance), so the memo records entries.
+        graph = build_efficientvit_attention_block()
+        engine, first, second = self._run(graph)
+        assert strategy_fingerprint(first) == strategy_fingerprint(second)
+        assert engine.dominance_memo.hits > 0
+        baseline_engine, baseline, _ = self._run(
+            graph,
+            engine=KorchEngineConfig(
+                identify_memo_entries=0, dominance_memo_entries=0, solve_memo_entries=0
+            ),
+        )
+        assert baseline_engine.dominance_memo.get("anything") is None
+        assert strategy_fingerprint(baseline) == strategy_fingerprint(first)
+
+    def test_near_miss_seeding_keeps_results_identical(self):
+        graph = small_graph("near_miss_model")
+        _, seeded_first, seeded_second = self._run(
+            graph, solver_method="branch-and-bound", solver_near_miss_incumbents=True
+        )
+        _, cold_first, cold_second = self._run(graph, solver_method="branch-and-bound")
+        assert strategy_fingerprint(seeded_first) == strategy_fingerprint(cold_first)
+        assert strategy_fingerprint(seeded_second) == strategy_fingerprint(cold_second)
+
+    def test_near_miss_marker_recorded_when_seed_applies(self):
+        graph = small_graph("near_miss_marker")
+        config = KorchConfig(
+            num_workers=1,
+            enable_plan_cache=False,
+            solver_method="branch-and-bound",
+            solver_near_miss_incumbents=True,
+        )
+        with KorchEngine(config) as engine:
+            engine.optimize(graph)
+            assert len(engine.solve_memo) > 0
+            second = engine.optimize(graph)
+        seeded = sum(
+            part.orchestration.identifier_report.extra.get("near_miss_seeded", 0)
+            for part in second.partitions
+            if part.orchestration.identifier_report is not None
+        )
+        assert seeded > 0

@@ -1,0 +1,157 @@
+"""Executor warm-up barrier and the worker profile-cache snapshot."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cache import (
+    CacheStore,
+    PersistentProfileCache,
+    export_snapshot,
+    snapshot_nbytes,
+)
+from repro.engine.scheduler.executors import (
+    _WARM_SLEEP_S,
+    ProcessExecutor,
+    ThreadExecutor,
+    _warm,
+    _warm_call,
+)
+from repro.engine.scheduler.worker import (
+    _SnapshotProfileCache,
+    install_profile_snapshot,
+    profile_snapshot_size,
+)
+from repro.fission import FissionEngine
+from repro.gpu import V100
+from repro.gpu.profiler import KernelProfiler
+from repro.ir import GraphBuilder
+
+
+def attention_graph():
+    b = GraphBuilder("snapshot_attention")
+    x = b.input("x", (1, 2, 16, 8))
+    w = b.param("w", (1, 2, 8, 16))
+    v = b.param("v", (1, 2, 16, 8))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def profile_one(profiler):
+    pg, _ = FissionEngine().run(attention_graph())
+    node = pg.nodes[0]
+    external_inputs, _ = pg.subset_io([node])
+    signature = profiler.kernel_signature(pg, [node], external_inputs, [node.output])
+    return signature, profiler.profile(pg, [node], external_inputs, [node.output])
+
+
+class TestWarmBarrier:
+    def test_warm_call_runs_hook_before_barrier(self):
+        calls = []
+        _warm_call(calls.append, ("hello",), sleep_s=0)
+        assert calls == ["hello"]
+        _warm_call(None, (), sleep_s=0)  # no hook: just the barrier
+
+    def test_warm_sleep_constant_is_shared(self):
+        start = time.monotonic()
+        _warm(sleep_s=0)
+        assert time.monotonic() - start < _WARM_SLEEP_S
+
+    def test_thread_warm_up_starts_every_thread(self):
+        with ThreadExecutor(workers=3, cap=8) as executor:
+            executor.warm_up()
+            names = {t.name for t in threading.enumerate()}
+            started = [n for n in names if n.startswith("korch")]
+            assert len(started) >= 3
+
+    def test_thread_warm_up_raises_after_shutdown(self):
+        executor = ThreadExecutor(workers=1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            executor.warm_up()
+
+    def test_process_warm_up_raises_after_shutdown(self):
+        executor = ProcessExecutor(workers=1)
+        executor.shutdown()  # pool never started; shutdown just closes
+        with pytest.raises(RuntimeError, match="shut down"):
+            executor.warm_up()
+
+
+class TestSnapshotExport:
+    def test_roundtrip_through_snapshot_cache(self, tmp_path):
+        store = CacheStore(tmp_path)
+        profiler = KernelProfiler(V100)
+        cache = PersistentProfileCache(store, V100, profiler.backends)
+        profiler.persistent_cache = cache
+        signature, profile = profile_one(profiler)
+        assert profile is not None
+
+        snapshot = export_snapshot(store)
+        assert len(snapshot) == 1
+        assert snapshot_nbytes(snapshot) > 0
+        assert cache.export_snapshot() == snapshot
+
+        writes: list[tuple] = []
+        warm = _SnapshotProfileCache(snapshot, V100, profiler.backends, writes)
+        hit, got, tuned = warm.get(signature)
+        assert hit and tuned
+        assert got == profile
+        assert got.latency_s == profile.latency_s  # exact through JSON
+        assert not writes  # snapshot hits never write back
+
+        store.close()
+
+    def test_wrong_backend_set_misses(self, tmp_path):
+        store = CacheStore(tmp_path)
+        profiler = KernelProfiler(V100)
+        profiler.persistent_cache = PersistentProfileCache(store, V100, profiler.backends)
+        signature, _ = profile_one(profiler)
+
+        snapshot = export_snapshot(store)
+        writes: list[tuple] = []
+        warm = _SnapshotProfileCache(snapshot, V100, profiler.backends, writes)
+        # A different backend set changes the content-addressed key: the
+        # shipped entries simply miss instead of leaking a wrong context.
+        narrowed = warm.for_backends(profiler.backends[:1])
+        hit, got, _ = narrowed.get(signature)
+        assert not hit and got is None
+
+        narrowed.put(signature, None, tuned=True)
+        assert len(writes) == 1  # misses still record for the parent
+        store.close()
+
+    def test_max_entries_keeps_newest(self, tmp_path):
+        store = CacheStore(tmp_path)
+        for i in range(5):
+            store.put_json("kernel-profiles", f"key{i}", {"v": 1, "i": i})
+        snapshot = export_snapshot(store, max_entries=2)
+        assert set(snapshot) == {"key3", "key4"}
+        store.close()
+
+    def test_undecodable_payloads_are_skipped(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.put("kernel-profiles", "bad", "{not json")
+        store.put_json("kernel-profiles", "good", {"v": 1})
+        snapshot = export_snapshot(store)
+        assert set(snapshot) == {"good"}
+        store.close()
+
+
+class TestInstallSnapshot:
+    def test_replaces_wholesale(self):
+        try:
+            assert install_profile_snapshot({"a": {}, "b": {}}) == 2
+            assert profile_snapshot_size() == 2
+            assert install_profile_snapshot({"c": {}}) == 1
+            assert profile_snapshot_size() == 1
+        finally:
+            install_profile_snapshot({})
+        assert profile_snapshot_size() == 0
+
+    def test_broadcast_reaches_spawned_worker(self):
+        """End-to-end: warm_up ships the snapshot into a real spawn worker."""
+        snapshot = {"k1": {"v": 1}, "k2": {"v": 1}, "k3": {"v": 1}}
+        with ProcessExecutor(workers=1) as executor:
+            executor.warm_up(install_profile_snapshot, (snapshot,))
+            assert executor.submit(profile_snapshot_size).result(timeout=60) == 3
