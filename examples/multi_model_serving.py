@@ -14,6 +14,10 @@ model in isolation re-pays the dominant cost over and over.  The stack here:
   histograms with p50/p95/p99, queue-depth samples, cache hit counters —
   exported as JSON (``service.metrics()``) or Prometheus text
   (``service.metrics_text()``) for scraping.
+* Duplicate-heavy traffic (fleets re-deploying the same model, autoscaling
+  replicas) is coalesced: identical in-flight graphs share one
+  optimization, and every waiting future gets the same result.  The burst
+  below submits 8 copies of one model and pays for roughly one.
 
 Run:  PYTHONPATH=src python examples/multi_model_serving.py
 """
@@ -79,10 +83,29 @@ def main() -> None:
                 f"p50={summary['p50']:.4f} p95={summary['p95']:.4f} "
                 f"p99={summary['p99']:.4f}"
             )
+        # A duplicate-heavy burst: eight replicas of the same model arrive
+        # at once.  submit_many pre-groups them and the in-flight coalescer
+        # fans one optimization out to every future — followers report
+        # plan_cache="coalesced" and near-zero run time.
+        print("\n=== duplicate-heavy burst (8 copies, coalesced) ===")
+        burst = service.submit_many(
+            [build_segformer_attention_block() for _ in range(8)]
+        )
+        for request in burst:
+            request.result(timeout=600)
+        leaders = sum(1 for r in burst if not r.stats.coalesced)
+        followers = sum(1 for r in burst if r.stats.coalesced)
+        print(f"  optimizations paid for: {leaders}  coalesced followers: {followers}")
+        print(f"  service report coalesced total: {service.report.coalesced}")
+
         print("\n=== Prometheus scrape (excerpt) ===")
         lines = service.metrics_text().splitlines()
         for line in lines:
-            if "queue_wait_seconds" in line or line.startswith("# TYPE"):
+            if (
+                "queue_wait_seconds" in line
+                or "coalesce" in line
+                or line.startswith("# TYPE")
+            ):
                 print(f"  {line}")
 
 

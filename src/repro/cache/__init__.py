@@ -23,6 +23,13 @@ from .keys import (
     stable_hash,
 )
 from .plan_cache import KernelPlan, ModelPlan, PartitionPlan, PlanCache
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    dump_snapshot,
+    load_snapshot,
+    merge_snapshot,
+)
 from .profile_cache import (
     PersistentProfileCache,
     decode_profile,
@@ -42,6 +49,11 @@ __all__ = [
     "decode_profile",
     "export_snapshot",
     "snapshot_nbytes",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "dump_snapshot",
+    "load_snapshot",
+    "merge_snapshot",
     "PlanCache",
     "ModelPlan",
     "PartitionPlan",

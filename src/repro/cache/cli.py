@@ -20,6 +20,15 @@ Operates on one persistent cache directory (``--dir``, or the
 
 ``clear``
     Drop every entry (or one ``--namespace``).
+
+``export``
+    Write the store to a portable snapshot file (``--out``), the shared
+    cache tier's exchange format (:mod:`repro.cache.snapshot`).
+
+``merge``
+    Fold one or more snapshot files (``--snapshot``, repeatable) into the
+    store, creating it if absent.  Existing local entries win; merging the
+    same snapshot twice is a no-op, so fleets can republish freely.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from pathlib import Path
 
 from ..backends import FrameworkEagerBackend, default_korch_backends
 from .profile_cache import export_snapshot, snapshot_nbytes
+from .snapshot import SnapshotError, dump_snapshot, merge_snapshot
 from .store import DEFAULT_DB_NAME, CacheStore
 
 __all__ = ["main", "current_backend_versions", "stale_keys"]
@@ -139,6 +149,31 @@ def cmd_clear(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_export(args: argparse.Namespace) -> int:
+    store = _open(args.dir)
+    count = dump_snapshot(store, args.out, namespace=args.namespace)
+    where = args.namespace or "all namespaces"
+    print(f"exported {count} entries ({where}) to {args.out}")
+    store.close()
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    # Unlike the other commands, merge may *create* the store: converging a
+    # fresh host onto the fleet's published snapshot is the point.
+    store = CacheStore(args.dir)
+    added = 0
+    try:
+        for snapshot in args.snapshot:
+            added += merge_snapshot(store, snapshot)
+    except SnapshotError as exc:
+        store.close()
+        raise SystemExit(str(exc)) from exc
+    print(f"merged {added} new entries; store now holds {store.count()}")
+    store.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cache",
@@ -168,11 +203,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     clear = sub.add_parser("clear", help="drop entries")
     clear.add_argument("--namespace", default=None, help="only this namespace")
+    export = sub.add_parser("export", help="write the store to a snapshot file")
+    export.add_argument("--out", required=True, help="snapshot file to write")
+    export.add_argument("--namespace", default=None, help="only this namespace")
+    merge = sub.add_parser("merge", help="fold snapshot files into the store")
+    merge.add_argument(
+        "--snapshot",
+        action="append",
+        required=True,
+        help="snapshot file to merge (repeatable)",
+    )
 
     args = parser.parse_args(argv)
     if args.dir is None:
         parser.error("--dir is required (or set KORCH_CACHE_DIR)")
-    handler = {"stats": cmd_stats, "gc": cmd_gc, "clear": cmd_clear}[args.command]
+    handler = {
+        "stats": cmd_stats,
+        "gc": cmd_gc,
+        "clear": cmd_clear,
+        "export": cmd_export,
+        "merge": cmd_merge,
+    }[args.command]
     return handler(args)
 
 

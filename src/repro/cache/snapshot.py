@@ -1,0 +1,130 @@
+"""Portable cache snapshots: one file that any store can merge.
+
+The shared cache tier's exchange format.  A serving fleet runs one
+:class:`~repro.cache.store.CacheStore` per process (or per host); profiles
+and plans are content-addressed, so every store converges on the same
+payloads — they just discover them at different times.  Snapshots close the
+loop: any store can :func:`dump_snapshot` its entries to a single JSON file,
+and any other store can :func:`merge_snapshot` that file in (local entries
+win; both sides computed the same bytes for the same key).  The cycle
+
+    host A: ``python -m repro.cache export CACHE --out snap.json``
+    host B: ``python -m repro.cache merge  CACHE --snapshot snap.json``
+
+is lossless — export → merge into an empty store reproduces every row,
+timestamps included — and commutative across stores, because conflicting
+keys carry identical payloads by construction.  :class:`KorchService` can
+publish snapshots automatically (``snapshot_path=``): merged on startup,
+re-exported on drain/close and periodically while serving.
+
+Distinct from :func:`repro.cache.profile_cache.export_snapshot`, which
+builds the capped in-memory *profile* snapshot broadcast to process-pool
+workers; this module moves whole stores between processes via files.
+
+Format (JSON, one object)::
+
+    {
+      "format": "korch-cache-snapshot",
+      "snapshot_version": 1,
+      "schema_version": <store SCHEMA_VERSION>,
+      "created_at": <unix seconds>,
+      "entries": [[namespace, key, payload, created_at, last_used_at], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from .store import SCHEMA_VERSION, CacheStore
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "dump_snapshot",
+    "load_snapshot",
+    "merge_snapshot",
+]
+
+SNAPSHOT_FORMAT = "korch-cache-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """The file is not a cache snapshot this version can merge."""
+
+
+def dump_snapshot(
+    store: CacheStore,
+    path: str | os.PathLike,
+    namespace: str | None = None,
+) -> int:
+    """Write ``store``'s rows (optionally one namespace) to ``path``.
+
+    The write is atomic — a temporary file in the target directory is
+    renamed into place — so a reader polling a published snapshot never
+    sees a half-written file.  Returns the number of entries exported.
+    """
+    rows = store.dump(namespace)
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "snapshot_version": SNAPSHOT_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "created_at": time.time(),
+        "entries": [list(row) for row in rows],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+    return len(rows)
+
+
+def load_snapshot(path: str | os.PathLike) -> list[tuple[str, str, str, float, float]]:
+    """Read and validate a snapshot file; returns its rows.
+
+    Raises :class:`SnapshotError` for anything that is not a compatible
+    snapshot — wrong format marker, future snapshot version, or a store
+    schema this build would misinterpret.  (The store itself *discards* an
+    incompatible on-disk database; a snapshot merge must instead refuse,
+    because the caller's local store is healthy and must not be polluted.)
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path} is not a {SNAPSHOT_FORMAT} file")
+    if payload.get("snapshot_version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {payload.get('snapshot_version')!r} unsupported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        raise SnapshotError(
+            f"snapshot carries store schema {payload.get('schema_version')!r}, "
+            f"this build uses {SCHEMA_VERSION}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise SnapshotError(f"{path} has no entries list")
+    rows: list[tuple[str, str, str, float, float]] = []
+    for entry in entries:
+        if not (isinstance(entry, list) and len(entry) == 5):
+            raise SnapshotError(f"{path} has a malformed entry: {entry!r}")
+        namespace, key, value, created_at, last_used_at = entry
+        rows.append(
+            (str(namespace), str(key), str(value), float(created_at), float(last_used_at))
+        )
+    return rows
+
+
+def merge_snapshot(store: CacheStore, path: str | os.PathLike) -> int:
+    """Merge a snapshot file into ``store``; returns how many entries were
+    added (existing local keys win, see :meth:`CacheStore.merge`)."""
+    return store.merge(load_snapshot(path))

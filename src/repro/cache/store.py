@@ -301,6 +301,88 @@ class CacheStore:
                 if ns == namespace
             ]
 
+    def dump(self, namespace: str | None = None) -> list[tuple[str, str, str, float, float]]:
+        """Every ``(namespace, key, payload, created_at, last_used_at)`` row
+        (of one namespace, or all), ordered by ``(namespace, key)``.
+
+        This is the snapshot-export surface: unlike :meth:`items` it carries
+        the timestamps, so a merged entry keeps its LRU standing instead of
+        jumping to the front of the eviction order.  The in-memory fallback
+        has no timestamps; its rows are stamped with the dump time.
+        """
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    if namespace is None:
+                        rows = self._conn.execute(
+                            "SELECT namespace, key, payload, created_at, last_used_at"
+                            " FROM entries ORDER BY namespace, key"
+                        ).fetchall()
+                    else:
+                        rows = self._conn.execute(
+                            "SELECT namespace, key, payload, created_at, last_used_at"
+                            " FROM entries WHERE namespace = ? ORDER BY namespace, key",
+                            (namespace,),
+                        ).fetchall()
+                    return [
+                        (row[0], row[1], row[2], float(row[3]), float(row[4]))
+                        for row in rows
+                    ]
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            now = time.time()
+            return sorted(
+                (ns, key, payload, now, now)
+                for (ns, key), payload in self._fallback.entries.items()
+                if namespace is None or ns == namespace
+            )
+
+    def merge(self, rows: list[tuple[str, str, str, float, float]]) -> int:
+        """Fold exported rows into this store; returns how many were added.
+
+        **Local wins**: a row whose ``(namespace, key)`` already exists here
+        is skipped — both sides derived their payloads from the same
+        content-addressed computation, and the local entry's recency is
+        live while the snapshot's is stale.  Imported rows keep their
+        original timestamps, and each touched namespace is re-capped at
+        ``max_entries`` afterwards.
+        """
+        added = 0
+        touched: set[str] = set()
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    for namespace, key, payload, created_at, last_used_at in rows:
+                        cursor = self._conn.execute(
+                            "INSERT OR IGNORE INTO entries "
+                            "(namespace, key, payload, created_at, last_used_at) "
+                            "VALUES (?, ?, ?, ?, ?)",
+                            (namespace, key, payload, float(created_at), float(last_used_at)),
+                        )
+                        if cursor.rowcount > 0:
+                            added += 1
+                            touched.add(namespace)
+                    for namespace in touched:
+                        self._evict_locked(namespace)
+                    self._conn.commit()
+                    self.stats.writes += added
+                    return added
+                except sqlite3.Error:
+                    self.stats.errors += 1
+                    self._degrade()
+            assert self._fallback is not None
+            for namespace, key, payload, _created_at, _last_used_at in rows:
+                if (namespace, key) not in self._fallback.entries:
+                    self._fallback.entries[(namespace, key)] = payload
+                    added += 1
+                    touched.add(namespace)
+            for namespace in touched:
+                self._evict_fallback_locked(namespace)
+            self.stats.writes += added
+            return added
+
     def delete(self, namespace: str, key: str) -> bool:
         """Drop one entry; returns whether it existed."""
         with self._lock:

@@ -41,9 +41,11 @@ class KorchEngineConfig:
     #: safe default with a multi-threaded parent; ``"fork"`` starts faster on
     #: POSIX when no conflicting threads hold locks.
     process_start_method: str = "spawn"
-    #: Hard cap on tasks admitted to executors at once, across every model of
-    #: one ``optimize_many`` call.  ``None`` derives it from the resolved
-    #: worker count (the previous semaphore semantics).
+    #: Hard cap on tasks admitted to executors at once, across every batch
+    #: sharing the engine-wide scheduler (concurrent ``optimize_many`` calls
+    #: and service request workers included).  ``None`` derives it from the
+    #: resolved worker count; the live cap only ever grows, so a small batch
+    #: never throttles a concurrent larger one.
     admission_cap: int | None = None
     #: Entry cap of the identify-stage memo (enumeration results keyed on
     #: primitive-graph structure); 0 disables memoization.

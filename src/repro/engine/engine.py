@@ -257,6 +257,13 @@ class KorchEngine:
         self._serial_executor = SerialExecutor()
         self._thread_executor: ThreadExecutor | None = None
         self._process_executor: ProcessExecutor | None = None
+        #: The engine-wide scheduler (thread/process modes): one long-lived
+        #: instance spans every concurrent ``optimize_many`` call, so
+        #: admission, priorities and per-model round-robin see the true
+        #: global queue instead of per-call islands.
+        self._scheduler: Scheduler | None = None
+        self._warm_lock = threading.Lock()
+        self._warmed = False
         self.identify_memo = IdentifyMemo(self.config.engine.identify_memo_entries)
         self.dominance_memo = DominanceMemo(self.config.engine.dominance_memo_entries)
         self.solve_memo = SolveMemo(self.config.engine.solve_memo_entries)
@@ -327,14 +334,8 @@ class KorchEngine:
         workers = self._resolve_workers(max_concurrency, num_partitions)
         if num_partitions:
             tasks, finish_keys = self._build_tasks(pending)
-            executors, admission_cap = self._executors_for(workers)
-            scheduler = Scheduler(executors, admission_cap=admission_cap, metrics=self.metrics)
-            try:
-                results = scheduler.run(tasks)
-            finally:
-                # On failure, keep queued tasks from starting and wait out
-                # the in-flight ones so nothing races the raise.
-                scheduler.close(wait=True, cancel_pending=True)
+            scheduler = self._scheduler_for(workers)
+            results = self._run_batch(scheduler, tasks)
             for run in pending:
                 run.outcomes = [results[key] for key in finish_keys[run.run_id]]
         for run in pending:
@@ -352,11 +353,16 @@ class KorchEngine:
         return [run.result for run in runs]
 
     def close(self) -> None:
-        """Release the executors and any privately-owned store."""
+        """Release the scheduler, executors and any privately-owned store."""
         self._closed = True
         with self._executor_lock:
+            scheduler, self._scheduler = self._scheduler, None
             thread_exec, self._thread_executor = self._thread_executor, None
             process_exec, self._process_executor = self._process_executor, None
+        if scheduler is not None:
+            # Queued tasks never start; in-flight ones settle before the
+            # executors below are torn out from under them.
+            scheduler.close(wait=True, cancel_pending=True)
         if thread_exec is not None:
             thread_exec.shutdown(wait=True)
         if process_exec is not None:
@@ -732,48 +738,120 @@ class KorchEngine:
         workers = max_concurrency if max_concurrency > 0 else (os.cpu_count() or 1)
         return max(1, min(workers, num_tasks))
 
-    def _executors_for(self, workers: int) -> tuple[dict[str, Executor], int | None]:
-        """The executor map and admission cap for one ``optimize_many`` call.
+    @property
+    def scheduler(self) -> Scheduler | None:
+        """The engine-wide scheduler (``None`` until first use, and always
+        ``None`` in serial mode, which schedules inline per call)."""
+        with self._executor_lock:
+            return self._scheduler
 
-        The default executor is serial (inline) for single-worker calls —
-        the historical ``num_workers=1`` semantics, with zero pool overhead —
-        and otherwise the engine's lifetime grow-only thread pool, bounded
-        per call by the admission cap (the old semaphore's role).  Process
-        mode adds the ``"cpu"`` executor for prologue tasks and widens the
-        cap so enumeration can use every process worker.
+    def _scheduler_for(self, workers: int) -> Scheduler:
+        """The scheduler one ``optimize_many`` call submits its batch to.
+
+        ``executor="serial"`` keeps the historical inline semantics: a fresh
+        per-call scheduler over the serial executor, zero pool overhead, and
+        execution on the calling thread.  Thread and process modes share
+        **one engine-wide scheduler** across every concurrent call — service
+        requests land in a single ready queue, so priorities and per-model
+        round-robin arbitrate globally and the admission cap bounds true
+        total in-flight work.  The cap and the thread pool only ever grow
+        (never starving an already-admitted wide batch); process mode adds
+        the ``"cpu"`` executor for prologue tasks and widens the cap so
+        enumeration can use every process worker.
         """
         engine_cfg = self.config.engine
+        if engine_cfg.executor == "serial":
+            return Scheduler(
+                {"default": self._serial_executor},
+                admission_cap=engine_cfg.admission_cap,
+                metrics=self.metrics,
+            )
         use_process = engine_cfg.executor == "process"
-        admission = engine_cfg.admission_cap
-        if engine_cfg.executor == "serial" or (not use_process and workers <= 1):
-            executors: dict[str, Executor] = {"default": self._serial_executor}
-            cap = admission
-        else:
-            with self._executor_lock:
-                if self._closed:
-                    raise RuntimeError("KorchEngine is closed")
-                if self._thread_executor is None:
-                    self._thread_executor = ThreadExecutor(
-                        workers, cap=self._POOL_SIZE_CAP, thread_name_prefix="korch-engine"
-                    )
-                else:
-                    self._thread_executor.ensure(workers)
-                executors = {"default": self._thread_executor}
-            cap = admission if admission is not None else workers
-        if use_process:
-            with self._executor_lock:
-                if self._closed:
-                    raise RuntimeError("KorchEngine is closed")
+        cap = engine_cfg.admission_cap if engine_cfg.admission_cap is not None else workers
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("KorchEngine is closed")
+            if self._thread_executor is None:
+                self._thread_executor = ThreadExecutor(
+                    workers, cap=self._POOL_SIZE_CAP, thread_name_prefix="korch-engine"
+                )
+            else:
+                self._thread_executor.ensure(workers)
+            executors: dict[str, Executor] = {"default": self._thread_executor}
+            if use_process:
                 if self._process_executor is None:
                     self._process_executor = ProcessExecutor(
                         engine_cfg.process_workers, engine_cfg.process_start_method
                     )
                 executors["cpu"] = self._process_executor
-            if admission is None:
-                cap = max(cap or 1, self._process_executor.workers)
-        return executors, cap
+                if engine_cfg.admission_cap is None:
+                    cap = max(cap, self._process_executor.workers)
+            if self._scheduler is None:
+                self._scheduler = Scheduler(
+                    executors, admission_cap=cap, metrics=self.metrics
+                )
+            else:
+                for kind, executor in executors.items():
+                    self._scheduler.executors.setdefault(kind, executor)
+            scheduler = self._scheduler
+        scheduler.set_admission_cap(cap)
+        return scheduler
 
-    def warm_up(self) -> None:
+    def _run_batch(self, scheduler: Scheduler, tasks: list[Task]) -> dict[str, object]:
+        """Run one call's task batch on a (possibly shared) scheduler.
+
+        Mirrors :meth:`Scheduler.run` — wait for every task, raise the first
+        failure in submission order — but with batch-scoped cleanup instead
+        of closing the scheduler: on the way out, this batch's queued tasks
+        are cancelled, its in-flight ones are waited for (nothing races the
+        raise), and its settled keys are retired so a long-lived scheduler
+        stays bounded.  Other callers' batches are untouched — one failing
+        request never poisons concurrent ones.
+        """
+        from concurrent.futures import CancelledError, wait as wait_futures
+
+        keys = [task.key for task in tasks]
+        futures = scheduler.submit(tasks)
+        try:
+            for future in futures.values():
+                try:
+                    future.result()
+                except (CancelledError, Exception):
+                    # Task failures re-raise in submission order below; the
+                    # waiter's own KeyboardInterrupt/SystemExit propagate.
+                    pass
+            for task in tasks:
+                future = futures[task.key]
+                if future.cancelled():
+                    raise CancelledError(f"task {task.key!r} was cancelled")
+                error = future.exception()
+                if error is not None:
+                    raise error
+            return {key: future.result() for key, future in futures.items()}
+        finally:
+            for key in keys:
+                scheduler.cancel(key)  # queued-only; settled/running are no-ops
+            wait_futures(list(futures.values()))
+            scheduler.forget(keys)
+
+    def request_key(self, graph: Graph) -> str:
+        """Canonical identity of an optimization request on this engine.
+
+        The plan-cache key: a content hash of the graph structure, GPU spec,
+        backend set and the result-determining config subset
+        (:meth:`KorchConfig.fingerprint`).  Two graphs with equal keys are
+        guaranteed bit-identical results, which is what makes the key safe
+        as the service tier's coalescing identity.  Available whether or not
+        a plan cache is configured.
+        """
+        return plan_key(
+            graph_to_dict(graph),
+            self.spec,
+            backend_fingerprint(self.backends),
+            self.config.fingerprint(),
+        )
+
+    def warm_up(self, refresh: bool = False) -> bool:
         """Start the process pool's workers eagerly (no-op in thread mode),
         keeping worker spawn cost off the first request's critical path.
 
@@ -781,27 +859,36 @@ class KorchEngine:
         of the newest ``worker_snapshot_entries`` of them rides along on the
         warm-up broadcast, so every worker starts with the parent's profile
         knowledge (see :class:`~repro.engine.scheduler.worker._SnapshotProfileCache`).
-        Call again after warming the cache to refresh worker snapshots —
-        re-broadcasting is cheap and replaces the previous snapshot.
+
+        Warms **exactly once** per engine no matter how many service threads
+        call it concurrently: the first caller broadcasts, later callers wait
+        for it and return ``False`` (the first returns ``True``).  Pass
+        ``refresh=True`` after warming the cache to re-broadcast a fresh
+        snapshot — cheap, and it replaces the previous one.
         """
         engine_cfg = self.config.engine
         if engine_cfg.executor != "process":
-            return
-        with self._executor_lock:
-            if self._closed:
-                raise RuntimeError("KorchEngine is closed")
-            if self._process_executor is None:
-                self._process_executor = ProcessExecutor(
-                    engine_cfg.process_workers, engine_cfg.process_start_method
-                )
-            executor = self._process_executor
-        snapshot: dict[str, dict] = {}
-        if self.store is not None and engine_cfg.worker_snapshot_entries > 0:
-            snapshot = export_snapshot(self.store, engine_cfg.worker_snapshot_entries)
-        if snapshot:
-            executor.warm_up(install_profile_snapshot, (snapshot,))
-        else:
-            executor.warm_up()
+            return False
+        with self._warm_lock:
+            if self._warmed and not refresh:
+                return False
+            with self._executor_lock:
+                if self._closed:
+                    raise RuntimeError("KorchEngine is closed")
+                if self._process_executor is None:
+                    self._process_executor = ProcessExecutor(
+                        engine_cfg.process_workers, engine_cfg.process_start_method
+                    )
+                executor = self._process_executor
+            snapshot: dict[str, dict] = {}
+            if self.store is not None and engine_cfg.worker_snapshot_entries > 0:
+                snapshot = export_snapshot(self.store, engine_cfg.worker_snapshot_entries)
+            if snapshot:
+                executor.warm_up(install_profile_snapshot, (snapshot,))
+            else:
+                executor.warm_up()
+            self._warmed = True
+            return True
 
     # --------------------------------------------------------------- metrics
     def _observe_stage(self, name: str, seconds: float) -> None:

@@ -199,6 +199,46 @@ class Scheduler:
                 raise error
         return {key: future.result() for key, future in futures.items()}
 
+    def set_admission_cap(self, cap: int | None) -> None:
+        """Raise (or lift) the in-flight cap; shrinking is ignored.
+
+        A long-lived scheduler serves batches whose concurrency needs differ;
+        the cap only ever grows so an already-admitted wide batch is never
+        starved by a later narrow one.  ``None`` removes the bound."""
+        with self._lock:
+            if cap is None:
+                self.admission_cap = None
+            elif self.admission_cap is not None:
+                self.admission_cap = max(self.admission_cap, max(1, int(cap)))
+            self._pump_locked()
+
+    def forget(self, keys: Sequence[str]) -> None:
+        """Retire settled tasks so a long-lived scheduler stays bounded.
+
+        Drops the futures, results/failures and task records of ``keys``;
+        every key must have settled (done, failed or cancelled) — forgetting
+        in-flight work would break dependency resolution.  Unknown keys are
+        ignored (idempotent), so callers can retire a batch from a ``finally``
+        block without tracking partial failures."""
+        with self._lock:
+            unsettled = [
+                key
+                for key in keys
+                if key in self._futures
+                and key not in self._results
+                and key not in self._failures
+            ]
+            if unsettled:
+                raise SchedulerError(
+                    f"cannot forget unsettled tasks: {sorted(unsettled)[:3]!r}"
+                )
+            for key in keys:
+                self._futures.pop(key, None)
+                self._tasks.pop(key, None)
+                self._results.pop(key, None)
+                self._failures.pop(key, None)
+                self._dependents.pop(key, None)
+
     def cancel(self, key: str) -> bool:
         """Cancel a not-yet-dispatched task (and its dependents)."""
         with self._lock:

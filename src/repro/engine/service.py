@@ -33,21 +33,42 @@ Overload control is layered:
 Results are **bit-identical** to ``KorchEngine.optimize`` on the same
 graph: the service adds queueing and bookkeeping, never a different code
 path.
+
+**In-flight request coalescing** (``coalesce=True``, the default): every
+submission is keyed by the engine's canonical request key — a content hash
+of graph structure, GPU spec, backend set and the result-determining config
+subset, i.e. the plan-cache key, under which results are guaranteed
+bit-identical.  While a request for a key is queued or running (the
+*leader*), later submissions of the same key attach to it as *followers*:
+they consume no queue slot, run zero engine work, and the leader's result
+fans out to every waiting follower future on completion.  A follower
+cancelling drops only itself — never the leader; a leader failing fails all
+its followers with the same exception; a leader cancelled while queued
+promotes its first live follower to leader so the rest still get served.
+Per-follower :class:`ServiceStats` stay correct (``coalesced`` marker,
+queue wait measured against the leader's progress), and coalesced hits are
+counted in ``korch_service_coalesced_total`` / fan-out sizes in
+``korch_service_coalesce_fanout``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import heapq
 import itertools
+import json
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from enum import IntEnum
+from pathlib import Path
 from typing import Callable, Sequence
 
+from ..cache import CacheStore, SnapshotError, dump_snapshot, merge_snapshot
 from ..ir.graph import Graph
+from ..ir.serialization import graph_to_dict
 from ..metrics import MetricRegistry
 from .admission import AdmissionConfig, AdmissionController
 from .config import KorchConfig
@@ -114,6 +135,9 @@ class ServiceStats:
     partitions_replayed: int | None = None
     profile_cache_hits: int | None = None
     backend_estimate_calls: int | None = None
+    #: The request rode along on an identical in-flight request: zero engine
+    #: work of its own; ``run_s`` measures the wait on the leader instead.
+    coalesced: bool = False
     error: str | None = None
     #: Monotonic anchors for duration math (not part of the export).
     _submitted_pc: float = field(default=0.0, repr=False, compare=False)
@@ -135,6 +159,7 @@ class ServiceStats:
             "partitions_replayed": self.partitions_replayed,
             "profile_cache_hits": self.profile_cache_hits,
             "backend_estimate_calls": self.backend_estimate_calls,
+            "coalesced": self.coalesced,
             "error": self.error,
         }
 
@@ -153,6 +178,9 @@ class ServiceReport:
     failed: int = 0
     cancelled: int = 0
     rejected: int = 0
+    #: Requests answered by fanning out another request's result (followers
+    #: delivered, successes and failures alike) — work the service shared.
+    coalesced: int = 0
     max_queue_depth: int = 0
     histograms: dict[str, dict] = field(default_factory=dict)
 
@@ -163,6 +191,7 @@ class ServiceReport:
             "failed": self.failed,
             "cancelled": self.cancelled,
             "rejected": self.rejected,
+            "coalesced": self.coalesced,
             "max_queue_depth": self.max_queue_depth,
             "histograms": {name: dict(summary) for name, summary in self.histograms.items()},
         }
@@ -196,6 +225,15 @@ class ServiceRequest:
         #: Whether the owning service has accounted this request's
         #: cancellation (guards double counting; mutated under its lock).
         self._cancel_accounted = False
+        #: Coalescing state, all mutated under the owning service's lock:
+        #: the canonical request key (leaders only), the follower list
+        #: (``None`` = not a leader; emptied-and-closed at retire time),
+        #: the leader this request rides on (followers only), and whether
+        #: the group has been closed to new followers.
+        self._coalesce_key: str | None = None
+        self._followers: "list[ServiceRequest] | None" = None
+        self._leader: "ServiceRequest | None" = None
+        self._retired = False
 
     # ------------------------------------------------------- future protocol
     def result(self, timeout: float | None = None) -> KorchResult:
@@ -252,6 +290,13 @@ class KorchService:
     ``metrics`` shares a :class:`~repro.metrics.MetricRegistry`; by default
     the service adopts the engine's registry (so engine/scheduler/cache
     metrics land in the same export) or creates a private one.
+
+    ``coalesce`` (default on) enables in-flight request coalescing (see the
+    module docstring); ``submit_many`` pre-groups duplicates within a batch
+    regardless.  ``snapshot_path`` joins the shared cache tier: the file is
+    merged into the engine's store at startup and re-exported on drain and
+    close (plus every ``snapshot_interval_s`` seconds of serving, measured
+    at request completions).
     """
 
     def __init__(
@@ -262,6 +307,9 @@ class KorchService:
         max_pending: int | None = None,
         admission: AdmissionConfig | AdmissionController | None = None,
         metrics: MetricRegistry | None = None,
+        coalesce: bool = True,
+        snapshot_path: "str | Path | None" = None,
+        snapshot_interval_s: float | None = None,
     ) -> None:
         if engine is not None and config is not None:
             raise ValueError("pass either an engine or a config, not both")
@@ -299,6 +347,29 @@ class KorchService:
         self._closed = False
         self._engine_closed = False
         self._report = ServiceReport()
+        self._coalesce = bool(coalesce)
+        #: key -> leader accepting followers (queued or running); entries
+        #: are removed at retire time, before the leader's future settles,
+        #: so no follower can attach after the fan-out snapshot.
+        self._inflight: dict[str, ServiceRequest] = {}
+
+        # Shared cache tier: merge the fleet's published snapshot on start,
+        # republish on drain/close and (when an interval is set) periodically
+        # as requests complete — timer-free, so an idle service writes
+        # nothing and tests stay deterministic.
+        self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        self.snapshot_interval_s = snapshot_interval_s
+        self._snapshot_lock = threading.Lock()
+        self._last_publish_pc = time.perf_counter()
+        if self.snapshot_path is not None and self.snapshot_path.exists():
+            store = getattr(self.engine, "store", None)
+            if isinstance(store, CacheStore):
+                try:
+                    merge_snapshot(store, self.snapshot_path)
+                except SnapshotError:
+                    # An incompatible published snapshot must not stop the
+                    # service from starting; the local store is healthy.
+                    pass
 
         registry = self.registry
         self._queue_wait_hist = registry.histogram(
@@ -338,6 +409,15 @@ class KorchService:
             "Admission-controller cap changes by direction",
             labelnames=("direction",),
         )
+        self._coalesced_total = registry.counter(
+            "korch_service_coalesced_total",
+            "Requests answered by fanning out an identical in-flight request",
+        )
+        self._fanout_hist = registry.histogram(
+            "korch_service_coalesce_fanout",
+            "Requests served per optimization when coalescing fanned out (leader included)",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
         initial_cap = self.admission.cap if self.admission is not None else max_pending
         if initial_cap is not None:
             self._cap_gauge.set(initial_cap)
@@ -364,25 +444,33 @@ class KorchService:
         wait (measured mean run time × requests ahead ÷ workers) already
         exceeds it, the request is rejected with
         :class:`ServiceDeadlineExceeded` instead of being served late.
+
+        With coalescing enabled, a submission whose request key matches a
+        queued or running request attaches to it as a follower instead of
+        entering the queue: followers bypass the pending cap (they consume
+        no capacity) but still face the deadline check — a follower can be
+        rejected on deadline without disturbing its leader.
         """
+        key = self._request_key(graph) if self._coalesce else None
         request = ServiceRequest(graph, Priority(priority), service=self, deadline_s=deadline_s)
         with self._lock:
             if self._closed or self._closing or self._drainers:
                 self._reject_locked("closed")
                 raise ServiceClosed("service is not accepting submissions")
+            if key is not None:
+                leader = self._inflight.get(key)
+                if leader is not None and self._attach_locked(leader, request, deadline_s):
+                    return request
             cap = self.admission.cap if self.admission is not None else self.max_pending
             if cap is not None and self._effective_pending_locked() >= cap:
                 self._reject_locked("overloaded")
                 raise ServiceOverloaded(f"pending queue is full ({cap} requests)")
-            if deadline_s is not None:
-                predicted = self._predicted_queue_wait_locked()
-                if predicted > deadline_s:
-                    self._reject_locked("deadline")
-                    raise ServiceDeadlineExceeded(
-                        f"predicted queue wait {predicted:.3f}s exceeds "
-                        f"deadline {deadline_s:.3f}s"
-                    )
+            self._check_deadline_locked(deadline_s)
             heapq.heappush(self._queue, (int(request.stats.priority), next(self._seq), request))
+            if key is not None:
+                request._coalesce_key = key
+                request._followers = []
+                self._inflight[key] = request
             self._report.submitted += 1
             self._requests_total.labels(outcome="submitted").inc()
             depth = self._effective_pending_locked()
@@ -397,7 +485,48 @@ class KorchService:
         priority: Priority = Priority.NORMAL,
         deadline_s: float | None = None,
     ) -> list[ServiceRequest]:
-        return [self.submit(graph, priority, deadline_s=deadline_s) for graph in graphs]
+        """Enqueue a batch, pre-grouping duplicate graphs before the queue.
+
+        Graphs within one batch that share a request key are submitted once;
+        the duplicates attach to the batch's first occurrence as followers.
+        This intra-batch coalescing is **always on** — even with
+        ``coalesce=False`` only cross-submission coalescing is disabled, a
+        caller handing the service the same graph twice in one batch never
+        pays for it twice.
+        """
+        requests: list[ServiceRequest] = []
+        batch_leaders: dict[str, ServiceRequest] = {}
+        # Hold the (reentrant) service lock across the whole batch: a worker
+        # can only retire a leader under this lock, so a fast completion —
+        # e.g. a plan-cache hit — cannot strand later duplicates mid-batch.
+        # Pre-grouping is thereby deterministic: one leader per unique key.
+        with self._lock:
+            for graph in graphs:
+                key = self._request_key(graph)
+                leader = batch_leaders.get(key) if key is not None else None
+                if leader is not None:
+                    follower = ServiceRequest(
+                        graph, Priority(priority), service=self, deadline_s=deadline_s
+                    )
+                    if self._closed or self._closing or self._drainers:
+                        self._reject_locked("closed")
+                        raise ServiceClosed("service is not accepting submissions")
+                    if self._attach_locked(leader, follower, deadline_s):
+                        requests.append(follower)
+                        continue
+                    # The batch leader dropped out (e.g. cancelled): fall
+                    # through to a full submission (the plan cache answers it).
+                request = self.submit(graph, priority, deadline_s=deadline_s)
+                if key is not None:
+                    if request._followers is None and not request._retired:
+                        # coalesce=False: make it a batch-scoped leader so
+                        # later duplicates in this batch can still attach.
+                        request._coalesce_key = key
+                        request._followers = []
+                    if request._followers is not None:
+                        batch_leaders[key] = request
+                requests.append(request)
+        return requests
 
     def drain(self, timeout: float | None = None) -> bool:
         """Serve everything already accepted, rejecting new submissions
@@ -408,9 +537,12 @@ class KorchService:
         with self._lock:
             self._drainers += 1
             try:
-                return self._idle.wait_for(self._quiescent_locked, timeout=timeout)
+                quiesced = self._idle.wait_for(self._quiescent_locked, timeout=timeout)
             finally:
                 self._drainers -= 1
+        if quiesced:
+            self.publish_snapshot()
+        return quiesced
 
     def close(self, cancel_pending: bool = False, timeout: float | None = None) -> bool:
         """Stop the service: optionally cancel queued requests, wait for
@@ -435,8 +567,16 @@ class KorchService:
             if not self._closed:
                 self._closing = True
                 if cancel_pending:
-                    for entry in list(self._queue):
-                        entry[2].cancel()  # lazily discounted; workers discard
+                    # Loop to a fixed point: cancelling a leader promotes its
+                    # first live follower into the heap, which this close
+                    # wants cancelled too.  Converges — every request is
+                    # promoted at most once.
+                    while True:
+                        live = [e[2] for e in self._queue if not e[2].done()]
+                        if not live:
+                            break
+                        for request in live:
+                            request.cancel()  # lazily discounted; workers discard
                 if not self._idle.wait_for(self._quiescent_locked, timeout=remaining()):
                     return False
                 self._closed = True
@@ -445,10 +585,26 @@ class KorchService:
             worker.join(timeout=remaining())
         if any(worker.is_alive() for worker in self._workers):
             return False
+        self.publish_snapshot()
         if self._owns_engine and not self._engine_closed:
             self._engine_closed = True
             self.engine.close()
         return True
+
+    def publish_snapshot(self) -> int | None:
+        """Export the engine's cache store to ``snapshot_path`` (atomic
+        replace); returns the entry count, or ``None`` when the service has
+        no snapshot path or no store to export.  Safe to call any time —
+        drain and close call it automatically."""
+        if self.snapshot_path is None:
+            return None
+        store = getattr(self.engine, "store", None)
+        if not isinstance(store, CacheStore):
+            return None
+        with self._snapshot_lock:
+            count = dump_snapshot(store, self.snapshot_path)
+            self._last_publish_pc = time.perf_counter()
+            return count
 
     def metrics(self) -> dict[str, dict]:
         """The JSON metrics export (service + engine + scheduler + caches)."""
@@ -467,6 +623,7 @@ class KorchService:
             "queue_wait_s": self._queue_wait_hist.summary(),
             "run_s": self._run_hist.summary(),
             "queue_depth": self._depth_hist.summary(),
+            "coalesce_fanout": self._fanout_hist.summary(),
         }
         return snapshot
 
@@ -487,6 +644,150 @@ class KorchService:
         self.close()
 
     # ------------------------------------------------------------- internals
+    def _request_key(self, graph: Graph) -> str | None:
+        """The canonical coalescing identity of ``graph`` on this engine.
+
+        Prefers the engine's :meth:`KorchEngine.request_key` (the plan-cache
+        key: structure + spec + backends + result-determining config);
+        engines without one — duck-typed test doubles — fall back to a
+        content hash of the serialized graph.  ``None`` (no coalescing) when
+        the graph cannot be keyed at all.
+        """
+        engine_key = getattr(self.engine, "request_key", None)
+        try:
+            if engine_key is not None:
+                return engine_key(graph)
+            payload = json.dumps(graph_to_dict(graph), sort_keys=True)
+        except Exception:
+            return None
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _check_deadline_locked(self, deadline_s: float | None) -> None:
+        if deadline_s is None:
+            return
+        predicted = self._predicted_queue_wait_locked()
+        if predicted > deadline_s:
+            self._reject_locked("deadline")
+            raise ServiceDeadlineExceeded(
+                f"predicted queue wait {predicted:.3f}s exceeds "
+                f"deadline {deadline_s:.3f}s"
+            )
+
+    def _attach_locked(
+        self, leader: ServiceRequest, request: ServiceRequest, deadline_s: float | None
+    ) -> bool:
+        """Attach ``request`` as a follower of ``leader`` if its group is
+        still open.  Applies the deadline check (raising, so a follower can
+        be rejected without touching the leader) but not the pending cap —
+        followers consume no queue capacity."""
+        if leader._followers is None or leader._retired or leader.done():
+            return False
+        self._check_deadline_locked(deadline_s)
+        request._leader = leader
+        leader._followers.append(request)
+        self._report.submitted += 1
+        self._requests_total.labels(outcome="submitted").inc()
+        return True
+
+    def _retire_leader_locked(self, leader: ServiceRequest) -> list[ServiceRequest]:
+        """Close ``leader``'s coalescing group: no follower can attach past
+        this point.  Returns the followers awaiting its outcome."""
+        leader._retired = True
+        key = leader._coalesce_key
+        if key is not None and self._inflight.get(key) is leader:
+            del self._inflight[key]
+        followers = leader._followers or []
+        leader._followers = None
+        return followers
+
+    def _promote_followers_locked(self, leader: ServiceRequest) -> None:
+        """A leader dropped out while queued: its first live follower takes
+        over as leader (entering the queue), inheriting the rest."""
+        followers = self._retire_leader_locked(leader)
+        live = [f for f in followers if not f._future.cancelled()]
+        if not live:
+            return
+        new_leader, rest = live[0], live[1:]
+        new_leader._leader = None
+        new_leader._coalesce_key = leader._coalesce_key
+        new_leader._followers = rest
+        for follower in rest:
+            follower._leader = new_leader
+        if self._coalesce and new_leader._coalesce_key is not None:
+            self._inflight[new_leader._coalesce_key] = new_leader
+        heapq.heappush(
+            self._queue, (int(new_leader.stats.priority), next(self._seq), new_leader)
+        )
+        depth = self._effective_pending_locked()
+        self._report.max_queue_depth = max(self._report.max_queue_depth, depth)
+        self._observe_depth_locked(depth)
+        self._wakeup.notify()
+
+    def _deliver_follower(
+        self,
+        follower: ServiceRequest,
+        leader_stats: ServiceStats,
+        result: KorchResult | None = None,
+        error: BaseException | None = None,
+    ) -> bool:
+        """Fan the leader's outcome out to one follower; returns whether it
+        was delivered (``False``: the follower had already cancelled)."""
+        if not follower._future.set_running_or_notify_cancel():
+            return False
+        now_pc = time.perf_counter()
+        stats = follower.stats
+        # The follower's work effectively started when the leader's did —
+        # or at its own submission, if it attached to an already-running
+        # leader (queue wait can't be negative).
+        start_pc = max(stats._submitted_pc, leader_stats._started_pc)
+        stats._started_pc = start_pc
+        stats.started_at = max(stats.submitted_at, leader_stats.started_at or 0.0)
+        stats.queue_wait_s = start_pc - stats._submitted_pc
+        stats.run_s = now_pc - start_pc
+        stats.finished_at = time.time()
+        stats.coalesced = True
+        self._queue_wait_hist.observe(stats.queue_wait_s)
+        # No run/stage observations: followers did no engine work, and the
+        # run histogram feeds the deadline predictor.
+        if error is not None:
+            stats.status = "failed"
+            stats.error = repr(error)
+            follower._future.set_exception(error)
+        else:
+            stats.status = "done"
+            stats.stage_seconds = result.stage_seconds
+            stats.plan_cache = "coalesced"
+            stats.partitions_replayed = result.cache.partitions_replayed
+            stats.profile_cache_hits = result.cache.profile_cache_hits
+            stats.backend_estimate_calls = result.cache.backend_estimate_calls
+            follower._future.set_result(result)
+        return True
+
+    def _fan_out(
+        self,
+        request: ServiceRequest,
+        followers: list[ServiceRequest],
+        result: KorchResult | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Deliver the leader's outcome to its followers and account them."""
+        delivered = failed = 0
+        for follower in followers:
+            if self._deliver_follower(follower, request.stats, result=result, error=error):
+                delivered += 1
+                if error is not None:
+                    failed += 1
+        if not delivered:
+            return
+        self._coalesced_total.inc(delivered)
+        self._fanout_hist.observe(delivered + 1)
+        outcome = "failed" if error is not None else "completed"
+        self._requests_total.labels(outcome=outcome).inc(delivered)
+        with self._lock:
+            self._report.coalesced += delivered
+            self._report.failed += failed
+            self._report.completed += delivered - failed
+
     def _effective_pending_locked(self) -> int:
         return len(self._queue) - self._cancelled_pending
 
@@ -515,18 +816,40 @@ class KorchService:
 
     def _note_cancelled(self, request: ServiceRequest) -> None:
         """A queued request was cancelled: account for it immediately (its
-        heap entry is discarded lazily when a worker pops it)."""
+        heap entry is discarded lazily when a worker pops it).
+
+        A *follower* cancelling only drops itself from its leader's group —
+        the leader (and everyone else waiting on it) is untouched.  A
+        *leader* cancelling promotes its first live follower into the queue
+        so the group still gets served."""
         with self._lock:
             if request._cancel_accounted:
                 return
             request._cancel_accounted = True
-            self._cancelled_pending += 1
             self._report.cancelled += 1
             self._requests_total.labels(outcome="cancelled").inc()
+            leader = request._leader
+            if leader is not None:
+                if leader._followers is not None and request in leader._followers:
+                    leader._followers.remove(request)
+                return
+            if request._followers is not None:
+                self._promote_followers_locked(request)
+            self._cancelled_pending += 1
             self._observe_depth_locked()
             self._idle.notify_all()
 
     def _worker_loop(self) -> None:
+        # Warm the engine's executors before serving: every worker thread
+        # races here, and the engine's once-flag makes exactly one of them
+        # pay the spawn cost.  Best-effort — a warm-up failure surfaces on
+        # the first real request instead.
+        warm = getattr(self.engine, "warm_up", None)
+        if warm is not None:
+            try:
+                warm()
+            except Exception:
+                pass
         while True:
             with self._lock:
                 while not self._queue and not self._closed:
@@ -543,6 +866,8 @@ class KorchService:
                         request._cancel_accounted = True
                         self._report.cancelled += 1
                         self._requests_total.labels(outcome="cancelled").inc()
+                        if request._followers is not None:
+                            self._promote_followers_locked(request)
                     self._observe_depth_locked()
                     self._idle.notify_all()
                     continue
@@ -552,6 +877,14 @@ class KorchService:
             with self._lock:
                 self._running -= 1
                 self._idle.notify_all()
+            self._maybe_publish_snapshot()
+
+    def _maybe_publish_snapshot(self) -> None:
+        """Periodic publish hook, driven by request completions."""
+        if self.snapshot_path is None or self.snapshot_interval_s is None:
+            return
+        if time.perf_counter() - self._last_publish_pc >= self.snapshot_interval_s:
+            self.publish_snapshot()
 
     def _observe_admission(self, queue_wait_s: float) -> None:
         controller = self.admission
@@ -580,8 +913,12 @@ class KorchService:
             self._run_hist.observe(stats.run_s)
             with self._lock:
                 self._report.failed += 1
+                followers = self._retire_leader_locked(request)
             self._requests_total.labels(outcome="failed").inc()
             request._future.set_exception(exc)
+            # The leader's failure propagates: every follower fails with
+            # the same exception (they asked for the same computation).
+            self._fan_out(request, followers, error=exc)
             return
         stats.finished_at = time.time()
         stats.run_s = time.perf_counter() - stats._started_pc
@@ -596,5 +933,9 @@ class KorchService:
             self._stage_hist.labels(stage=stage).observe(seconds)
         with self._lock:
             self._report.completed += 1
+            # Close the group before settling the future: once the result
+            # is visible no new follower can have attached.
+            followers = self._retire_leader_locked(request)
         self._requests_total.labels(outcome="completed").inc()
         request._future.set_result(result)
+        self._fan_out(request, followers, result=result)

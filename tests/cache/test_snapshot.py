@@ -1,0 +1,200 @@
+"""Shared cache tier: snapshot export/merge across store paths.
+
+The contracts: export → merge into a fresh store is lossless (rows,
+timestamps and all); conflicting keys keep the *local* payload; merging is
+idempotent; incompatible snapshots are refused instead of polluting a
+healthy store; and the service publishes/absorbs snapshots on its
+drain/startup hooks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cache import (
+    CacheStore,
+    SnapshotError,
+    dump_snapshot,
+    load_snapshot,
+    merge_snapshot,
+)
+from repro.cache.cli import main as cache_cli
+
+
+def seeded_store(path, rows=8) -> CacheStore:
+    store = CacheStore(path)
+    for index in range(rows):
+        store.put("kernel-profiles", f"profile-{index}", json.dumps({"n": index}))
+        store.put("orchestration-plans", f"plan-{index}", json.dumps({"p": index}))
+    return store
+
+
+class TestSnapshotRoundTrip:
+    def test_export_merge_is_lossless_across_two_store_paths(self, tmp_path):
+        source = seeded_store(tmp_path / "host_a")
+        snapshot = tmp_path / "published.json"
+        exported = dump_snapshot(source, snapshot)
+        assert exported == source.count() == 16
+
+        target = CacheStore(tmp_path / "host_b")
+        added = merge_snapshot(target, snapshot)
+        assert added == 16
+        # Lossless: every row — payloads and LRU timestamps included —
+        # survives the trip into a different store path.
+        assert target.dump() == source.dump()
+        source.close()
+        target.close()
+
+    def test_merge_is_idempotent_and_local_wins(self, tmp_path):
+        source = seeded_store(tmp_path / "host_a")
+        snapshot = tmp_path / "published.json"
+        dump_snapshot(source, snapshot)
+
+        target = CacheStore(tmp_path / "host_b")
+        target.put("kernel-profiles", "profile-0", json.dumps({"local": True}))
+        assert merge_snapshot(target, snapshot) == 15  # the conflict is skipped
+        assert json.loads(target.get("kernel-profiles", "profile-0")) == {"local": True}
+        assert merge_snapshot(target, snapshot) == 0  # republishing is free
+        source.close()
+        target.close()
+
+    def test_namespace_scoped_export(self, tmp_path):
+        source = seeded_store(tmp_path / "host_a")
+        snapshot = tmp_path / "profiles-only.json"
+        assert dump_snapshot(source, snapshot, namespace="kernel-profiles") == 8
+        rows = load_snapshot(snapshot)
+        assert {row[0] for row in rows} == {"kernel-profiles"}
+        source.close()
+
+    def test_memory_fallback_stores_round_trip_too(self, tmp_path):
+        source = CacheStore(None)  # pure in-memory
+        source.put("kernel-profiles", "k", "v")
+        snapshot = tmp_path / "mem.json"
+        assert dump_snapshot(source, snapshot) == 1
+        target = CacheStore(None)
+        assert merge_snapshot(target, snapshot) == 1
+        assert target.get("kernel-profiles", "k") == "v"
+
+    def test_merge_respects_the_namespace_cap(self, tmp_path):
+        source = seeded_store(tmp_path / "host_a")
+        snapshot = tmp_path / "published.json"
+        dump_snapshot(source, snapshot)
+        target = CacheStore(tmp_path / "host_b", max_entries=4)
+        merge_snapshot(target, snapshot)
+        assert target.count("kernel-profiles") <= 4
+        assert target.count("orchestration-plans") <= 4
+        source.close()
+        target.close()
+
+
+class TestSnapshotValidation:
+    def test_incompatible_snapshot_is_refused(self, tmp_path):
+        snapshot = tmp_path / "future.json"
+        snapshot.write_text(
+            json.dumps(
+                {
+                    "format": "korch-cache-snapshot",
+                    "snapshot_version": 999,
+                    "schema_version": 1,
+                    "entries": [],
+                }
+            )
+        )
+        store = CacheStore(tmp_path / "store")
+        with pytest.raises(SnapshotError, match="version"):
+            merge_snapshot(store, snapshot)
+        assert store.count() == 0
+        store.close()
+
+    def test_non_snapshot_files_are_refused(self, tmp_path):
+        not_snapshot = tmp_path / "random.json"
+        not_snapshot.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(SnapshotError):
+            load_snapshot(not_snapshot)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        with pytest.raises(SnapshotError):
+            load_snapshot(garbage)
+        with pytest.raises(SnapshotError):
+            load_snapshot(tmp_path / "missing.json")
+
+
+class TestSnapshotCli:
+    def test_export_then_merge_round_trips(self, tmp_path, capsys):
+        store = seeded_store(tmp_path / "host_a")
+        store.close()
+        snapshot = tmp_path / "snap.json"
+        assert (
+            cache_cli(
+                ["--dir", str(tmp_path / "host_a"), "export", "--out", str(snapshot)]
+            )
+            == 0
+        )
+        assert "exported 16 entries" in capsys.readouterr().out
+        # merge creates the target store if absent — that's the point of
+        # converging a fresh host on the fleet's published snapshot.
+        assert (
+            cache_cli(
+                ["--dir", str(tmp_path / "host_b"), "merge", "--snapshot", str(snapshot)]
+            )
+            == 0
+        )
+        assert "merged 16 new entries" in capsys.readouterr().out
+        merged = CacheStore(tmp_path / "host_b")
+        original = CacheStore(tmp_path / "host_a")
+        assert merged.dump() == original.dump()
+        merged.close()
+        original.close()
+
+    def test_merge_refuses_bad_snapshot(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(SystemExit):
+            cache_cli(["--dir", str(tmp_path / "store"), "merge", "--snapshot", str(bad)])
+
+
+class TestServiceSnapshotHooks:
+    def _model(self, name: str):
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder(name)
+        x = b.input("x", (1, 2, 16, 8))
+        w = b.param("w", (1, 2, 8, 16))
+        b.output(b.matmul(x, w))
+        return b.build()
+
+    def test_drain_publishes_and_startup_merges(self, tmp_path):
+        from repro.engine import KorchConfig, KorchService
+
+        snapshot = tmp_path / "fleet.json"
+        config_a = KorchConfig(gpu="V100", cache_dir=tmp_path / "proc_a")
+        with KorchService(config=config_a, workers=1, snapshot_path=snapshot) as service:
+            service.submit(self._model("published")).result(timeout=600)
+            assert service.drain(timeout=60)
+            assert snapshot.exists()
+            rows = load_snapshot(snapshot)
+            assert rows  # profiles/plans made it out
+
+        # A second process (different store path) absorbs the snapshot at
+        # startup and replays the plan instead of optimizing cold.
+        config_b = KorchConfig(gpu="V100", cache_dir=tmp_path / "proc_b")
+        with KorchService(config=config_b, workers=1, snapshot_path=snapshot) as service:
+            assert service.engine.store.count("orchestration-plans") > 0
+            request = service.submit(self._model("published"))
+            request.result(timeout=600)
+            assert request.stats.plan_cache in ("memory-hit", "disk-hit")
+
+    def test_close_publishes(self, tmp_path):
+        from repro.engine import KorchConfig, KorchService
+
+        snapshot = tmp_path / "fleet.json"
+        config = KorchConfig(gpu="V100", cache_dir=tmp_path / "proc_a")
+        service = KorchService(config=config, workers=1, snapshot_path=snapshot)
+        try:
+            service.submit(self._model("closing")).result(timeout=600)
+        finally:
+            assert service.close()
+        assert snapshot.exists()
+        assert load_snapshot(snapshot)

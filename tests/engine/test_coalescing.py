@@ -1,0 +1,392 @@
+"""Service-tier scale-out: in-flight request coalescing, the engine-wide
+scheduler, and the warm-once contract.
+
+The interplay matrix the coalescing layer must get right: a follower
+cancelling never touches its leader, a leader failing fails every follower,
+a leader cancelled while queued promotes a follower, deadlines reject
+followers without disturbing leaders, and a re-submission after completion
+misses the in-flight map and is answered by the plan cache instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    KorchConfig,
+    KorchEngine,
+    KorchEngineConfig,
+    KorchService,
+    ServiceDeadlineExceeded,
+)
+from repro.ir import GraphBuilder
+
+
+def attention_model(name: str, heads: int = 4):
+    b = GraphBuilder(name)
+    x = b.input("x", (1, heads, 32, 16))
+    w = b.param("w", (1, heads, 16, 32))
+    v = b.param("v", (1, heads, 32, 16))
+    b.output(b.matmul(b.softmax(b.matmul(x, w), axis=-1), v))
+    return b.build()
+
+
+def strategy_fingerprint(result):
+    return [
+        [
+            (sorted(k.node_names), list(k.external_inputs), list(k.outputs),
+             k.latency_s, k.backend)
+            for k in part.orchestration.strategy.kernels
+        ]
+        for part in result.partitions
+    ]
+
+
+class _StubResult:
+    def __init__(self, name: str):
+        from repro.engine import CacheReport
+
+        self.name = name
+        self.stage_seconds: dict[str, float] = {}
+        self.cache = CacheReport()
+
+
+class _StubEngine:
+    """Duck-typed engine: blocks until released, records what it served."""
+
+    def __init__(self):
+        self.block = threading.Event()
+        self.served: list[str] = []
+        self.fail_on: set[str] = set()
+
+    def optimize(self, graph):
+        self.block.wait(10)
+        self.served.append(graph.name)
+        if graph.name in self.fail_on:
+            raise RuntimeError(f"synthetic failure for {graph.name}")
+        return _StubResult(graph.name)
+
+    def close(self):
+        pass
+
+
+def _wait_running(service, count=1, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while service.active < count:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"never saw {count} running requests")
+        time.sleep(0.005)
+
+
+class TestCoalescing:
+    def test_identical_inflight_requests_share_one_optimization(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            leader = service.submit(attention_model("twin"))
+            _wait_running(service)  # leader is inside the (blocked) engine
+            followers = [service.submit(attention_model("twin")) for _ in range(3)]
+            other = service.submit(attention_model("other"))
+            # Followers consume no queue capacity; only "other" is pending.
+            assert service.pending == 1
+            stub.block.set()
+            result = leader.result(timeout=10)
+            for follower in followers:
+                assert follower.result(timeout=10) is result
+            other.result(timeout=10)
+            service.drain(timeout=10)
+            # One optimization served four futures.
+            assert stub.served == ["twin", "other"]
+            for follower in followers:
+                stats = follower.stats
+                assert stats.coalesced and stats.status == "done"
+                assert stats.plan_cache == "coalesced"
+                assert stats.queue_wait_s >= 0.0 and stats.run_s >= 0.0
+            assert not leader.stats.coalesced
+            report = service.report
+            assert report.submitted == 5
+            assert report.completed == 5
+            assert report.coalesced == 3
+            metrics = service.metrics()
+            assert metrics["korch_service_coalesced_total"]["values"][0]["value"] == 3.0
+            fanout = metrics["korch_service_coalesce_fanout"]["values"][0]
+            assert fanout["count"] == 1 and fanout["sum"] == 4.0
+            assert report.histograms["coalesce_fanout"]["count"] == 1
+        finally:
+            stub.block.set()
+            service.close()
+
+    def test_follower_cancel_never_cancels_the_leader(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            leader = service.submit(attention_model("twin"))
+            _wait_running(service)
+            follower = service.submit(attention_model("twin"))
+            survivor = service.submit(attention_model("twin"))
+            assert follower.cancel()
+            assert not leader.cancelled()
+            stub.block.set()
+            result = leader.result(timeout=10)
+            assert survivor.result(timeout=10) is result
+            assert follower.cancelled()
+            service.drain(timeout=10)
+            assert stub.served == ["twin"]
+            report = service.report
+            assert report.cancelled == 1
+            assert report.coalesced == 1  # only the survivor was delivered
+        finally:
+            stub.block.set()
+            service.close()
+
+    def test_leader_failure_propagates_to_all_followers(self):
+        stub = _StubEngine()
+        stub.fail_on.add("doomed")
+        service = KorchService(engine=stub, workers=1)
+        try:
+            leader = service.submit(attention_model("doomed"))
+            _wait_running(service)
+            followers = [service.submit(attention_model("doomed")) for _ in range(2)]
+            stub.block.set()
+            with pytest.raises(RuntimeError, match="synthetic failure"):
+                leader.result(timeout=10)
+            error = leader.exception()
+            for follower in followers:
+                assert follower.exception(timeout=10) is error
+                assert follower.stats.status == "failed"
+                assert follower.stats.coalesced
+            service.drain(timeout=10)
+            report = service.report
+            assert report.failed == 3
+            assert report.coalesced == 2
+            assert stub.served == ["doomed"]
+        finally:
+            stub.block.set()
+            service.close()
+
+    def test_leader_cancelled_while_queued_promotes_a_follower(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            service.submit(attention_model("running"))
+            _wait_running(service)  # occupies the only worker
+            leader = service.submit(attention_model("twin"))  # queued
+            follower = service.submit(attention_model("twin"))
+            straggler = service.submit(attention_model("twin"))
+            assert leader.cancel()
+            assert not follower.cancelled() and not straggler.cancelled()
+            stub.block.set()
+            result = follower.result(timeout=10)
+            assert straggler.result(timeout=10) is result
+            service.drain(timeout=10)
+            # The promoted follower ran the engine exactly once.
+            assert stub.served == ["running", "twin"]
+            assert leader.cancelled()
+            assert not follower.stats.coalesced  # it became the leader
+            assert straggler.stats.coalesced
+        finally:
+            stub.block.set()
+            service.close()
+
+    def test_deadline_rejects_follower_but_not_leader(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            stub.block.set()
+            service.submit(attention_model("warm")).result(timeout=10)  # mean run > 0
+            stub.block.clear()
+            leader = service.submit(attention_model("twin"))
+            _wait_running(service)
+            with pytest.raises(ServiceDeadlineExceeded):
+                service.submit(attention_model("twin"), deadline_s=0.0)
+            assert not leader.cancelled() and not leader.done()
+            patient = service.submit(attention_model("twin"), deadline_s=60.0)
+            stub.block.set()
+            assert patient.result(timeout=10) is leader.result(timeout=10)
+            service.drain(timeout=10)
+            assert service.report.rejected == 1
+            assert stub.served == ["warm", "twin"]
+        finally:
+            stub.block.set()
+            service.close()
+
+    def test_resubmit_after_completion_hits_plan_cache_not_inflight_map(self):
+        with KorchService(config=KorchConfig(gpu="V100"), workers=1) as service:
+            first = service.submit(attention_model("repeat")).result(timeout=600)
+            again = service.submit(attention_model("repeat"))
+            result = again.result(timeout=600)
+            # Not coalesced (nothing was in flight) — answered by the
+            # engine's plan cache memory tier instead.
+            assert not again.stats.coalesced
+            assert again.stats.plan_cache == "memory-hit"
+            assert strategy_fingerprint(result) == strategy_fingerprint(first)
+            metrics = service.metrics()
+            assert metrics["korch_service_coalesced_total"]["values"][0]["value"] == 0.0
+
+    def test_flag_off_disables_cross_submission_coalescing(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1, coalesce=False)
+        try:
+            service.submit(attention_model("twin"))
+            _wait_running(service)
+            service.submit(attention_model("twin"))
+            assert service.pending == 1  # queued, not attached
+            stub.block.set()
+            service.drain(timeout=10)
+            assert stub.served == ["twin", "twin"]
+        finally:
+            stub.block.set()
+            service.close()
+
+
+class TestSubmitManyPregrouping:
+    def test_batch_duplicates_pregroup_even_with_flag_off(self):
+        stub = _StubEngine()
+        service = KorchService(engine=stub, workers=1, coalesce=False)
+        try:
+            requests = service.submit_many(
+                [
+                    attention_model("a"),
+                    attention_model("a"),
+                    attention_model("b"),
+                    attention_model("a"),
+                ]
+            )
+            stub.block.set()
+            first = requests[0].result(timeout=10)
+            assert requests[1].result(timeout=10) is first
+            assert requests[3].result(timeout=10) is first
+            requests[2].result(timeout=10)
+            service.drain(timeout=10)
+            assert stub.served == ["a", "b"]
+            assert requests[1].stats.coalesced and requests[3].stats.coalesced
+            assert service.report.coalesced == 2
+            assert service.report.submitted == 4
+        finally:
+            stub.block.set()
+            service.close()
+
+    def test_batch_results_bit_identical_to_serial_submission(self):
+        graphs = [attention_model("dup"), attention_model("dup"),
+                  attention_model("solo", heads=2)]
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            serial = [strategy_fingerprint(engine.optimize(g)) for g in graphs]
+        with KorchService(config=KorchConfig(gpu="V100"), workers=2) as service:
+            requests = service.submit_many(graphs)
+            served = [strategy_fingerprint(r.result(timeout=600)) for r in requests]
+        assert served == serial
+
+
+class _FakeProcessExecutor:
+    """Stands in for the process pool so warm-once is testable in-process."""
+
+    instances: list["_FakeProcessExecutor"] = []
+
+    def __init__(self, workers, start_method):
+        self.workers = max(1, int(workers) or 1)
+        self.start_method = start_method
+        self.warm_calls = 0
+        _FakeProcessExecutor.instances.append(self)
+
+    def warm_up(self, fn=None, args=()):
+        self.warm_calls += 1
+
+    def submit(self, fn, *args):  # pragma: no cover - engine never runs here
+        raise AssertionError("warm-once test must not execute tasks")
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestWarmOnce:
+    def test_concurrent_warm_up_warms_exactly_once(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.engine.engine.ProcessExecutor", _FakeProcessExecutor
+        )
+        _FakeProcessExecutor.instances.clear()
+        config = KorchConfig(
+            gpu="V100", engine=KorchEngineConfig(executor="process", process_workers=2)
+        )
+        with KorchEngine(config) as engine:
+            barrier = threading.Barrier(4)
+            outcomes: list[bool] = []
+
+            def racer():
+                barrier.wait()
+                outcomes.append(engine.warm_up())
+
+            threads = [threading.Thread(target=racer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sorted(outcomes) == [False, False, False, True]
+            assert len(_FakeProcessExecutor.instances) == 1
+            assert _FakeProcessExecutor.instances[0].warm_calls == 1
+            # Later warm-ups are no-ops...
+            assert engine.warm_up() is False
+            assert _FakeProcessExecutor.instances[0].warm_calls == 1
+            # ...unless a refresh is requested explicitly.
+            assert engine.warm_up(refresh=True) is True
+            assert _FakeProcessExecutor.instances[0].warm_calls == 2
+
+    def test_thread_mode_warm_up_is_a_noop(self):
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            assert engine.warm_up() is False
+
+
+class TestEngineWideScheduler:
+    def test_one_scheduler_spans_calls_and_stays_clean(self):
+        with KorchEngine(KorchConfig(gpu="V100", num_workers=2)) as engine:
+            assert engine.scheduler is None  # created lazily
+            engine.optimize(attention_model("first"))
+            scheduler = engine.scheduler
+            assert scheduler is not None
+            engine.optimize(attention_model("second", heads=2))
+            assert engine.scheduler is scheduler
+            # Batches retire their keys: a long-lived scheduler stays bounded.
+            assert not scheduler._futures and not scheduler._tasks
+            assert not scheduler._results and not scheduler._failures
+
+    def test_serial_mode_uses_no_shared_scheduler(self):
+        config = KorchConfig(gpu="V100", engine=KorchEngineConfig(executor="serial"))
+        with KorchEngine(config) as engine:
+            engine.optimize(attention_model("serial"))
+            assert engine.scheduler is None
+
+    def test_concurrent_optimize_many_calls_share_one_scheduler(self):
+        """Two service-style threads drive one engine at once: results are
+        bit-identical to serial, and both calls ran on the same scheduler."""
+        graphs_a = [attention_model("ca"), attention_model("cb", heads=2)]
+        graphs_b = [attention_model("cc", heads=8), attention_model("cd", heads=3)]
+        with KorchEngine(KorchConfig(gpu="V100")) as engine:
+            serial = {
+                g.name: strategy_fingerprint(engine.optimize(g))
+                for g in graphs_a + graphs_b
+            }
+        with KorchEngine(KorchConfig(gpu="V100", num_workers=2)) as engine:
+            results: dict[str, list] = {}
+            errors: list[BaseException] = []
+
+            def run(graphs):
+                try:
+                    for graph, result in zip(graphs, engine.optimize_many(graphs)):
+                        results[graph.name] = strategy_fingerprint(result)
+                except BaseException as exc:  # pragma: no cover - fail loud
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(graphs_a,)),
+                threading.Thread(target=run, args=(graphs_b,)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            scheduler = engine.scheduler
+            assert scheduler is not None and not scheduler._futures
+        assert results == serial

@@ -358,3 +358,58 @@ class TestDeepChains:
         assert isinstance(last, DependencyFailed)
         # The cause repr is truncated, so messages stay bounded at any depth.
         assert len(str(last)) < 1000
+
+
+class TestLongLivedScheduler:
+    """The engine-wide scheduler's batch lifecycle: keys are retired with
+    ``forget`` after each batch and the admission cap only ever grows."""
+
+    def test_forget_retires_settled_keys_and_frees_them_for_reuse(self):
+        scheduler = Scheduler(SerialExecutor())
+        scheduler.run([Task(key="a", fn=lambda: 1)])
+        scheduler.forget(["a"])
+        assert not scheduler._futures and not scheduler._tasks
+        assert not scheduler._results
+        # The key is reusable: long-lived schedulers never clobber.
+        assert scheduler.run([Task(key="a", fn=lambda: 2)]) == {"a": 2}
+
+    def test_forget_retires_failed_and_cancelled_keys(self):
+        def boom():
+            raise RuntimeError("no")
+
+        scheduler = Scheduler(SerialExecutor())
+        futures = scheduler.submit([Task(key="bad", fn=boom)])
+        assert isinstance(futures["bad"].exception(timeout=10), RuntimeError)
+        scheduler.forget(["bad"])
+        assert not scheduler._failures
+        # A fresh batch under the same key is a clean slate, not a
+        # propagated failure.
+        assert scheduler.run([Task(key="bad", fn=lambda: "ok")]) == {"bad": "ok"}
+
+    def test_forget_refuses_unsettled_keys(self):
+        release = threading.Event()
+        executor = ThreadExecutor(1)
+        scheduler = Scheduler(executor)
+        try:
+            scheduler.submit([Task(key="slow", fn=release.wait, args=(10,))])
+            with pytest.raises(SchedulerError, match="unsettled"):
+                scheduler.forget(["slow"])
+        finally:
+            release.set()
+            scheduler.close(wait=True)
+            executor.shutdown(wait=True)
+
+    def test_forget_unknown_keys_is_idempotent(self):
+        scheduler = Scheduler(SerialExecutor())
+        scheduler.forget(["never-submitted"])  # no error
+
+    def test_admission_cap_only_grows(self):
+        scheduler = Scheduler(SerialExecutor(), admission_cap=4)
+        scheduler.set_admission_cap(2)  # shrink ignored: admitted work is safe
+        assert scheduler.admission_cap == 4
+        scheduler.set_admission_cap(8)
+        assert scheduler.admission_cap == 8
+        scheduler.set_admission_cap(None)  # lift entirely
+        assert scheduler.admission_cap is None
+        scheduler.set_admission_cap(2)  # unbounded stays unbounded
+        assert scheduler.admission_cap is None

@@ -433,16 +433,18 @@ class TestServiceMetrics:
         def value(name):
             return metrics[name]["values"][0]["value"]
 
-        # Service layer: histograms saw every request.
+        # Service layer: histograms saw every request; the duplicate "twin"
+        # coalesced onto the first, so only two requests ran the engine.
         wait = metrics["korch_service_queue_wait_seconds"]["values"][0]
         assert wait["count"] == 3
         run = metrics["korch_service_run_seconds"]["values"][0]
-        assert run["count"] == 3 and run["sum"] > 0.0
+        assert run["count"] == 2 and run["sum"] > 0.0
+        assert value("korch_service_coalesced_total") == 1.0
         # Engine layer: per-stage histograms and cache hits flowed in.
         assert "korch_engine_stage_seconds" in metrics
         assert value("korch_cache_store_hits") > 0
-        # "twin" repeats share structure: the engine reports reuse.
-        assert value("korch_engine_models_optimized") == 3.0
+        # The coalesced duplicate never reached the engine.
+        assert value("korch_engine_models_optimized") == 2.0
         # Prometheus text exposition carries the same families.
         assert "# TYPE korch_service_queue_wait_seconds histogram" in text
         assert 'korch_service_requests_total{outcome="completed"} 3' in text
@@ -508,15 +510,20 @@ class TestAdmissionIntegration:
         with KorchEngine(KorchConfig(gpu="V100")) as engine:
             direct = engine.optimize(attention_model("admitted"))
             proxy = _SlowEngineProxy(engine, delay=0.15)
-            service = KorchService(engine=proxy, workers=1, admission=admission)
+            # coalesce=False: this test needs 8 identical requests to each
+            # hit the slow engine (submit one by one — submit_many would
+            # pre-group them into a single optimization regardless).
+            service = KorchService(
+                engine=proxy, workers=1, admission=admission, coalesce=False
+            )
             try:
                 controller = service.admission
                 assert controller.cap == 16
                 # Burst: the single slow worker makes later requests wait
                 # far beyond the 50 ms SLO.
-                burst = service.submit_many(
-                    [attention_model("admitted") for _ in range(8)]
-                )
+                burst = [
+                    service.submit(attention_model("admitted")) for _ in range(8)
+                ]
                 burst_results = [request.result(timeout=600) for request in burst]
                 cap_after_burst = controller.cap
                 assert cap_after_burst < 16
