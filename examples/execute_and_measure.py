@@ -1,0 +1,57 @@
+"""Execute an optimized plan for real, then re-rank it from measured latency.
+
+The optimizer picks kernels from *analytic* latency estimates.  The execution
+runtime closes the loop: it runs the assembled plan through a real kernel
+library (numpy here), verifies the outputs against the reference executor,
+times every kernel, and feeds the observed latencies back into the profile
+cache so a second optimization pass ranks candidates by hardware truth
+instead of by model.
+
+Run with:  PYTHONPATH=src python examples/execute_and_measure.py
+"""
+
+from repro.backends import default_korch_backends
+from repro.engine import KorchConfig, KorchEngine
+from repro.models import build_candy_block
+
+
+def main() -> None:
+    graph = build_candy_block()
+    print(f"model: {graph.name} with {graph.num_nodes} operators")
+
+    with KorchEngine(KorchConfig(gpu="V100")) as engine:
+        # 1. Optimize from analytic estimates, as usual.
+        result = engine.optimize(graph)
+        print(f"\nanalytic plan: {result.num_kernels} kernels, "
+              f"{result.latency_ms:.3f} ms predicted")
+
+        # 2. Execute the plan for real.  verify= checks the outputs against
+        #    the reference executor; measure= times each kernel (warmup +
+        #    trimmed-mean repeats) and persists the timings in the profile
+        #    cache under the measured backend's fingerprint.
+        report = engine.execute(result, verify=True, measure=True, repeats=3)
+        summary = report.summary()
+        print(f"\nexecuted {summary['num_kernels']} kernels on "
+              f"{summary['library']}: wall {summary['wall_ms']:.2f} ms, "
+              f"peak live {summary['peak_live_bytes'] / 1e6:.2f} MB")
+        print(f"verification: equivalent={report.verification.equivalent} "
+              f"(max |error| = {report.verification.max_abs_error:.2e})")
+
+        # 3. Re-optimize with the measured backend in front.  Signatures we
+        #    timed answer from observed latency; everything else falls back
+        #    to the analytic models.
+        measured = report.measured_backend
+        measured.fallback = default_korch_backends()
+
+    with KorchEngine(KorchConfig(gpu="V100"), backends=[measured]) as engine:
+        reranked = engine.optimize(graph)
+        print(f"\nmeasured plan: {reranked.num_kernels} kernels, "
+              f"{reranked.latency_ms:.3f} ms from observed latency")
+        if reranked.num_kernels != result.num_kernels:
+            print("the measured timings changed the plan shape")
+        else:
+            print("the analytic plan survived contact with measurement")
+
+
+if __name__ == "__main__":
+    main()

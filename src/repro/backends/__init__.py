@@ -4,6 +4,7 @@ from .base import KernelBackend
 from .cublas import CublasBackend, gemm_efficiency
 from .cudnn import CudnnBackend, conv_efficiency
 from .framework import FrameworkEagerBackend
+from .measured import MEASURED_MODEL_VERSION, MeasuredBackend
 from .tensorrt import TensorRTBackend
 from .tuning_time import TuningTimeModel, TuningTimeReport
 from .tvm_meta import TvmMetaScheduleBackend, codegen_bandwidth_efficiency
@@ -15,6 +16,8 @@ __all__ = [
     "TvmMetaScheduleBackend",
     "TensorRTBackend",
     "FrameworkEagerBackend",
+    "MeasuredBackend",
+    "MEASURED_MODEL_VERSION",
     "TuningTimeModel",
     "TuningTimeReport",
     "gemm_efficiency",

@@ -1,0 +1,170 @@
+"""Measured-latency profiling backend.
+
+Every other backend in this package is an analytical latency *model*; this
+one answers from *observations*.  The plan executor measures each kernel of
+an assembled plan (:meth:`repro.runtime.executor.PlanExecutor.measure` —
+warmup runs, then a trimmed mean over timed repeats) and the resulting
+:class:`~repro.runtime.executor.MeasurementReport` is ingested here.
+
+Two consumption paths, both reusing the existing profile-cache machinery:
+
+* **Persistent**: :meth:`MeasuredBackend.write_profiles` stores each measured
+  kernel as a normal :class:`~repro.gpu.profiler.KernelProfile` under the
+  measured backend's own cache context
+  (``PersistentProfileCache(store, spec, [measured_backend])``).  The cache
+  key embeds ``type(backend).__name__``, ``backend.name`` and
+  ``MEASURED_MODEL_VERSION`` (see :func:`repro.cache.keys.backend_fingerprint`),
+  so measured entries can never collide with analytic ones in the shared
+  store.  An engine constructed with ``backends=[measured_backend]`` then
+  answers profile lookups from those entries — the profiler consults the
+  persistent cache *before* calling any ``estimate`` — and ``SolveStage``
+  re-ranks plans from observed latency.
+* **In-memory**: ``estimate`` answers from the ingested measurement table
+  directly (keyed on the kernel's feature summary), optionally falling back
+  to a chain of analytic backends for kernels that were never executed, so
+  re-solving stays feasible when only the selected plan was measured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..gpu.cost_model import CostBreakdown
+from ..gpu.features import KernelFeatures
+from ..gpu.specs import GpuSpec
+from .base import KernelBackend
+
+__all__ = ["MEASURED_MODEL_VERSION", "MeasuredBackend", "features_key"]
+
+#: Cache-key version of measured profiles.  Deliberately far from the
+#: analytic backends' model versions (all small integers): even a future
+#: analytic backend named "measured" at v1 would still produce different
+#: fingerprints, and the distance makes measured entries easy to recognize
+#: in cache maintenance tooling.
+MEASURED_MODEL_VERSION = 101
+
+
+def features_key(features: KernelFeatures) -> tuple:
+    """Hashable identity of a kernel's feature summary.
+
+    :class:`KernelFeatures` itself is a mutable dataclass (it carries a
+    dict); this canonical tuple is what the in-memory measurement table is
+    keyed on.  Two kernels with equal features are the same kernel for every
+    latency model in this package, measured or analytic.
+    """
+    return (
+        features.num_primitives,
+        tuple(sorted(features.category_counts.items())),
+        features.input_bytes,
+        features.output_bytes,
+        features.flops,
+        features.linear_flops,
+        features.multipass_bytes,
+        features.output_elements,
+        features.num_outputs,
+        tuple(features.branch_shapes),
+        tuple(features.resize_factors),
+        tuple(features.gemms),
+        tuple(features.convs),
+        features.has_opaque,
+        features.dtype.value,
+    )
+
+
+class MeasuredBackend(KernelBackend):
+    """A kernel "latency model" backed by wall-clock measurements.
+
+    ``fallback`` (a sequence of analytic backends, or ``None``) answers for
+    kernels without a measurement; with no fallback, unmeasured kernels are
+    rejected (``estimate`` returns ``None``), which restricts re-solving to
+    the measured kernel set.
+    """
+
+    name = "measured"
+    MODEL_VERSION = MEASURED_MODEL_VERSION
+
+    def __init__(self, fallback: Sequence[KernelBackend] | None = None) -> None:
+        self.fallback: list[KernelBackend] = list(fallback or [])
+        #: features-key -> measured latency (seconds).
+        self._by_features: dict[tuple, float] = {}
+        #: structural kernel signature -> (features, measured latency); kept
+        #: so :meth:`write_profiles` can address the persistent cache.
+        self._by_signature: dict[tuple, tuple[KernelFeatures, float]] = {}
+
+    # ------------------------------------------------------------ ingestion
+    def record(self, signature: tuple, features: KernelFeatures, latency_s: float) -> None:
+        """Record one measured kernel (last write wins)."""
+        self._by_features[features_key(features)] = float(latency_s)
+        self._by_signature[signature] = (features, float(latency_s))
+
+    def ingest(self, measurement) -> int:
+        """Record every kernel of a
+        :class:`~repro.runtime.executor.MeasurementReport`; returns how many
+        were ingested."""
+        for kernel in measurement.kernels:
+            self.record(kernel.signature, kernel.features, kernel.measured_s)
+        return len(measurement.kernels)
+
+    def write_profiles(self, cache) -> int:
+        """Store every recorded measurement as a kernel profile.
+
+        ``cache`` is a :class:`~repro.cache.profile_cache.PersistentProfileCache`
+        (duck-typed) built over *this* backend's fingerprint — typically
+        ``PersistentProfileCache(store, spec, [self])`` — so entries land
+        under the measured ``MODEL_VERSION`` and never shadow analytic ones.
+        Returns the number of entries written.
+        """
+        from ..gpu.profiler import KernelProfile
+
+        for signature, (features, latency_s) in self._by_signature.items():
+            profile = KernelProfile(
+                latency_s=latency_s,
+                backend=self.name,
+                breakdown=self._breakdown(features, latency_s),
+                features=features,
+            )
+            cache.put(signature, profile, tuned=True)
+        return len(self._by_signature)
+
+    @property
+    def num_measurements(self) -> int:
+        return len(self._by_signature)
+
+    # ------------------------------------------------------ backend contract
+    def supports(self, features: KernelFeatures) -> bool:
+        if features_key(features) in self._by_features:
+            return True
+        return any(b.supports(features) for b in self.fallback)
+
+    def estimate(self, features: KernelFeatures, spec: GpuSpec) -> CostBreakdown | None:
+        measured = self._by_features.get(features_key(features))
+        if measured is not None:
+            return self._breakdown(features, measured)
+        best: CostBreakdown | None = None
+        for backend in self.fallback:
+            breakdown = backend.estimate(features, spec)
+            if breakdown is not None and (best is None or breakdown.latency_s < best.latency_s):
+                best = breakdown
+        return best
+
+    def tuning_time_s(self, features: KernelFeatures) -> float:
+        """Measurement replaces tuning; its cost is the repeats themselves,
+        already spent — nothing to amortize into Table 2 accounting."""
+        return 0.0
+
+    @staticmethod
+    def _breakdown(features: KernelFeatures, latency_s: float) -> CostBreakdown:
+        """A :class:`CostBreakdown` shell around an observed latency: the
+        whole time is attributed to the memory term (no model to split it),
+        with unit efficiencies — downstream consumers only read
+        ``latency_s``."""
+        return CostBreakdown(
+            latency_s=latency_s,
+            launch_s=0.0,
+            memory_s=latency_s,
+            compute_s=0.0,
+            traffic_bytes=features.input_bytes + features.output_bytes,
+            flops=features.flops,
+            bandwidth_efficiency=1.0,
+            compute_efficiency=1.0,
+        )

@@ -80,8 +80,14 @@ def dump_snapshot(
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
-    os.replace(tmp, path)
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        # A failed write (disk full, permission change, interrupt) must not
+        # strand the temp file next to the snapshot it failed to replace.
+        tmp.unlink(missing_ok=True)
+        raise
     return len(rows)
 
 

@@ -74,6 +74,9 @@ class StageContext:
     orchestration: OrchestrationResult | None = None
     executable: Executable | None = None
     result: PartitionResult | None = None
+    #: Execution report of the assembled executable, when an
+    #: :class:`~repro.engine.stages.ExecuteStage` ran (plain data).
+    execution: "object | None" = None
 
     #: Whether the identify stage was answered from the memo.
     identify_memo_hit: bool = False

@@ -246,6 +246,21 @@ class KorchEngine:
             "Per-partition wall-clock seconds by engine stage",
             labelnames=("stage",),
         )
+        self._kernel_hist = self.metrics.histogram(
+            "korch_runtime_kernel_seconds",
+            "Per-kernel wall-clock execution seconds by kernel library and planned backend",
+            labelnames=("library", "backend"),
+        )
+        self._executions_total = self.metrics.counter(
+            "korch_runtime_executions_total",
+            "Assembled plans executed through the runtime, by model",
+            labelnames=("model",),
+        )
+        self._verifications_total = self.metrics.counter(
+            "korch_runtime_verifications_total",
+            "Runtime verifications against the reference executor, by outcome",
+            labelnames=("outcome",),
+        )
         self.metrics.add_collector(self._collect_metrics)
 
         self._lock = threading.Lock()
@@ -351,6 +366,65 @@ class KorchEngine:
                     ),
                 )
         return [run.result for run in runs]
+
+    def execute(
+        self,
+        result: KorchResult,
+        feeds: dict | None = None,
+        library=None,
+        verify: bool = False,
+        tolerance: float = 1e-4,
+        measure: bool = False,
+        warmup: int = 1,
+        repeats: int = 3,
+        measured_backend=None,
+    ):
+        """Run an optimized plan through the execution runtime.
+
+        Walks ``result.executable`` kernel by kernel with
+        :class:`~repro.runtime.executor.PlanExecutor`, feeding per-kernel
+        wall-clock times into the engine's metrics.  ``verify=True`` checks
+        the executed outputs against the reference executor;
+        ``measure=True`` additionally times every kernel (``warmup`` +
+        ``repeats`` trimmed-mean runs), ingests the timings into a
+        :class:`~repro.backends.MeasuredBackend` (``measured_backend`` or a
+        fresh one) and — when the engine has a cache store — writes them
+        into the persistent profile cache under the measured backend's
+        fingerprint, where a measured-backend engine re-ranks plans from
+        them.  Returns the :class:`~repro.runtime.executor.ExecutionReport`
+        (with ``.measurement``/``.measured_backend`` attached when
+        measuring).
+        """
+        from ..backends.measured import MeasuredBackend
+        from ..cache import PersistentProfileCache as _ProfileCache
+        from ..runtime.executor import PlanExecutor
+        from ..runtime.library import resolve_library
+
+        lib = resolve_library(library)
+        lib_name = getattr(lib, "name", type(lib).__name__)
+
+        def on_kernel(execution) -> None:
+            self._kernel_hist.labels(
+                library=lib_name, backend=execution.backend
+            ).observe(execution.wall_s)
+
+        executor = PlanExecutor(result, library=lib, on_kernel=on_kernel)
+        report = executor.run(feeds=feeds)
+        self._executions_total.labels(model=result.graph.name).inc()
+        if verify:
+            report.verification = executor.verify(feeds=feeds, tolerance=tolerance)
+            outcome = "pass" if report.verification.equivalent else "fail"
+            self._verifications_total.labels(outcome=outcome).inc()
+        if measure:
+            measurement = executor.measure(feeds=feeds, warmup=warmup, repeats=repeats)
+            backend = measured_backend if measured_backend is not None else MeasuredBackend()
+            backend.ingest(measurement)
+            if self.store is not None:
+                cache = _ProfileCache(self.store, self.spec, [backend])
+                backend.write_profiles(cache)
+            report.measurement = measurement
+            report.measured_backend = backend
+        return report
 
     def close(self) -> None:
         """Release the scheduler, executors and any privately-owned store."""

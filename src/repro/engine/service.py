@@ -533,15 +533,21 @@ class KorchService:
         meanwhile; returns whether the service quiesced within ``timeout``.
         The service accepts submissions again once every concurrent drainer
         has returned (and no close started meanwhile) — one drainer timing
-        out never reopens intake under another still waiting."""
+        out never reopens intake under another still waiting.
+
+        The cache snapshot is published on *every* drain — quiesced or not,
+        and even when the drain served zero requests.  The export is an
+        atomic whole-store dump, valid at any moment; an idle service that
+        merged profiles at startup (or whose interval never elapsed, since
+        periodic publishing is driven by request completions) would
+        otherwise never share them with the fleet."""
         with self._lock:
             self._drainers += 1
             try:
                 quiesced = self._idle.wait_for(self._quiescent_locked, timeout=timeout)
             finally:
                 self._drainers -= 1
-        if quiesced:
-            self.publish_snapshot()
+        self.publish_snapshot()
         return quiesced
 
     def close(self, cancel_pending: bool = False, timeout: float | None = None) -> bool:
@@ -738,12 +744,15 @@ class KorchService:
         stats = follower.stats
         # The follower's work effectively started when the leader's did —
         # or at its own submission, if it attached to an already-running
-        # leader (queue wait can't be negative).
-        start_pc = max(stats._submitted_pc, leader_stats._started_pc)
+        # leader (queue wait can't be negative).  Anchors are monotonic; a
+        # follower without one counts as submitted at the leader's start,
+        # and the clamps keep both durations non-negative regardless.
+        submitted_pc = stats._submitted_pc or leader_stats._started_pc
+        start_pc = max(submitted_pc, leader_stats._started_pc)
         stats._started_pc = start_pc
         stats.started_at = max(stats.submitted_at, leader_stats.started_at or 0.0)
-        stats.queue_wait_s = start_pc - stats._submitted_pc
-        stats.run_s = now_pc - start_pc
+        stats.queue_wait_s = max(0.0, start_pc - submitted_pc)
+        stats.run_s = max(0.0, now_pc - start_pc)
         stats.finished_at = time.time()
         stats.coalesced = True
         self._queue_wait_hist.observe(stats.queue_wait_s)
@@ -899,7 +908,13 @@ class KorchService:
         stats = request.stats
         stats._started_pc = time.perf_counter()
         stats.started_at = time.time()
-        stats.queue_wait_s = stats._started_pc - stats._submitted_pc
+        # Durations come from the monotonic submit anchor, never the epoch
+        # timestamps — a clock step between submit and start must not warp
+        # the wait.  A request built without an anchor (duck-typed doubles,
+        # deserialized stats) counts as submitted when it started; the clamp
+        # keeps the histogram-fed value non-negative no matter the anchors.
+        submitted_pc = stats._submitted_pc or stats._started_pc
+        stats.queue_wait_s = max(0.0, stats._started_pc - submitted_pc)
         stats.status = "running"
         self._queue_wait_hist.observe(stats.queue_wait_s)
         self._observe_admission(stats.queue_wait_s)

@@ -40,6 +40,7 @@ __all__ = [
     "ProfileStage",
     "SolveStage",
     "AssembleStage",
+    "ExecuteStage",
     "DEFAULT_STAGES",
     "run_stages",
 ]
@@ -326,6 +327,55 @@ class AssembleStage(Stage):
                 f"plan verification failed for partition {ctx.partition.graph.name!r}",
                 bad,
             )
+
+
+class ExecuteStage(Stage):
+    """Run the freshly assembled executable through the plan executor.
+
+    Deliberately **not** part of :data:`DEFAULT_STAGES`: execution observes
+    the plan (it runs and optionally verifies it) but never changes it, and
+    keeping the default flow execution-free preserves the bit-identity
+    guarantees the cache keys are built on.  Append it to a custom stage
+    sequence — or use :meth:`repro.engine.engine.KorchEngine.execute` for
+    whole-model execution with measurement and metrics.
+
+    With ``verify=True`` (the default) a numerically divergent plan raises
+    :class:`ExecutionVerificationError` instead of returning silently wrong
+    tensors; the execution report is left on ``ctx.execution`` either way.
+    """
+
+    name = "execute"
+
+    def __init__(
+        self,
+        library=None,
+        verify: bool = True,
+        tolerance: float = 1e-4,
+    ) -> None:
+        self.library = library
+        self.verify = verify
+        self.tolerance = tolerance
+
+    def run(self, ctx: StageContext) -> StageContext:
+        from ..runtime.executor import PlanExecutor
+
+        executor = PlanExecutor.for_executable(
+            ctx.partition.graph, ctx.executable, library=self.library
+        )
+        ctx.execution = executor.run()
+        if self.verify:
+            ctx.execution.verification = executor.verify(tolerance=self.tolerance)
+            if not ctx.execution.verification.equivalent:
+                raise ExecutionVerificationError(
+                    f"executed plan for partition {ctx.partition.graph.name!r} diverges "
+                    f"from the reference: max abs error "
+                    f"{ctx.execution.verification.max_abs_error:.3e} > {self.tolerance}"
+                )
+        return ctx
+
+
+class ExecutionVerificationError(RuntimeError):
+    """An executed plan's outputs diverged from the reference executor."""
 
 
 #: The Figure 1 flow; replace or extend to customize the engine.

@@ -1,9 +1,27 @@
-"""Runtime: reference execution, executables, and equivalence verification."""
+"""Runtime: reference execution, executables, plan execution, verification."""
 
 from .executable import Executable, KernelLaunch, ModelExecutable
+from .executor import (
+    ExecutionReport,
+    KernelExecution,
+    MeasuredKernel,
+    MeasurementReport,
+    PlanExecutor,
+    trimmed_mean,
+)
+from .library import (
+    KernelLibrary,
+    NumpyKernelLibrary,
+    TorchKernelLibrary,
+    available_libraries,
+    get_library,
+    resolve_library,
+    torch_available,
+)
 from .reference import ReferenceExecutor, execute_graph
 from .verification import (
     VerificationResult,
+    compare_outputs,
     verify_executable,
     verify_model_executable,
     verify_primitive_graph,
@@ -15,7 +33,21 @@ __all__ = [
     "Executable",
     "KernelLaunch",
     "ModelExecutable",
+    "PlanExecutor",
+    "ExecutionReport",
+    "KernelExecution",
+    "MeasuredKernel",
+    "MeasurementReport",
+    "trimmed_mean",
+    "KernelLibrary",
+    "NumpyKernelLibrary",
+    "TorchKernelLibrary",
+    "available_libraries",
+    "get_library",
+    "resolve_library",
+    "torch_available",
     "VerificationResult",
+    "compare_outputs",
     "verify_primitive_graph",
     "verify_executable",
     "verify_model_executable",

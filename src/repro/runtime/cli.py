@@ -1,0 +1,189 @@
+"""Command-line front-end of the plan execution runtime.
+
+Two subcommands::
+
+    python -m repro.runtime run --model NAME [--model NAME ...] | --zoo
+        Optimize each model through the engine, execute the assembled plan
+        kernel by kernel through a kernel library, and verify the outputs
+        against the operator-level reference executor.  ``--measure`` also
+        times every kernel (warmup + trimmed-mean repeats) and ingests the
+        timings into a measured-latency backend; with ``--cache-dir`` they
+        are written into the persistent profile cache, and ``--rerank``
+        re-optimizes each model with the measured backend ranking plans
+        from observed latency instead of the analytic models.
+
+    python -m repro.runtime libraries
+        List the known kernel libraries and whether each is constructible
+        in this environment (torch is optional).
+
+Exit status is 1 when any executed plan failed verification, 0 otherwise —
+what the CI ``analysis`` job keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _model_builders() -> dict:
+    """Zoo models plus the small case-study blocks (fast enough for CI)."""
+    from ..models import (
+        MODEL_BUILDERS,
+        build_candy_block,
+        build_efficientvit_attention_block,
+        build_segformer_attention_block,
+        build_segformer_decoder_subgraph,
+    )
+
+    return {
+        **MODEL_BUILDERS,
+        "candy_block": build_candy_block,
+        "efficientvit_block": build_efficientvit_attention_block,
+        "segformer_attention": build_segformer_attention_block,
+        "segformer_decoder": build_segformer_decoder_subgraph,
+    }
+
+
+def cmd_libraries(args: argparse.Namespace) -> int:
+    from .library import available_libraries
+
+    table = available_libraries()
+    if args.json:
+        print(json.dumps(table, indent=2, sort_keys=True))
+    else:
+        for name, usable in sorted(table.items()):
+            print(f"{name}: {'available' if usable else 'unavailable'}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    # Heavy imports live here so `libraries` stays instant.
+    from ..backends import MeasuredBackend, default_korch_backends
+    from ..engine import KorchEngine
+    from ..engine.config import KorchConfig
+    from .library import available_libraries
+
+    builders = _model_builders()
+    names = list(builders) if args.zoo else (args.model or [])
+    if not names:
+        print("run: pass --model NAME (repeatable) or --zoo", file=sys.stderr)
+        return 2
+    unknown = [name for name in names if name not in builders]
+    if unknown:
+        print(f"run: unknown model(s) {unknown}; known: {sorted(builders)}", file=sys.stderr)
+        return 2
+    if args.library not in available_libraries():
+        print(
+            f"run: unknown library {args.library!r}; known: "
+            f"{sorted(available_libraries())}",
+            file=sys.stderr,
+        )
+        return 2
+    if not available_libraries()[args.library]:
+        print(f"run: library {args.library!r} is not importable here", file=sys.stderr)
+        return 2
+
+    config = KorchConfig(gpu=args.gpu, cache_dir=args.cache_dir)
+    failures = 0
+    reports = []
+    measured = MeasuredBackend() if args.measure else None
+    with KorchEngine(config) as engine:
+        for name in names:
+            graph = builders[name]()
+            result = engine.optimize(graph)
+            report = engine.execute(
+                result,
+                library=args.library,
+                verify=True,
+                tolerance=args.tolerance,
+                measure=args.measure,
+                warmup=args.warmup,
+                repeats=args.repeats,
+                measured_backend=measured,
+            )
+            summary = report.summary()
+            reports.append(summary)
+            if not report.verification.equivalent:
+                failures += 1
+            if not args.json:
+                status = "ok" if report.verification.equivalent else "FAILED"
+                line = (
+                    f"{name}: {status} max_abs_error={report.verification.max_abs_error:.2e} "
+                    f"kernels={report.num_kernels} predicted={summary['predicted_ms']:.3f}ms"
+                )
+                if report.measurement is not None:
+                    line += f" measured={summary['measured_ms']:.3f}ms"
+                print(line)
+
+    if args.rerank:
+        if measured is None or not measured.num_measurements:
+            print("run: --rerank needs --measure (no timings to rank from)", file=sys.stderr)
+            return 2
+        # A fresh engine whose profiler ranks candidates by the measured
+        # table, falling back to the analytic models for kernels that were
+        # never part of an executed plan.  With --cache-dir the measured
+        # profiles also persist under the measured backend's own
+        # fingerprint, so later engines can re-rank without re-running.
+        measured.fallback = default_korch_backends()
+        rerank_config = KorchConfig(gpu=args.gpu, cache_dir=args.cache_dir)
+        with KorchEngine(rerank_config, backends=[measured]) as engine:
+            for name in names:
+                result = engine.optimize(builders[name]())
+                line = {
+                    "model": name,
+                    "reranked_kernels": result.num_kernels,
+                    "objective_ms": sum(
+                        p.orchestration.strategy.objective_s for p in result.partitions
+                    )
+                    * 1e3,
+                }
+                reports.append({"rerank": line})
+                if not args.json:
+                    print(
+                        f"{name}: reranked -> {line['reranked_kernels']} kernels, "
+                        f"objective {line['objective_ms']:.3f}ms (measured-latency ranking)"
+                    )
+
+    if args.json:
+        print(json.dumps(reports, indent=2, default=str))
+    if failures and not args.json:
+        print(f"run: {failures} of {len(names)} model(s) FAILED verification", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime",
+        description="Execute optimized plans for real: kernel-library dispatch, "
+        "reference verification, and measured-latency profiling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="optimize, execute and verify models")
+    run.add_argument("--model", action="append", help="model name (repeatable)")
+    run.add_argument("--zoo", action="store_true", help="run every known model")
+    run.add_argument("--gpu", default="V100", help="GPU spec name (default V100)")
+    run.add_argument("--cache-dir", default=None, help="persistent cache directory; "
+                     "measured profiles are written there with --measure")
+    run.add_argument("--library", default="numpy", help="kernel library (numpy or torch)")
+    run.add_argument("--tolerance", type=float, default=1e-4,
+                     help="max absolute error accepted by verification (default 1e-4)")
+    run.add_argument("--measure", action="store_true",
+                     help="time every kernel and ingest into a measured backend")
+    run.add_argument("--warmup", type=int, default=1, help="unrecorded runs per kernel")
+    run.add_argument("--repeats", type=int, default=3, help="timed runs per kernel")
+    run.add_argument("--rerank", action="store_true",
+                     help="after measuring, re-optimize with measured-latency ranking")
+    run.add_argument("--json", action="store_true", help="emit reports as JSON")
+    run.set_defaults(fn=cmd_run)
+
+    libraries = sub.add_parser("libraries", help="list kernel libraries")
+    libraries.add_argument("--json", action="store_true", help="emit as JSON")
+    libraries.set_defaults(fn=cmd_libraries)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,431 @@
+"""Plan execution runtime: run an assembled :class:`KorchResult` for real.
+
+The optimizer's output so far was *predicted*: an executable whose latency is
+the sum of backend model estimates.  :class:`PlanExecutor` closes the loop —
+it walks the assembled kernel graph in dependency order, dispatches each
+kernel's primitive sequence to a pluggable :class:`~repro.runtime.library.KernelLibrary`
+(numpy always; torch when importable), manages intermediate tensor lifetimes
+(tensors are freed after their last reader, with live/peak accounting), and
+verifies the produced outputs against the independent operator-level
+reference executor (:mod:`repro.runtime.reference`).
+
+``PlanExecutor.measure`` additionally times every kernel (warmup + trimmed
+mean over repeats) and returns a :class:`MeasurementReport`, the input of the
+measured-latency profiling backend (:mod:`repro.backends.measured`) that
+feeds observed timings back into the profile cache.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..gpu.executor import PrimitiveGraphExecutor
+from ..gpu.features import KernelFeatures, extract_features
+from ..gpu.profiler import KernelProfiler
+from .executable import Executable, KernelLaunch, ModelExecutable
+from .library import KernelLibrary, resolve_library
+from .reference import ReferenceExecutor
+from .verification import VerificationResult, compare_outputs
+
+__all__ = [
+    "KernelExecution",
+    "ExecutionReport",
+    "MeasuredKernel",
+    "MeasurementReport",
+    "PlanExecutor",
+    "trimmed_mean",
+]
+
+#: Default numeric tolerance for executor-vs-reference equivalence: the same
+#: bound the existing verification layer uses (max absolute error over every
+#: graph output, float32 end to end).
+DEFAULT_TOLERANCE = 1e-4
+
+
+def trimmed_mean(samples: Sequence[float], trim: float = 0.2) -> float:
+    """Mean of ``samples`` after dropping a ``trim`` fraction at each end.
+
+    The standard robust reduction for wall-clock kernel timings: the slowest
+    repeats carry scheduler noise, the fastest can ride a cache anomaly.
+    Always keeps at least one sample.
+    """
+    if not samples:
+        raise ValueError("trimmed_mean needs at least one sample")
+    ordered = sorted(samples)
+    drop = int(len(ordered) * trim)
+    kept = ordered[drop : len(ordered) - drop] or [ordered[len(ordered) // 2]]
+    return sum(kept) / len(kept)
+
+
+@dataclass(frozen=True)
+class KernelExecution:
+    """One kernel launch as it actually ran."""
+
+    partition: int
+    index: int
+    node_names: tuple[str, ...]
+    #: Backend the plan selected for this kernel (the latency model's pick).
+    backend: str
+    #: The profiler's latency estimate for this kernel.
+    predicted_s: float
+    #: Wall-clock seconds of the library dispatch for this launch.
+    wall_s: float
+    output_bytes: int
+
+
+@dataclass
+class ExecutionReport:
+    """Everything one :meth:`PlanExecutor.run` produced."""
+
+    model: str
+    library: str
+    outputs: dict[str, np.ndarray]
+    kernels: list[KernelExecution]
+    #: Peak bytes of live intermediate tensors (sources excluded) and bytes
+    #: released by last-use freeing during the walk.
+    peak_live_bytes: int
+    freed_bytes: int
+    verification: VerificationResult | None = None
+    measurement: "MeasurementReport | None" = None
+    #: The :class:`~repro.backends.measured.MeasuredBackend` the engine
+    #: ingested this run's measurement into, when it measured.
+    measured_backend: object | None = None
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def predicted_s(self) -> float:
+        return sum(k.predicted_s for k in self.kernels)
+
+    @property
+    def wall_s(self) -> float:
+        return sum(k.wall_s for k in self.kernels)
+
+    def summary(self) -> dict:
+        out = {
+            "model": self.model,
+            "library": self.library,
+            "num_kernels": self.num_kernels,
+            "predicted_ms": self.predicted_s * 1e3,
+            "wall_ms": self.wall_s * 1e3,
+            "peak_live_bytes": self.peak_live_bytes,
+            "freed_bytes": self.freed_bytes,
+        }
+        if self.verification is not None:
+            out["verified"] = self.verification.equivalent
+            out["max_abs_error"] = self.verification.max_abs_error
+        if self.measurement is not None:
+            out["measured_ms"] = self.measurement.measured_s * 1e3
+        return out
+
+
+@dataclass(frozen=True)
+class MeasuredKernel:
+    """Measured latency of one planned kernel, with its cache identity."""
+
+    partition: int
+    index: int
+    node_names: tuple[str, ...]
+    #: Backend the analytic plan had selected (for comparison/reporting).
+    planned_backend: str
+    predicted_s: float
+    measured_s: float
+    repeats: int
+    #: The profiler's structural kernel signature — the persistent profile
+    #: cache key, so measured timings land exactly where estimates would.
+    signature: tuple
+    features: KernelFeatures
+
+
+@dataclass
+class MeasurementReport:
+    """Per-kernel measured latencies of one plan execution."""
+
+    model: str
+    library: str
+    warmup: int
+    repeats: int
+    kernels: list[MeasuredKernel] = field(default_factory=list)
+
+    @property
+    def measured_s(self) -> float:
+        return sum(k.measured_s for k in self.kernels)
+
+    @property
+    def predicted_s(self) -> float:
+        return sum(k.predicted_s for k in self.kernels)
+
+    def summary(self) -> dict:
+        return {
+            "model": self.model,
+            "library": self.library,
+            "num_kernels": len(self.kernels),
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "predicted_ms": self.predicted_s * 1e3,
+            "measured_ms": self.measured_s * 1e3,
+        }
+
+
+@dataclass(frozen=True)
+class _ExecutableResult:
+    """The minimal result surface :class:`PlanExecutor` reads: a graph to
+    verify against and the executable's partition chain."""
+
+    graph: object
+    executable: ModelExecutable
+
+
+class PlanExecutor:
+    """Executes an assembled :class:`~repro.engine.result.KorchResult`.
+
+    ``on_kernel(execution)`` is called after every launch — the hook the
+    engine uses to feed its per-kernel latency histogram without the runtime
+    depending on the metrics package.
+    """
+
+    def __init__(
+        self,
+        result,
+        library: KernelLibrary | str | None = None,
+        on_kernel: Callable[[KernelExecution], None] | None = None,
+    ) -> None:
+        self.result = result
+        self.library = resolve_library(library)
+        self.on_kernel = on_kernel
+
+    @classmethod
+    def for_executable(
+        cls,
+        graph,
+        executable: "Executable | ModelExecutable",
+        library: KernelLibrary | str | None = None,
+        on_kernel: Callable[[KernelExecution], None] | None = None,
+    ) -> "PlanExecutor":
+        """An executor over a bare executable (one partition or a chained
+        model) instead of a full :class:`KorchResult` — what
+        :class:`~repro.engine.stages.ExecuteStage` uses per partition."""
+        model = (
+            executable
+            if isinstance(executable, ModelExecutable)
+            else ModelExecutable(graph.name, [executable])
+        )
+        return cls(_ExecutableResult(graph, model), library=library, on_kernel=on_kernel)
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray] | None = None,
+        keep_intermediates: bool = False,
+    ) -> ExecutionReport:
+        """Execute every partition in dependency order; returns the report.
+
+        Partition boundary tensors flow through a shared memory dict, like
+        :meth:`ModelExecutable.run` — but each kernel dispatches through the
+        configured library, intermediates are freed after their last reader,
+        and per-kernel wall times are recorded.
+        """
+        memory: dict[str, np.ndarray] = dict(feeds or {})
+        outputs: dict[str, np.ndarray] = {}
+        kernels: list[KernelExecution] = []
+        peak = 0
+        freed = 0
+        for position, part in enumerate(self.result.executable.parts):
+            part_outputs, executed, part_peak, part_freed = self._run_partition(
+                part, position, memory, keep_intermediates
+            )
+            memory.update(part_outputs)
+            outputs.update(part_outputs)
+            kernels.extend(executed)
+            peak = max(peak, part_peak)
+            freed += part_freed
+        return ExecutionReport(
+            model=self.result.graph.name,
+            library=self.library.name,
+            outputs=outputs,
+            kernels=kernels,
+            peak_live_bytes=peak,
+            freed_bytes=freed,
+        )
+
+    def _run_partition(
+        self,
+        part: Executable,
+        position: int,
+        feeds: Mapping[str, np.ndarray],
+        keep_intermediates: bool,
+    ) -> tuple[dict[str, np.ndarray], list[KernelExecution], int, int]:
+        pg = part.pg
+        values = PrimitiveGraphExecutor(pg).source_values(feeds)
+        keep = set(pg.outputs)
+        # Last-use refcounts: a tensor dies when no later launch reads it.
+        reads: dict[str, int] = {}
+        for launch in part.launches:
+            for tensor in launch.inputs:
+                reads[tensor] = reads.get(tensor, 0) + 1
+
+        executed: list[KernelExecution] = []
+        live_bytes = 0
+        peak = 0
+        freed = 0
+        pending = self._dependency_order(part, values)
+        for launch, kernel_nodes in pending:
+            input_values = {t: values[t] for t in launch.inputs}
+            started = time.perf_counter()
+            produced = self.library.run_kernel(kernel_nodes, input_values, launch.outputs)
+            elapsed = time.perf_counter() - started
+            out_bytes = 0
+            for name, value in produced.items():
+                fresh = name not in values
+                values[name] = value
+                if fresh and not pg.is_source_tensor(name):
+                    live_bytes += value.nbytes
+                out_bytes += value.nbytes
+            peak = max(peak, live_bytes)
+            execution = KernelExecution(
+                partition=position,
+                index=launch.index,
+                node_names=launch.node_names,
+                backend=launch.backend,
+                predicted_s=launch.latency_s,
+                wall_s=elapsed,
+                output_bytes=out_bytes,
+            )
+            executed.append(execution)
+            if self.on_kernel is not None:
+                self.on_kernel(execution)
+            if keep_intermediates:
+                continue
+            for tensor in launch.inputs:
+                reads[tensor] -= 1
+                if (
+                    reads[tensor] == 0
+                    and tensor not in keep
+                    and tensor in values
+                    and not pg.is_source_tensor(tensor)
+                ):
+                    freed += values[tensor].nbytes
+                    live_bytes -= values[tensor].nbytes
+                    del values[tensor]
+
+        missing = [t for t in pg.outputs if t not in values]
+        if missing:
+            raise RuntimeError(f"plan execution did not produce outputs {missing}")
+        return {name: values[name] for name in pg.outputs}, executed, peak, freed
+
+    @staticmethod
+    def _dependency_order(
+        part: Executable, sources: Mapping[str, np.ndarray]
+    ) -> list[tuple[KernelLaunch, list]]:
+        """The kernel launches in an input-available order.
+
+        Independent of the stored launch sequence: a ready-set walk over the
+        kernel-level dataflow (deterministic — first-ready in stored order),
+        raising on a plan whose kernels can never all become ready.
+        """
+        nodes_by_name = {node.name: node for node in part.pg.nodes}
+        pending = [
+            (launch, kernel.nodes or [nodes_by_name[n] for n in launch.node_names])
+            for launch, kernel in zip(part.launches, part.strategy.kernels)
+        ]
+        available = set(sources)
+        ordered: list[tuple[KernelLaunch, list]] = []
+        while pending:
+            ready_at = next(
+                (
+                    i
+                    for i, (launch, _) in enumerate(pending)
+                    if all(t in available for t in launch.inputs)
+                ),
+                None,
+            )
+            if ready_at is None:
+                stuck = [launch.index for launch, _ in pending]
+                raise RuntimeError(
+                    f"kernel graph has no executable order; launches {stuck} "
+                    "wait on tensors nothing produces"
+                )
+            launch, nodes = pending.pop(ready_at)
+            available.update(launch.outputs)
+            ordered.append((launch, nodes))
+        return ordered
+
+    # --------------------------------------------------------------- verify
+    def verify(
+        self,
+        feeds: Mapping[str, np.ndarray] | None = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> VerificationResult:
+        """Compare this executor's outputs against the operator-level
+        reference on the original graph's outputs (synthesized inputs when
+        no feeds are given — both sides synthesize identically by name)."""
+        reference = ReferenceExecutor(self.result.graph).run(feeds)
+        produced = self.run(feeds).outputs
+        candidate = {
+            name: produced[name] for name in self.result.graph.outputs if name in produced
+        }
+        return compare_outputs(reference, candidate, tolerance)
+
+    # -------------------------------------------------------------- measure
+    def measure(
+        self,
+        feeds: Mapping[str, np.ndarray] | None = None,
+        warmup: int = 1,
+        repeats: int = 5,
+        trim: float = 0.2,
+    ) -> MeasurementReport:
+        """Time every kernel of the plan: ``warmup`` unrecorded runs, then a
+        trimmed mean over ``repeats`` timed runs, each from the same
+        materialized input tensors.  Returns per-kernel measured latencies
+        keyed by the profiler's structural signature, ready to be fed into
+        the profile cache through a measured backend."""
+        if repeats < 1:
+            raise ValueError("measure needs repeats >= 1")
+        report = MeasurementReport(
+            model=self.result.graph.name,
+            library=self.library.name,
+            warmup=warmup,
+            repeats=repeats,
+        )
+        memory: dict[str, np.ndarray] = dict(feeds or {})
+        for position, part in enumerate(self.result.executable.parts):
+            pg = part.pg
+            values = PrimitiveGraphExecutor(pg).source_values(memory)
+            for launch, kernel_nodes in self._dependency_order(part, values):
+                input_values = {t: values[t] for t in launch.inputs}
+                for _ in range(max(0, warmup)):
+                    self.library.run_kernel(kernel_nodes, input_values, launch.outputs)
+                samples: list[float] = []
+                produced: dict[str, np.ndarray] = {}
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    produced = self.library.run_kernel(
+                        kernel_nodes, input_values, launch.outputs
+                    )
+                    samples.append(time.perf_counter() - started)
+                values.update(produced)
+                signature = KernelProfiler.kernel_signature(
+                    pg, kernel_nodes, launch.inputs, launch.outputs
+                )
+                features = extract_features(pg, kernel_nodes, launch.inputs, launch.outputs)
+                report.kernels.append(
+                    MeasuredKernel(
+                        partition=position,
+                        index=launch.index,
+                        node_names=launch.node_names,
+                        planned_backend=launch.backend,
+                        predicted_s=launch.latency_s,
+                        measured_s=trimmed_mean(samples, trim),
+                        repeats=repeats,
+                        signature=signature,
+                        features=features,
+                    )
+                )
+            memory.update({name: values[name] for name in pg.outputs})
+        return report

@@ -20,7 +20,13 @@ from ..primitives.graph import PrimitiveGraph
 from .executable import Executable, ModelExecutable
 from .reference import ReferenceExecutor
 
-__all__ = ["VerificationResult", "verify_primitive_graph", "verify_executable", "verify_model_executable"]
+__all__ = [
+    "VerificationResult",
+    "compare_outputs",
+    "verify_primitive_graph",
+    "verify_executable",
+    "verify_model_executable",
+]
 
 _DEFAULT_TOLERANCE = 1e-4
 
@@ -38,11 +44,17 @@ class VerificationResult:
         return self.equivalent
 
 
-def _compare(
+def compare_outputs(
     reference: Mapping[str, np.ndarray],
     candidate: Mapping[str, np.ndarray],
-    tolerance: float,
+    tolerance: float = _DEFAULT_TOLERANCE,
 ) -> VerificationResult:
+    """Elementwise max-abs-error comparison of two output dictionaries.
+
+    Missing or shape-mismatched candidate tensors count as infinite error.
+    The shared core of every verification entry point (and of the plan
+    executor's :meth:`~repro.runtime.executor.PlanExecutor.verify`).
+    """
     errors: dict[str, float] = {}
     for name, expected in reference.items():
         if name not in candidate:
@@ -66,7 +78,7 @@ def verify_primitive_graph(
     """Check that operator fission (and any transformations) preserved semantics."""
     reference = ReferenceExecutor(graph).run(feeds)
     candidate = PrimitiveGraphExecutor(pg).run(feeds)
-    return _compare(reference, candidate, tolerance)
+    return compare_outputs(reference, candidate, tolerance)
 
 
 def verify_executable(
@@ -78,7 +90,7 @@ def verify_executable(
     """Check that an orchestrated executable computes the original model."""
     reference = ReferenceExecutor(graph).run(feeds)
     candidate = executable.run(feeds)
-    return _compare(reference, candidate, tolerance)
+    return compare_outputs(reference, candidate, tolerance)
 
 
 def verify_model_executable(
@@ -95,4 +107,4 @@ def verify_model_executable(
     reference = ReferenceExecutor(graph).run(feeds)
     outputs = executable.run(feeds)
     candidate = {name: outputs[name] for name in graph.outputs if name in outputs}
-    return _compare(reference, candidate, tolerance)
+    return compare_outputs(reference, candidate, tolerance)

@@ -198,3 +198,96 @@ class TestServiceSnapshotHooks:
             assert service.close()
         assert snapshot.exists()
         assert load_snapshot(snapshot)
+
+
+class TestDumpFaultInjection:
+    """A failed export must not strand its temp file next to the snapshot."""
+
+    def test_failed_write_cleans_up_tmp_file(self, tmp_path, monkeypatch):
+        import pathlib
+
+        store = seeded_store(tmp_path / "store")
+        target = tmp_path / "published" / "snap.json"
+
+        def exploding_write_text(self, *args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pathlib.Path, "write_text", exploding_write_text)
+        with pytest.raises(OSError, match="disk full"):
+            dump_snapshot(store, target)
+        monkeypatch.undo()
+        # The error propagated, nothing was published, and no `.tmp.` file
+        # was left behind for pollers (or later exports) to trip over.
+        assert not target.exists()
+        assert list(target.parent.iterdir()) == []
+        store.close()
+
+    def test_failed_replace_cleans_up_tmp_file(self, tmp_path, monkeypatch):
+        import repro.cache.snapshot as snapshot_module
+
+        store = seeded_store(tmp_path / "store")
+        target = tmp_path / "snap.json"
+
+        def exploding_replace(src, dst):
+            raise PermissionError("target locked")
+
+        monkeypatch.setattr(snapshot_module.os, "replace", exploding_replace)
+        with pytest.raises(PermissionError):
+            dump_snapshot(store, target)
+        monkeypatch.undo()
+        assert not target.exists()
+        assert not list(target.parent.glob(".*.tmp.*"))
+        store.close()
+
+    def test_successful_dump_leaves_no_tmp_file(self, tmp_path):
+        store = seeded_store(tmp_path / "store")
+        target = tmp_path / "snap.json"
+        dump_snapshot(store, target)
+        assert target.exists()
+        assert not list(target.parent.glob(".*.tmp.*"))
+        store.close()
+
+
+class TestIdleDrainPublishes:
+    def test_drain_publishes_with_zero_requests(self, tmp_path):
+        """An idle service still shares its store on drain: profiles merged
+        at startup (or left over from a previous process) must reach the
+        fleet even when this drain served nothing."""
+        from repro.engine import KorchConfig, KorchService
+
+        seeded = seeded_store(tmp_path / "seed")
+        inherited = tmp_path / "inherited.json"
+        dump_snapshot(seeded, inherited)
+        seeded.close()
+
+        published = tmp_path / "published.json"
+        config = KorchConfig(gpu="V100", cache_dir=tmp_path / "proc")
+        with KorchService(config=config, workers=1, snapshot_path=published) as service:
+            merge_snapshot(service.engine.store, inherited)
+            assert not published.exists()
+            assert service.drain(timeout=60)  # zero requests processed
+            assert published.exists()
+            rows = load_snapshot(published)
+            assert len(rows) >= 16  # the merged entries made it out
+
+    def test_drain_publishes_even_when_interval_never_elapsed(self, tmp_path):
+        from repro.engine import KorchConfig, KorchService
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("interval")
+        x = b.input("x", (1, 2, 16, 8))
+        w = b.param("w", (1, 2, 8, 16))
+        b.output(b.matmul(x, w))
+
+        published = tmp_path / "published.json"
+        config = KorchConfig(gpu="V100", cache_dir=tmp_path / "proc")
+        with KorchService(
+            config=config,
+            workers=1,
+            snapshot_path=published,
+            snapshot_interval_s=10_000.0,  # periodic publishing never fires
+        ) as service:
+            service.submit(b.build()).result(timeout=600)
+            assert service.drain(timeout=60)
+            assert published.exists()
+            assert load_snapshot(published)

@@ -572,3 +572,83 @@ class TestAdmissionIntegration:
         finally:
             stub.block.set()
             service.close()
+
+
+class TestQueueWaitAnchors:
+    """Queue-wait durations come from monotonic anchors, clamped to >= 0 —
+    a wall-clock step or a request without a submit anchor must never
+    produce a negative (or absurdly large) wait."""
+
+    def test_unset_submit_anchor_counts_as_started(self):
+        from repro.engine.service import ServiceRequest
+
+        stub = _StubEngine()
+        stub.block.set()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            request = ServiceRequest(attention_model("anchorless"), Priority.NORMAL)
+            request.stats._submitted_pc = 0.0  # foreign/deserialized stats
+            service._serve(request)
+            assert request.stats.status == "done"
+            # Without the guard this would be ~time.perf_counter() seconds.
+            assert request.stats.queue_wait_s == 0.0
+        finally:
+            service.close()
+
+    def test_follower_wait_clamped_without_anchor(self):
+        from repro.engine.service import ServiceRequest, ServiceStats
+
+        stub = _StubEngine()
+        stub.block.set()
+        service = KorchService(engine=stub, workers=1)
+        try:
+            leader_stats = ServiceStats(model="leader", priority=Priority.NORMAL)
+            leader_stats._started_pc = time.perf_counter()
+            leader_stats.started_at = time.time()
+            follower = ServiceRequest(attention_model("follower"), Priority.NORMAL)
+            follower.stats._submitted_pc = 0.0
+            assert service._deliver_follower(
+                follower, leader_stats, result=_StubResult("leader")
+            )
+            assert follower.stats.queue_wait_s == 0.0
+            assert follower.stats.run_s is not None and follower.stats.run_s >= 0.0
+            assert follower.stats.coalesced
+        finally:
+            service.close()
+
+    def test_wall_clock_step_backwards_keeps_waits_non_negative(self, monkeypatch):
+        import repro.engine.service as service_module
+
+        real_time = time
+
+        class SteppingClock:
+            """time.time() jumps 1h into the past after submission; the
+            monotonic anchors are untouched."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def time(self):
+                self.calls += 1
+                offset = -3600.0 if self.calls > 1 else 0.0
+                return real_time.time() + offset
+
+            def __getattr__(self, name):  # perf_counter, monotonic, sleep, ...
+                return getattr(real_time, name)
+
+        stub = _StubEngine()
+        stub.block.set()
+        service = KorchService(engine=stub, workers=1)
+        monkeypatch.setattr(service_module, "time", SteppingClock())
+        try:
+            request = service.submit(attention_model("clock-step"))
+            request.result(timeout=10)
+            stats = request.stats
+            assert stats.queue_wait_s is not None and stats.queue_wait_s >= 0.0
+            assert stats.run_s is not None and stats.run_s >= 0.0
+            # The epoch timestamps do reflect the step (they join external
+            # traces); only the durations are immune to it.
+            assert stats.started_at < stats.submitted_at
+        finally:
+            monkeypatch.setattr(service_module, "time", real_time)
+            service.close()
